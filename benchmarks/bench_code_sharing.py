@@ -1,0 +1,57 @@
+"""Code sharing (Section 4.1.6, footnote 8).
+
+"There exists a single copy of the definition and initialization code
+regardless of how many times the unit is linked or invoked."  The bench
+compiles a unit once and measures per-instance cost, which must not
+include re-compilation: instantiating N times from one compiled body
+should be far cheaper than compiling N times.
+"""
+
+from repro.lang.interp import Interpreter
+from repro.lang.parser import parse_program
+from repro.units.compile import compile_unit
+
+UNIT = """
+    (unit (import base) (export)
+      (define helper1 (lambda (x) (* x x)))
+      (define helper2 (lambda (x) (helper1 (+ x 1))))
+      (define helper3 (lambda (x) (helper2 (helper1 x))))
+      (helper3 base))
+"""
+
+INSTANTIATE = """
+    (let ((it (makeStringHashTable)) (et (makeStringHashTable)))
+      (begin (hash-put! it "base" (box 7))
+             ((shared it et))))
+"""
+
+
+def test_sharing_one_body_many_instances(benchmark):
+    interp = Interpreter()
+    shared = interp.eval(compile_unit(parse_program(UNIT)))
+    interp.global_env.define("shared", shared)
+    run = parse_program(INSTANTIATE)
+
+    def ten_instances():
+        return [interp.eval(run) for _ in range(10)]
+
+    results = benchmark(ten_instances)
+    assert results == [2500] * 10
+
+
+def test_sharing_baseline_recompile_each_time(benchmark):
+    """Baseline: recompiling per instance (what sharing avoids)."""
+    interp = Interpreter()
+    unit = parse_program(UNIT)
+    run = parse_program(INSTANTIATE)
+
+    def ten_compiles():
+        out = []
+        for _ in range(10):
+            interp.global_env.define(
+                "shared", interp.eval(compile_unit(unit)))
+            out.append(interp.eval(run))
+        return out
+
+    results = benchmark(ten_compiles)
+    assert results == [2500] * 10

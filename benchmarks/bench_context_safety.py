@@ -1,0 +1,74 @@
+"""Dynamic-link context safety (Section 3.4).
+
+"This type-checking must be performed in the correct context to ensure
+that dynamic linking is type-safe."  The bench times the retrieval
+pipeline — parse, re-check in the receiver's environment, signature
+subtype — on plugins of growing size, and the rejection paths
+(ill-typed code and signature liars), which must fire before any
+plugin code can run.
+"""
+
+import pytest
+
+from repro.lang.errors import ArchiveError
+from repro.dynlink.archive import UnitArchive
+from repro.types.parser import parse_sig_text
+
+SIG = parse_sig_text("""
+    (sig (import (val insert (-> int void))) (export) (-> int void))
+""")
+
+
+def _plugin(n: int) -> str:
+    defns = ["(define h0 (-> int int) (lambda ((x int)) (+ x 1)))"]
+    for k in range(1, n):
+        defns.append(f"(define h{k} (-> int int) "
+                     f"(lambda ((x int)) (h{k - 1} (+ x 1))))")
+    body = " ".join(defns)
+    return f"""
+        (unit/t (import (val insert (-> int void))) (export)
+          {body}
+          (define loader (-> int void)
+            (lambda ((n int)) (insert (h{n - 1} n))))
+          loader)
+    """
+
+
+def test_retrieve_small_plugin(benchmark):
+    archive = UnitArchive()
+    archive.put("p", _plugin(5))
+    expr, _ = benchmark(archive.retrieve_typed, "p", SIG)
+    assert expr is not None
+
+
+def test_retrieve_large_plugin(benchmark):
+    archive = UnitArchive()
+    archive.put("p", _plugin(50))
+    expr, _ = benchmark(archive.retrieve_typed, "p", SIG)
+    assert expr is not None
+
+
+def test_reject_ill_typed(benchmark):
+    archive = UnitArchive()
+    archive.put("liar", """
+        (unit/t (import) (export)
+          (define x int "not an int")
+          (void))
+    """)
+
+    def attempt():
+        with pytest.raises(ArchiveError):
+            archive.retrieve_typed("liar", SIG)
+
+    benchmark(attempt)
+
+
+def test_reject_signature_mismatch(benchmark):
+    archive = UnitArchive()
+    archive.put("shape", "(unit/t (import) (export) 42)")
+
+    def attempt():
+        with pytest.raises(ArchiveError):
+            archive.retrieve_typed("shape", SIG)
+
+    benchmark(attempt)

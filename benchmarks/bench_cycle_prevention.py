@@ -1,0 +1,49 @@
+"""UNITe's cyclic-type prevention (Section 4.3).
+
+Times the dependency machinery at scale: acyclicity checking of large
+equation sets, link-cycle detection over many dependency declarations,
+and dependency propagation through compounds.
+"""
+
+import pytest
+
+from benchmarks.helpers import equation_chain
+from repro.lang.errors import TypeCheckError
+from repro.types.parser import parse_type_text
+from repro.unite.depends import (
+    check_equations_acyclic,
+    compound_link_cycle_check,
+    compute_compound_depends,
+)
+
+
+def test_acyclicity_chain_100(benchmark):
+    eqs = equation_chain(100)
+    benchmark(check_equations_acyclic, eqs)
+
+
+def test_acyclicity_detects_cycle(benchmark):
+    eqs = equation_chain(50)
+    eqs["t0"] = parse_type_text("(-> t49 int)")  # closes the loop
+
+    def attempt():
+        with pytest.raises(TypeCheckError):
+            check_equations_acyclic(eqs)
+
+    benchmark(attempt)
+
+
+def test_link_cycle_check_30_deps(benchmark):
+    deps1 = tuple((f"b{k}", f"a{k}") for k in range(30))
+    deps2 = tuple((f"a{k}", f"c{k}") for k in range(30))
+    benchmark(compound_link_cycle_check, deps1, deps2)
+
+
+def test_dependency_propagation(benchmark):
+    timports = tuple((f"x{k}", None) for k in range(20))
+    texports = tuple((f"z{k}", None) for k in range(20))
+    deps1 = tuple((f"y{k}", f"x{k}") for k in range(20))
+    deps2 = tuple((f"z{k}", f"y{k}") for k in range(20))
+    deps = benchmark(compute_compound_depends,
+                     timports, texports, deps1, deps2)
+    assert len(deps) == 20

@@ -1,0 +1,56 @@
+"""Cyclic cross-unit calls (Section 3.2).
+
+"The insert function in PhoneBook may call error in Gui, which could in
+turn call PhoneBook's insert again."  The bench measures mutually
+recursive calls that bounce across a unit boundary on every step, both
+interpreted and compiled — the boundary must not add more than cell
+indirection.
+"""
+
+from repro.lang.interp import Interpreter, run_program
+from repro.lang.parser import parse_program
+from repro.units.compile import compile_expr
+
+PROGRAM = """
+    (invoke
+      (compound (import) (export)
+        (link ((unit (import pong) (export ping)
+                 (define ping (lambda (n)
+                   (if (zero? n) "done" (pong (- n 1)))))
+                 (void))
+               (with pong) (provides ping))
+              ((unit (import ping) (export pong)
+                 (define pong (lambda (n)
+                   (if (zero? n) "done" (ping (- n 1)))))
+                 (ping 200))
+               (with ping) (provides pong)))))
+"""
+
+
+def test_cyclic_interpreted(benchmark):
+    result, _ = benchmark(run_program, PROGRAM)
+    assert result == "done"
+
+
+def test_cyclic_compiled(benchmark):
+    compiled = compile_expr(parse_program(PROGRAM))
+
+    def run():
+        return Interpreter().eval(compiled)
+
+    assert benchmark(run) == "done"
+
+
+def test_cyclic_within_one_unit_baseline(benchmark):
+    """Baseline: the same recursion inside a single unit."""
+    program = """
+        (invoke
+          (unit (import) (export)
+            (define ping (lambda (n)
+              (if (zero? n) "done" (pong (- n 1)))))
+            (define pong (lambda (n)
+              (if (zero? n) "done" (ping (- n 1)))))
+            (ping 200)))
+    """
+    result, _ = benchmark(run_program, program)
+    assert result == "done"

@@ -1,0 +1,74 @@
+"""Dynamic program construction (Sections 1 and 7).
+
+"Few HOT module languages handle dynamic program construction and
+dynamic linking, which are needed for programs with some assembly
+required."  The bench measures the DrScheme-style environment:
+launching clients with capability imports, instantiating tools per
+client, and dynamically installing a tool from an archive.
+"""
+
+from repro.drscheme import BUILTIN_TOOLS, DrScheme
+from repro.dynlink.archive import UnitArchive
+
+CLIENT = """
+    (unit (import print! kv-put! kv-get) (export)
+      (kv-put! "n" 41)
+      (print! (number->string (+ (kv-get "n" 0) 1)))
+      (kv-get "n" 0))
+"""
+
+TOOL_CLIENT = """
+    (unit (import reset! apply-op! current) (export)
+      (reset! 1)
+      (apply-op! "*" 6)
+      (apply-op! "+" 36)
+      (current))
+"""
+
+
+def test_launch_plain_client(benchmark):
+    env = DrScheme()
+    counter = [0]
+
+    def launch():
+        counter[0] += 1
+        return env.launch(f"client-{counter[0]}", CLIENT)
+
+    record = benchmark(launch)
+    assert record.status == "finished"
+    assert record.result == 41
+
+
+def test_launch_with_tool_instantiation(benchmark):
+    env = DrScheme()
+    env.install_tool("evaluator", BUILTIN_TOOLS["evaluator"])
+    counter = [0]
+
+    def launch():
+        counter[0] += 1
+        return env.launch(f"calc-{counter[0]}", TOOL_CLIENT,
+                          tools=("evaluator",))
+
+    record = benchmark(launch)
+    assert record.result == 42
+
+
+def test_dynamic_tool_install(benchmark):
+    archive = UnitArchive()
+    archive.put("greeter", """
+        (unit (import print!) (export greet!)
+          (define greet! (lambda (who)
+            (print! (string-append "hi " who))))
+          (void))
+    """, typed=False)
+    counter = [0]
+
+    def install():
+        counter[0] += 1
+        env = DrScheme()
+        env.install_tool_from_archive(archive, "greeter",
+                                      expected_exports=("greet!",))
+        return env
+
+    env = benchmark(install)
+    assert "greeter" in env.tools

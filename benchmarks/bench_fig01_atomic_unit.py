@@ -1,0 +1,21 @@
+"""Figure 1 — the atomic Database unit.
+
+Regenerates the figure's artifact: the Database unit's signature
+(imports info and error; exports db, new, insert, delete).  Times the
+full pipeline for an atomic unit: parse + Figure 15 type check.
+"""
+
+from repro.figures import get_figure
+from repro.phonebook.units import DATABASE
+from repro.unitc.run import typecheck
+
+
+def test_fig01_report(benchmark):
+    report = benchmark(get_figure(1).run)
+    assert "Database" in report
+
+
+def test_fig01_database_typecheck(benchmark):
+    sig = benchmark(typecheck, DATABASE)
+    assert sig.texport_names == ("db",)
+    assert "delete" in sig.vexport_names

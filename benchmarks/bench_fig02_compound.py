@@ -1,0 +1,22 @@
+"""Figure 2 — PhoneBook: linking Database and NumberInfo.
+
+Regenerates the compound's signature: error passed through, delete
+hidden, db/info and the remaining operations re-exported.  Times the
+Figure 15 compound rule on the real two-unit link.
+"""
+
+from repro.figures import get_figure
+from repro.phonebook.program import build_phonebook
+from repro.unitc.run import typecheck
+
+
+def test_fig02_report(benchmark):
+    report = benchmark(get_figure(2).run)
+    assert "PhoneBook" in report
+
+
+def test_fig02_phonebook_typecheck(benchmark):
+    source = build_phonebook()
+    sig = benchmark(typecheck, source)
+    assert "delete" not in sig.vexport_names
+    assert sig.vimport_names == ("error",)

@@ -1,0 +1,21 @@
+"""Figure 3 — IPB, the complete interactive phone book.
+
+Regenerates the program run: invoking IPB evaluates every unit's
+definitions, runs the initialization expressions in order, and returns
+the bool from Main's openBook call.  The cyclic PhoneBook <-> Gui links
+are exercised on every run.
+"""
+
+from repro.figures import get_figure
+from repro.phonebook.program import run_ipb
+
+
+def test_fig03_report(benchmark):
+    report = benchmark(get_figure(3).run)
+    assert "True" in report
+
+
+def test_fig03_invoke_ipb(benchmark):
+    result, output = benchmark(run_ipb)
+    assert result is True
+    assert "entries: 3" in output

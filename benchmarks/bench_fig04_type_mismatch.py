@@ -1,0 +1,14 @@
+"""Figure 4 — Bad: illegal linking rejected by the type checker.
+
+Regenerates the rejection: two types named db originating from
+different units cannot be linked to Main's imports.  Times rejection
+(error paths matter for interactive tooling: DrScheme ran this checker
+on every program).
+"""
+
+from repro.figures import get_figure
+
+
+def test_fig04_rejection(benchmark):
+    report = benchmark(get_figure(4).run)
+    assert "rejected" in report

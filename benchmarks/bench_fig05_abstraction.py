@@ -1,0 +1,26 @@
+"""Figure 5 — MakeIPB: abstracting over a constituent unit.
+
+Regenerates the claim: "using only this signature, the type system can
+completely verify the linking in MakeIPB and determine the signature of
+the resulting compound unit."  Times checking the signature-typed
+function without any concrete GUI unit.
+"""
+
+from repro.figures import get_figure
+from repro.phonebook.program import make_ipb_program
+from repro.types.types import BOOL
+from repro.unitc.check import base_tyenv, check_texpr
+
+
+def test_fig05_report(benchmark):
+    report = benchmark(get_figure(5).run)
+    assert "MakeIPB" in report
+
+
+def test_fig05_check_abstracted_linking(benchmark):
+    program = make_ipb_program(expert_mode=True)
+
+    def check():
+        return check_texpr(program, base_tyenv())
+
+    assert benchmark(check) == BOOL

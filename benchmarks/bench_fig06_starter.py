@@ -1,0 +1,26 @@
+"""Figure 6 — Starter: linking and invoking other programs.
+
+Regenerates the run-time GUI selection: a core `if` chooses between
+two first-class GUI units, MakeIPB links the choice into a program
+unit, and invoke launches it.
+"""
+
+from repro.figures import get_figure
+from repro.phonebook.program import run_starter
+
+
+def test_fig06_report(benchmark):
+    report = benchmark(get_figure(6).run)
+    assert "expert" in report
+
+
+def test_fig06_starter_expert(benchmark):
+    result, output = benchmark(run_starter, True)
+    assert result is True
+    assert "expert phone book" in output
+
+
+def test_fig06_starter_novice(benchmark):
+    result, output = benchmark(run_starter, False)
+    assert result is True
+    assert "welcome" in output

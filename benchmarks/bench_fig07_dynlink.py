@@ -1,0 +1,33 @@
+"""Figure 7 — dynamic linking with invoke.
+
+Regenerates the loader-extension flow: retrieve serialized unit source
+from the archive, re-check it in the receiving context, verify the
+loader signature by subtyping, link it into the running phone book,
+and run it.  Also times the rejection of a broken extension (which
+must happen *before* any extension code runs).
+"""
+
+import pytest
+
+from repro.figures import get_figure
+from repro.lang.errors import ArchiveError
+from repro.phonebook.program import run_loader_demo
+
+
+def test_fig07_report(benchmark):
+    report = benchmark(get_figure(7).run)
+    assert "loader" in report
+
+
+def test_fig07_load_and_link(benchmark):
+    result, output = benchmark(run_loader_demo, "sample-loader")
+    assert result is True
+    assert "entries: 2" in output
+
+
+def test_fig07_reject_broken(benchmark):
+    def attempt():
+        with pytest.raises(ArchiveError):
+            run_loader_demo("broken-loader")
+
+    benchmark(attempt)

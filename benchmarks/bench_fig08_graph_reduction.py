@@ -1,0 +1,37 @@
+"""Figure 8 — graphical reduction: merging a compound into one unit.
+
+Times the pure-syntax merge (definition concatenation, alpha-renaming,
+init sequencing) on the figure's PhoneBook-shaped compound and on
+wider synthetic compounds, to show the merge scales with the number of
+definitions.
+"""
+
+from benchmarks.helpers import unit_with_defns
+from repro.figures import get_figure
+from repro.lang.parser import parse_program
+from repro.units.reduce import reduce_compound_expr
+
+
+def test_fig08_report(benchmark):
+    report = benchmark(get_figure(8).run)
+    assert "merged unit" in report
+
+
+def _compound_of(n: int):
+    return parse_program(f"""
+        (compound (import) (export)
+          (link ({unit_with_defns(n)} (with) (provides))
+                ({unit_with_defns(n)} (with) (provides))))
+    """)
+
+
+def test_fig08_merge_small(benchmark):
+    compound = _compound_of(5)
+    merged = benchmark(reduce_compound_expr, compound)
+    assert len(merged.defns) == 10
+
+
+def test_fig08_merge_large(benchmark):
+    compound = _compound_of(50)
+    merged = benchmark(reduce_compound_expr, compound)
+    assert len(merged.defns) == 100

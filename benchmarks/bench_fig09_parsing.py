@@ -1,0 +1,27 @@
+"""Figure 9 — the UNITd grammar.
+
+Times parsing of unit-heavy source: atomic units with many definitions
+and the nested compound produced by a 16-unit link graph.
+"""
+
+from benchmarks.helpers import chain_graph, unit_with_defns
+from repro.figures import get_figure
+from repro.lang.parser import parse_program
+from repro.lang.pretty import show
+
+
+def test_fig09_report(benchmark):
+    report = benchmark(get_figure(9).run)
+    assert "grammar" in report
+
+
+def test_fig09_parse_unit_100_defns(benchmark):
+    source = unit_with_defns(100)
+    expr = benchmark(parse_program, source)
+    assert len(expr.defns) == 100
+
+
+def test_fig09_parse_nested_compounds(benchmark):
+    source = show(chain_graph(16).to_compound_expr())
+    expr = benchmark(parse_program, source)
+    assert expr is not None

@@ -1,0 +1,26 @@
+"""Figure 10 — context-sensitive checking for UNITd.
+
+Times the checks on well-formed programs of growing size (shape:
+linear in the number of definitions/links) and on the figure's
+rejection cases.
+"""
+
+from benchmarks.helpers import chain_graph, unit_with_defns
+from repro.figures import get_figure
+from repro.lang.parser import parse_program
+from repro.units.check import check_program
+
+
+def test_fig10_report(benchmark):
+    report = benchmark(get_figure(10).run)
+    assert "rejected" in report
+
+
+def test_fig10_check_unit_100_defns(benchmark):
+    expr = parse_program(unit_with_defns(100))
+    benchmark(check_program, expr)
+
+
+def test_fig10_check_chain_16(benchmark):
+    expr = chain_graph(16).to_compound_expr()
+    benchmark(check_program, expr)

@@ -1,0 +1,39 @@
+"""Figure 11 — the UNITd reduction rules on the rewriting machine.
+
+Times full small-step reduction of programs that exercise both rules:
+compound merging followed by invoke-to-letrec and store evaluation.
+The machine is the fidelity semantics; compare with
+bench_ablation_semantics for the interpreter and compiled paths.
+"""
+
+from repro.figures import get_figure
+from repro.lang.ast import Lit
+from repro.lang.machine import Machine
+from repro.lang.parser import parse_program
+
+PROGRAM = """
+    (invoke
+      (compound (import) (export)
+        (link ((unit (import odd?) (export even?)
+                 (define even? (lambda (n)
+                   (if (zero? n) #t (odd? (- n 1)))))
+                 (void))
+               (with odd?) (provides even?))
+              ((unit (import even?) (export odd?)
+                 (define odd? (lambda (n)
+                   (if (zero? n) #f (even? (- n 1)))))
+                 (odd? 51))
+               (with even?) (provides odd?)))))
+"""
+
+
+def test_fig11_report(benchmark):
+    report = benchmark(get_figure(11).run)
+    assert "reduction" in report
+
+
+def test_fig11_machine_full_reduction(benchmark):
+    expr = parse_program(PROGRAM)
+    machine = Machine()
+    value = benchmark(machine.eval, expr)
+    assert value == Lit(True)

@@ -1,0 +1,40 @@
+"""Figure 12 — compiling units to functions over cells.
+
+Times (a) the source-to-source transformation itself on units of
+growing size and (b) invoking the compiled even/odd program.
+"""
+
+from benchmarks.helpers import big_unit_expr
+from repro.figures import get_figure
+from repro.lang.interp import Interpreter
+from repro.lang.parser import parse_program
+from repro.units.compile import compile_expr, compile_unit
+
+PROGRAM = """
+    (invoke
+      (unit (import even?) (export odd?)
+        (define odd? (lambda (n)
+          (if (zero? n) #f (even? (- n 1)))))
+        (odd? 19))
+      (even? (lambda (n) (zero? (modulo n 2)))))
+"""
+
+
+def test_fig12_report(benchmark):
+    report = benchmark(get_figure(12).run)
+    assert "compiled form" in report
+
+
+def test_fig12_transform_unit_50_defns(benchmark):
+    unit = big_unit_expr(50)
+    compiled = benchmark(compile_unit, unit)
+    assert compiled is not None
+
+
+def test_fig12_run_compiled_even_odd(benchmark):
+    compiled = compile_expr(parse_program(PROGRAM))
+
+    def run():
+        return Interpreter().eval(compiled)
+
+    assert benchmark(run) is True

@@ -1,0 +1,26 @@
+"""Figure 13 — the UNITc grammar: typed units, datatypes, signatures.
+
+Times parsing of typed unit sources, including the full Database unit
+and synthetic units with many annotated definitions.
+"""
+
+from benchmarks.helpers import typed_unit_with_defns
+from repro.figures import get_figure
+from repro.phonebook.units import DATABASE
+from repro.unitc.parser import parse_typed_program
+
+
+def test_fig13_report(benchmark):
+    report = benchmark(get_figure(13).run)
+    assert "UNITc" in report
+
+
+def test_fig13_parse_database(benchmark):
+    expr = benchmark(parse_typed_program, DATABASE)
+    assert len(expr.datatypes) == 2
+
+
+def test_fig13_parse_typed_unit_100_defns(benchmark):
+    source = typed_unit_with_defns(100)
+    expr = benchmark(parse_typed_program, source)
+    assert len(expr.defns) == 100

@@ -1,0 +1,30 @@
+"""Figure 14 — signature subtyping and subsumption.
+
+Times sig_subtype on signatures with many value declarations (shape:
+the check is linear-ish in declaration count thanks to the name-keyed
+lookups) and on nested signatures (units importing units).
+"""
+
+from benchmarks.helpers import wide_sig
+from repro.figures import get_figure
+from repro.types.subtype import sig_subtype
+from repro.types.types import Sig, VOID
+
+
+def test_fig14_report(benchmark):
+    report = benchmark(get_figure(14).run)
+    assert "subtyping" in report
+
+
+def test_fig14_wide_signatures(benchmark):
+    specific = wide_sig(100, extra_exports=20)
+    general = wide_sig(100)
+    assert benchmark(sig_subtype, specific, general)
+
+
+def test_fig14_nested_signatures(benchmark):
+    inner_s = wide_sig(10, extra_exports=5)
+    inner_g = wide_sig(10)
+    specific = Sig((), (), (), (("u", inner_s),), VOID)
+    general = Sig((), (), (), (("u", inner_g),), VOID)
+    assert benchmark(sig_subtype, specific, general)

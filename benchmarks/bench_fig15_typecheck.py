@@ -1,0 +1,31 @@
+"""Figure 15 — UNITc type checking.
+
+Times the unit rule on typed units of growing size and the full
+checking of the PhoneBook program (the paper's motivating workload:
+DrScheme re-checked unit programs interactively).
+"""
+
+from benchmarks.helpers import typed_unit_with_defns
+from repro.figures import get_figure
+from repro.phonebook.program import build_phonebook
+from repro.unitc.run import typecheck
+
+
+def test_fig15_report(benchmark):
+    report = benchmark(get_figure(15).run)
+    assert "unit rule" in report
+
+
+def test_fig15_typecheck_25_defns(benchmark):
+    source = typed_unit_with_defns(25)
+    benchmark(typecheck, source)
+
+
+def test_fig15_typecheck_100_defns(benchmark):
+    source = typed_unit_with_defns(100)
+    benchmark(typecheck, source)
+
+
+def test_fig15_typecheck_phonebook(benchmark):
+    source = build_phonebook()
+    benchmark(typecheck, source)

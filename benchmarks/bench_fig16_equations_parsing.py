@@ -1,0 +1,36 @@
+"""Figure 16 — UNITe syntax: type equations and depends clauses.
+
+Times parsing of units carrying many equations and of signatures with
+dependency clauses.
+"""
+
+from repro.figures import get_figure
+from repro.types.parser import parse_sig_text
+from repro.unitc.parser import parse_typed_program
+
+
+def _unit_with_equations(n: int) -> str:
+    eqs = ["(type t0 (-> int int))"]
+    for k in range(1, n):
+        eqs.append(f"(type t{k} (-> t{k - 1} t{k - 1}))")
+    return "(unit/t (import) (export) " + " ".join(eqs) + " (void))"
+
+
+def test_fig16_report(benchmark):
+    report = benchmark(get_figure(16).run)
+    assert "UNITe" in report
+
+
+def test_fig16_parse_50_equations(benchmark):
+    source = _unit_with_equations(50)
+    expr = benchmark(parse_typed_program, source)
+    assert len(expr.equations) == 50
+
+
+def test_fig16_parse_sig_with_depends(benchmark):
+    imports = " ".join(f"(type a{k})" for k in range(20))
+    exports = " ".join(f"(type b{k})" for k in range(20))
+    depends = " ".join(f"(b{k} a{k})" for k in range(20))
+    source = f"(sig (import {imports}) (export {exports}) (depends {depends}) void)"
+    sig = benchmark(parse_sig_text, source)
+    assert len(sig.depends) == 20

@@ -1,0 +1,36 @@
+"""Figure 17 — dependency-aware signature subtyping.
+
+Times the subtype check on signatures with many dependency
+declarations, in both the accepting direction (adding declarations)
+and the rejecting direction (hiding one).
+"""
+
+from repro.figures import get_figure
+from repro.types.kinds import OMEGA
+from repro.types.subtype import sig_subtype
+from repro.types.types import Sig, VOID
+
+
+def _dep_sig(n: int, deps: int) -> Sig:
+    return Sig(
+        tuple((f"a{k}", OMEGA) for k in range(n)), (),
+        tuple((f"b{k}", OMEGA) for k in range(n)), (),
+        VOID,
+        tuple((f"b{k}", f"a{k}") for k in range(deps)))
+
+
+def test_fig17_report(benchmark):
+    report = benchmark(get_figure(17).run)
+    assert "dependency" in report
+
+
+def test_fig17_accepting_direction(benchmark):
+    fewer = _dep_sig(50, 10)
+    more = _dep_sig(50, 50)
+    assert benchmark(sig_subtype, fewer, more)
+
+
+def test_fig17_rejecting_direction(benchmark):
+    fewer = _dep_sig(50, 10)
+    more = _dep_sig(50, 50)
+    assert benchmark(sig_subtype, more, fewer) is False

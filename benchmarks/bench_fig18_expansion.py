@@ -1,0 +1,35 @@
+"""Figure 18 — abbreviation expansion.
+
+Times the |tau|_D operator on chains of equations.  The expanded type
+doubles in size per chain link, so depth is the interesting axis: the
+paper's guarantee is termination on acyclic sets, which the fuel
+counter enforces dynamically.
+"""
+
+from benchmarks.helpers import equation_chain
+from repro.figures import get_figure
+from repro.types.types import TyVar
+from repro.unite.expand import expand_type, normalize_equations
+
+
+def test_fig18_report(benchmark):
+    report = benchmark(get_figure(18).run)
+    assert "expansion" in report
+
+
+def test_fig18_expand_chain_10(benchmark):
+    eqs = equation_chain(10)
+    out = benchmark(expand_type, TyVar("t9"), eqs)
+    assert out is not None
+
+
+def test_fig18_expand_chain_14(benchmark):
+    eqs = equation_chain(14)
+    out = benchmark(expand_type, TyVar("t13"), eqs)
+    assert out is not None
+
+
+def test_fig18_normalize_chain_12(benchmark):
+    eqs = equation_chain(12)
+    out = benchmark(normalize_equations, eqs)
+    assert len(out) == 12

@@ -1,0 +1,48 @@
+"""Figure 19 — UNITe type checking with dependency tracking.
+
+Times (a) checking a unit whose exported equations induce dependency
+declarations, and (b) the compound rule's link-cycle rejection.
+"""
+
+import pytest
+
+from repro.figures import get_figure
+from repro.lang.errors import TypeCheckError
+from repro.unitc.run import typecheck
+
+
+def _dep_unit(n: int) -> str:
+    imports = " ".join(f"(type a{k})" for k in range(n))
+    exports = " ".join(f"(type b{k})" for k in range(n))
+    eqs = " ".join(f"(type b{k} (-> a{k} a{k}))" for k in range(n))
+    return f"(unit/t (import {imports}) (export {exports}) {eqs} (void))"
+
+
+CYCLIC = """
+    (compound/t (import) (export)
+      (link ((unit/t (import (type a)) (export (type b))
+               (type b (-> a a)) (void))
+             (with (type a)) (provides (type b)))
+            ((unit/t (import (type b)) (export (type a))
+               (type a (-> b b)) (void))
+             (with (type b)) (provides (type a)))))
+"""
+
+
+def test_fig19_report(benchmark):
+    report = benchmark(get_figure(19).run)
+    assert "cyclic link rejected" in report
+
+
+def test_fig19_unit_with_20_dependencies(benchmark):
+    source = _dep_unit(20)
+    sig = benchmark(typecheck, source)
+    assert len(sig.depends) == 20
+
+
+def test_fig19_cycle_rejection(benchmark):
+    def attempt():
+        with pytest.raises(TypeCheckError):
+            typecheck(CYCLIC)
+
+    benchmark(attempt)

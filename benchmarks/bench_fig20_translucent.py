@@ -1,0 +1,42 @@
+"""Figure 20 — translucent types.
+
+Times building a translucent signature, expanding it, and the
+equivalence check between the translucent view and its expansion.
+"""
+
+from repro.extensions.translucent import TranslucentSig, translucent_subtype
+from repro.figures import get_figure
+from repro.types.parser import parse_sig_text, parse_type_text
+
+
+def _env_translucent() -> TranslucentSig:
+    sig = parse_sig_text("""
+        (sig (import)
+             (export (val extend (-> env name value env))
+                     (val apply-env (-> env name value)))
+             void)
+    """)
+    return TranslucentSig(
+        sig, (("env", parse_type_text("(-> name value)")),))
+
+
+def test_fig20_report(benchmark):
+    report = benchmark(get_figure(20).run)
+    assert "Environment" in report
+
+
+def test_fig20_expand(benchmark):
+    tsig = _env_translucent()
+    expanded = benchmark(tsig.expand)
+    assert expanded.vexport_type("apply-env") is not None
+
+
+def test_fig20_equivalence(benchmark):
+    tsig = _env_translucent()
+    expanded = tsig.expand()
+
+    def both_ways():
+        return (translucent_subtype(tsig, expanded)
+                and translucent_subtype(expanded, tsig))
+
+    assert benchmark(both_ways)

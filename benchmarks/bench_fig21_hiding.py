@@ -1,0 +1,39 @@
+"""Figure 21 — hiding type information.
+
+Times building the opaque (untrusted-client) view of a translucent
+signature and validating the ascription with the extended subtype
+relation.
+"""
+
+from repro.extensions.hiding import hide_types, subtype_with_hiding
+from repro.extensions.translucent import TranslucentSig
+from repro.figures import get_figure
+from repro.types.parser import parse_sig_text, parse_type_text
+
+
+def _rec_env() -> TranslucentSig:
+    sig = parse_sig_text("""
+        (sig (import)
+             (export (val extend (-> env name value env))
+                     (val recExtend (-> env name value env)))
+             void)
+    """)
+    return TranslucentSig(
+        sig, (("env", parse_type_text("(-> name value)")),))
+
+
+def test_fig21_report(benchmark):
+    report = benchmark(get_figure(21).run)
+    assert "untrusted view" in report
+
+
+def test_fig21_hide(benchmark):
+    tsig = _rec_env()
+    opaque = benchmark(hide_types, tsig, ("env",))
+    assert "env" in opaque.texport_names
+
+
+def test_fig21_extended_subtype(benchmark):
+    tsig = _rec_env()
+    opaque = hide_types(tsig, ("env",))
+    assert benchmark(subtype_with_hiding, tsig, opaque)

@@ -1,0 +1,81 @@
+"""Ablation: the Section 4.2.4 optimizations.
+
+"The restrictions implied by a unit's interface allow inter-procedural
+optimizations within the unit ... intra-unit optimization techniques
+naturally extend to inter-unit optimizations when a compound
+expression has known constituent units."  The bench measures (a) the
+optimizer itself, and (b) running a constant-heavy program with and
+without optimization — folding should make the run cheaper, and
+merge-then-optimize should strip cross-unit dead code.
+"""
+
+from repro.lang.interp import Interpreter
+from repro.lang.parser import parse_program
+from repro.units.ast import InvokeExpr, UnitExpr
+from repro.units.optimize import optimize_unit
+from repro.units.reduce import reduce_compound_expr
+
+
+def _heavy_unit(n: int) -> UnitExpr:
+    defns = []
+    for k in range(n):
+        defns.append(f"(define c{k} (+ {k} (* 2 {k})))")
+        defns.append(f"(define dead{k} (lambda () (+ c{k} 1)))")
+    live = " ".join(f"c{k}" for k in range(n))
+    source = f"""
+        (unit (import) (export)
+          {' '.join(defns)}
+          (+ {live}))
+    """
+    expr = parse_program(source)
+    assert isinstance(expr, UnitExpr)
+    return expr
+
+
+def test_optimizer_throughput(benchmark):
+    unit = _heavy_unit(30)
+    optimized = benchmark(optimize_unit, unit)
+    assert len(optimized.defns) == 0  # everything folded into the init
+
+
+def test_run_unoptimized(benchmark):
+    unit = _heavy_unit(30)
+    program = InvokeExpr(unit, ())
+
+    def run():
+        return Interpreter().eval(program)
+
+    expected = sum(3 * k for k in range(30))
+    assert benchmark(run) == expected
+
+
+def test_run_optimized(benchmark):
+    unit = optimize_unit(_heavy_unit(30))
+    program = InvokeExpr(unit, ())
+
+    def run():
+        return Interpreter().eval(program)
+
+    expected = sum(3 * k for k in range(30))
+    assert benchmark(run) == expected
+
+
+def test_merge_then_optimize(benchmark):
+    compound = parse_program("""
+        (compound (import) (export)
+          (link ((unit (import) (export api extra1 extra2)
+                   (define api (lambda () 21))
+                   (define extra1 (lambda () (extra2)))
+                   (define extra2 (lambda () 0))
+                   (void))
+                 (with) (provides api extra1 extra2))
+                ((unit (import api) (export) (* 2 (api)))
+                 (with api) (provides))))
+    """)
+
+    def pipeline():
+        return optimize_unit(reduce_compound_expr(compound))
+
+    optimized = benchmark(pipeline)
+    assert "extra1" not in optimized.defined
+    assert Interpreter().eval(InvokeExpr(optimized, ())) == 42

@@ -1,0 +1,81 @@
+"""A realistic workload over the phone-book units.
+
+Linked applications pay for the unit boundary on every cross-unit call
+(one cell dereference).  This bench drives the actual Database unit
+with N-insert/lookup workloads through a linked driver, sweeping N —
+per-operation cost should stay flat (the boundary does not grow with
+data).
+"""
+
+import pytest
+
+from repro.linking.graph import TypedLinkGraph
+from repro.phonebook.units import DATABASE, NUMBER_INFO
+from repro.unitc.ast import TypedInvokeExpr
+from repro.unitc.erase import erase
+from repro.lang.interp import Interpreter
+from repro.units.check import check_program
+from repro.lang.ast import Expr
+
+
+def workload_program(n: int):
+    """IPB-shaped program that inserts and looks up ``n`` entries."""
+    driver = f"""
+        (unit/t (import (type db) (type info)
+                        (val new (-> db))
+                        (val insert (-> db str info void))
+                        (val lookup (-> db str info info))
+                        (val size (-> db int))
+                        (val numInfo (-> int info))
+                        (val noInfo (-> info)))
+                (export)
+          (define fill (-> db int void)
+            (lambda ((book db) (k int))
+              (if (zero? k)
+                  (void)
+                  (begin
+                    (insert book (number->string k) (numInfo k))
+                    (fill book (- k 1))))))
+          (let ((book (new)))
+            (begin
+              (fill book {n})
+              (lookup book "1" (noInfo))
+              (size book))))
+    """
+    from repro.types.types import Arrow, STR, VOID
+
+    graph = TypedLinkGraph(vimports=(("error", Arrow((STR,), VOID)),))
+    from repro.phonebook.program import _decls
+    from repro.phonebook.units import DB_OPS_DECLS, INFO_DECLS
+
+    db_prov_t, db_prov_v = _decls(
+        DB_OPS_DECLS + """(val delete (-> db str void))""", "provides")
+    db_with_t, db_with_v = _decls("(type info) (val error (-> str void))")
+    graph.add_box("Database", DATABASE,
+                  with_types=db_with_t, with_values=db_with_v,
+                  prov_types=db_prov_t, prov_values=db_prov_v)
+    graph.add_box("NumberInfo", NUMBER_INFO)
+    graph.add_box("Driver", driver)
+    compound = graph.to_compound_expr()
+    error_handler = "(lambda ((s str)) (void))"
+    from repro.unitc.parser import parse_typed_program
+
+    program = TypedInvokeExpr(
+        compound, (), (("error", parse_typed_program(error_handler)),))
+    # Pre-erase: the bench times execution, not checking.
+    from repro.unitc.check import base_tyenv, check_texpr
+
+    check_texpr(program, base_tyenv())
+    erased: Expr = erase(program)
+    check_program(erased, strict_valuable=False)
+    return erased
+
+
+@pytest.mark.parametrize("n", [10, 40, 160])
+def test_insert_lookup_workload(benchmark, n):
+    program = workload_program(n)
+
+    def run():
+        return Interpreter().eval(program)
+
+    assert benchmark(run) == n

@@ -1,0 +1,80 @@
+"""DrScheme as an operating system for unit programs (Section 7).
+
+"DrScheme also acts as an operating system for client programs that
+are being developed, launching client programs by dynamically linking
+them into the system while maintaining the boundaries between
+clients."  This example runs the miniature environment: tools are
+installed (one dynamically from an archive), clients launch with
+capability imports, one client crashes without hurting anyone, and the
+shared board carries the only sanctioned cross-client traffic.
+
+Run with:  python examples/drscheme_environment.py
+"""
+
+from repro.drscheme import BUILTIN_TOOLS, DrScheme
+from repro.dynlink.archive import UnitArchive
+
+
+def main() -> None:
+    env = DrScheme()
+    for name, source in BUILTIN_TOOLS.items():
+        env.install_tool(name, source)
+
+    print("=== dynamically install a tool from an archive ===")
+    archive = UnitArchive()
+    archive.put("word-count", """
+        (unit (import print!) (export count-report!)
+          (define count-report! (lambda (text)
+            (print! (string-append "chars: "
+                                   (number->string
+                                     (string-length text))))))
+          (void))
+    """, typed=False)
+    env.install_tool_from_archive(archive, "word-count",
+                                  expected_exports=("count-report!",))
+    print("installed tools:", ", ".join(env.tools))
+
+    print("\n=== launch clients with per-client capabilities ===")
+    env.launch("novelist", """
+        (unit (import open-buffer! append-line! buffer-text
+                      count-report! print!) (export)
+          (open-buffer! "chapter-1")
+          (append-line! "chapter-1" "It was a dark and stormy night.")
+          (count-report! (buffer-text "chapter-1"))
+          (print! "saved."))
+    """, tools=("editor", "word-count"))
+
+    env.launch("analyst", """
+        (unit (import reset! apply-op! current shared-put!) (export)
+          (reset! 6)
+          (apply-op! "*" 7)
+          (shared-put! "the-answer" (current)))
+    """, tools=("evaluator",))
+
+    env.launch("saboteur", """
+        (unit (import kv-put!) (export)
+          (kv-put! "note" "my own namespace")
+          (error "sabotage attempt fails loudly"))
+    """)
+
+    env.launch("reader", """
+        (unit (import shared-get print!) (export)
+          (print! (string-append "the shared answer is "
+                                 (number->string
+                                   (shared-get "the-answer" 0)))))
+    """)
+
+    print(env.status_report())
+
+    print("\n=== per-client consoles ===")
+    for name in ("novelist", "analyst", "reader"):
+        print(f"[{name}] {env.client(name).output()!r}")
+
+    print("\n=== boundaries held ===")
+    print("saboteur crashed:", env.client("saboteur").error)
+    print("store snapshot:", env.store_snapshot())
+    print("shared board:", env.shared_board())
+
+
+if __name__ == "__main__":
+    main()

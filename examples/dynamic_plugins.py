@@ -1,0 +1,81 @@
+"""Dynamic linking: loader extensions for the phone book (Figure 7).
+
+A third-party extension ships as serialized unit source in an archive
+("the Internet").  The receiving program retrieves it under the loader
+signature — type-checking happens from scratch, in the receiver's
+context — and only a verified unit is dynamically linked into the
+running program via invoke.  A broken extension is rejected before any
+of its code runs.
+
+Run with:  python examples/dynamic_plugins.py
+"""
+
+from repro.lang.errors import ArchiveError
+from repro.lang.interp import Interpreter
+from repro.dynlink.archive import UnitArchive
+from repro.dynlink.loader import PluginHost
+from repro.phonebook.program import run_loader_demo
+from repro.phonebook.units import LOADER_SIG_TEXT
+from repro.types.parser import parse_sig_text
+
+
+def phonebook_demo() -> None:
+    print("=== Figure 7: loader extension in the phone book ===")
+    result, transcript = run_loader_demo("sample-loader")
+    print(transcript, end="")
+    print("program result:", result)
+
+    print("\n=== a broken extension is rejected at retrieval ===")
+    try:
+        run_loader_demo("broken-loader")
+    except ArchiveError as err:
+        print("rejected:", err)
+
+
+def plugin_host_demo() -> None:
+    print("\n=== generic plug-in host over an archive ===")
+    interp = Interpreter()
+    archive = UnitArchive()
+    archive.put("doubler", """
+        (unit/t (import (val insert (-> int void))
+                        (val error (-> str void)))
+                (export)
+          (define loader (-> int void)
+            (lambda ((n int)) (insert (* 2 n))))
+          loader)
+    """)
+    archive.put("incrementer", """
+        (unit/t (import (val insert (-> int void))
+                        (val error (-> str void)))
+                (export)
+          (define loader (-> int void)
+            (lambda ((n int)) (insert (+ n 1))))
+          loader)
+    """)
+
+    expected = parse_sig_text("""
+        (sig (import (val insert (-> int void)) (val error (-> str void)))
+             (export)
+             (-> int void))
+    """)
+    host = PluginHost(
+        interp, expected,
+        type_imports={},
+        value_imports={
+            "insert": interp.run('(lambda (n) (begin (display n) (newline)))'),
+            "error": interp.run('(lambda (s) (void))'),
+        })
+    for name in ("doubler", "incrementer"):
+        loader = host.load(archive, name)
+        interp.apply(loader, [20])
+    print(interp.port.getvalue(), end="")
+    print("installed plugins:", ", ".join(host.loaded_names()))
+
+
+def main() -> None:
+    phonebook_demo()
+    plugin_host_demo()
+
+
+if __name__ == "__main__":
+    main()

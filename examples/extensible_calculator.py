@@ -1,0 +1,168 @@
+"""An extensible RPN calculator assembled from units.
+
+The paper motivates units with "programs with some assembly required":
+applications built from independently developed, separately checked
+parts, extensible at run time.  This example assembles a calculator
+from four units — an operator table, a core arithmetic pack, an
+evaluation engine (which reuses the stdlib ``stack`` unit), and a
+driver — then dynamically links a third-party "scientific" operator
+pack retrieved from an archive.
+
+Run with:  python examples/extensible_calculator.py
+"""
+
+from repro.lang.interp import Interpreter
+from repro.lang.values import pairs_to_list
+from repro.linking.compound_n import NClause, NCompoundUnitValue
+from repro.dynlink.archive import UnitArchive
+from repro.stdlib import load as load_stdlib
+
+OP_TABLE = """
+    (unit (import) (export register-op! lookup-op op-names)
+      (define table (makeStringHashTable))
+      (define names (box (list)))
+      (define register-op! (lambda (name fn)
+        (begin (hash-put! table name fn)
+               (set-box! names (cons name (unbox names))))))
+      (define lookup-op (lambda (name)
+        (if (hash-has? table name)
+            (hash-get table name)
+            (error (string-append "unknown operator: " name)))))
+      (define op-names (lambda () (reverse (unbox names))))
+      (void))
+"""
+
+ARITH_PACK = """
+    (unit (import register-op!) (export)
+      ;; Registration happens at initialization time: linking this
+      ;; unit into a program is what installs the operators.
+      (register-op! "+" (lambda (a b) (+ a b)))
+      (register-op! "-" (lambda (a b) (- a b)))
+      (register-op! "*" (lambda (a b) (* a b)))
+      (register-op! "max" (lambda (a b) (max a b))))
+"""
+
+ENGINE = """
+    (unit (import lookup-op stack-new stack-push! stack-pop!)
+          (export eval-rpn)
+      (define step (lambda (s token)
+        (if (number? token)
+            (stack-push! s token)
+            (let ((op (lookup-op token)))
+              (let ((b (stack-pop! s)))
+                (let ((a (stack-pop! s)))
+                  (stack-push! s (op a b))))))))
+      (define run (lambda (s tokens)
+        (if (null? tokens)
+            (stack-pop! s)
+            (begin (step s (car tokens))
+                   (run s (cdr tokens))))))
+      (define eval-rpn (lambda (tokens)
+        (run (stack-new) tokens)))
+      (void))
+"""
+
+#: A third-party operator pack, shipped through the archive.
+SCI_PACK = """
+    (unit (import register-op!) (export)
+      (register-op! "pow"
+        (lambda (base power)
+          (letrec ((go (lambda (p)
+                         (if (zero? p) 1 (* base (go (- p 1)))))))
+            (go power))))
+      (register-op! "gcd"
+        (lambda (a b)
+          (letrec ((go (lambda (x y)
+                         (if (zero? y) x (go y (modulo x y))))))
+            (go (abs a) (abs b))))))
+"""
+
+
+def assemble(interp: Interpreter, extra_packs=()) -> object:
+    """Link table + packs + engine into one calculator unit value."""
+    table = interp.run(OP_TABLE)
+    arith = interp.run(ARITH_PACK)
+    stack = load_stdlib(interp, "stack")
+    engine = interp.run(ENGINE)
+    clauses = [
+        NClause(table, {}, {"register-op!": "register-op!",
+                            "lookup-op": "lookup-op",
+                            "op-names": "op-names"}),
+        NClause(arith, {"register-op!": "register-op!"}, {}),
+    ]
+    for pack in extra_packs:
+        clauses.append(NClause(pack, {"register-op!": "register-op!"}, {}))
+    clauses += [
+        NClause(stack, {}, {"stack-new": "stack-new",
+                            "stack-push!": "stack-push!",
+                            "stack-pop!": "stack-pop!"}),
+        NClause(engine, {"lookup-op": "lookup-op",
+                         "stack-new": "stack-new",
+                         "stack-push!": "stack-push!",
+                         "stack-pop!": "stack-pop!"},
+                {"eval-rpn": "eval-rpn"}),
+    ]
+    return NCompoundUnitValue(
+        (), {"eval-rpn": "eval-rpn", "op-names": "op-names"}, clauses)
+
+
+def calculate(interp: Interpreter, calculator, tokens) -> object:
+    """Invoke the calculator against a token list."""
+    driver = interp.run("""
+        (unit (import eval-rpn tokens) (export) (eval-rpn tokens))
+    """)
+    program = NCompoundUnitValue(
+        ("tokens",), {},
+        [NClause(calculator, {}, {"eval-rpn": "eval-rpn"}),
+         NClause(driver, {"eval-rpn": "eval-rpn", "tokens": "tokens"}, {})])
+    from repro.lang.values import list_to_pairs
+
+    return interp.invoke(program, {"tokens": list_to_pairs(list(tokens))})
+
+
+def main() -> None:
+    interp = Interpreter()
+
+    print("=== base calculator: table + arith + stdlib stack + engine ===")
+    base = assemble(interp)
+    print("(3 + 4) * 5       =", calculate(interp, base,
+                                           [3, 4, "+", 5, "*"]))
+    print("max(10-7, 2)      =", calculate(interp, base,
+                                           [10, 7, "-", 2, "max"]))
+
+    print("\n=== unknown operators fail cleanly ===")
+    try:
+        calculate(interp, base, [2, 3, "pow"])
+    except Exception as err:
+        print("before extension:", err)
+
+    print("\n=== dynamically link the scientific pack from an archive ===")
+    archive = UnitArchive()
+    archive.put("sci-pack", SCI_PACK, typed=False)
+    sci = archive.retrieve_untyped("sci-pack",
+                                   expected_imports=("register-op!",),
+                                   expected_exports=())
+    extended = assemble(interp, extra_packs=[interp.eval(sci)])
+    print("2^10              =", calculate(interp, extended,
+                                           [2, 10, "pow"]))
+    print("gcd(48, 36)       =", calculate(interp, extended,
+                                           [48, 36, "gcd"]))
+
+    print("\n=== the two assemblies are independent instances ===")
+    lister = interp.run("""
+        (unit (import op-names) (export) (op-names))
+    """)
+
+    def ops_of(calc):
+        program = NCompoundUnitValue(
+            (), {},
+            [NClause(calc, {}, {"op-names": "op-names"}),
+             NClause(lister, {"op-names": "op-names"}, {})])
+        return pairs_to_list(interp.invoke(program))
+
+    print("base ops:    ", ops_of(base))
+    print("extended ops:", ops_of(extended))
+
+
+if __name__ == "__main__":
+    main()

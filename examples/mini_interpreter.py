@@ -1,0 +1,132 @@
+"""A mini expression interpreter assembled from typed units.
+
+A compilers-flavoured showcase: the AST lives in a `Syntax` unit
+(a recursive two-variant datatype), an `Evaluator` and a `Printer`
+each link against the *type* exported by `Syntax` — sharing one
+abstract `expr` type across three independently written units — and a
+`Main` unit drives them.  Swapping the evaluator for a compiler (or
+adding one alongside) is a linking decision, not an edit.
+
+Run with:  python examples/mini_interpreter.py
+"""
+
+from repro.linking.graph import TypedLinkGraph
+from repro.unitc.run import run_typed_expr
+
+SYNTAX = """
+    (unit/t (import)
+            (export (type expr)
+                    (val lit (-> int expr))
+                    (val binop (-> (* str expr expr) expr))
+                    (val lit? (-> expr bool))
+                    (val un-lit (-> expr int))
+                    (val un-binop (-> expr (* str expr expr))))
+      (datatype expr
+        (mk-lit get-lit int)
+        (mk-binop get-binop (* str expr expr))
+        is-lit?)
+      (define lit (-> int expr) mk-lit)
+      (define binop (-> (* str expr expr) expr) mk-binop)
+      (define lit? (-> expr bool) is-lit?)
+      (define un-lit (-> expr int) get-lit)
+      (define un-binop (-> expr (* str expr expr)) get-binop)
+      (void))
+"""
+
+SYNTAX_DECLS = """
+    (type expr)
+    (val lit (-> int expr))
+    (val binop (-> (* str expr expr) expr))
+    (val lit? (-> expr bool))
+    (val un-lit (-> expr int))
+    (val un-binop (-> expr (* str expr expr)))
+"""
+
+EVALUATOR = f"""
+    (unit/t (import {SYNTAX_DECLS} (val error (-> str void)))
+            (export (val evaluate (-> expr int)))
+      (define evaluate (-> expr int)
+        (lambda ((e expr))
+          (if (lit? e)
+              (un-lit e)
+              (let ((parts (un-binop e)))
+                (let ((op (proj 0 parts))
+                      (l (evaluate (proj 1 parts)))
+                      (r (evaluate (proj 2 parts))))
+                  (if (string=? op "+")
+                      (+ l r)
+                      (if (string=? op "*")
+                          (* l r)
+                          (begin (error (string-append "bad op: " op))
+                                 0))))))))
+      (void))
+"""
+
+PRINTER = f"""
+    (unit/t (import {SYNTAX_DECLS})
+            (export (val render (-> expr str)))
+      (define render (-> expr str)
+        (lambda ((e expr))
+          (if (lit? e)
+              (number->string (un-lit e))
+              (let ((parts (un-binop e)))
+                (string-append
+                  (string-append
+                    (string-append "(" (render (proj 1 parts)))
+                    (string-append " " (proj 0 parts)))
+                  (string-append
+                    (string-append " " (render (proj 2 parts)))
+                    ")"))))))
+      (void))
+"""
+
+MAIN = """
+    (unit/t (import (type expr)
+                    (val lit (-> int expr))
+                    (val binop (-> (* str expr expr) expr))
+                    (val evaluate (-> expr int))
+                    (val render (-> expr str)))
+            (export)
+      ;; (1 + 2) * (3 + 4)
+      (let ((tree (binop (tuple "*"
+                                (binop (tuple "+" (lit 1) (lit 2)))
+                                (binop (tuple "+" (lit 3) (lit 4)))))))
+        (begin
+          (display (render tree))
+          (display " = ")
+          (display (number->string (evaluate tree)))
+          (newline)
+          (evaluate tree))))
+"""
+
+
+def build_program():
+    """Link Syntax + Evaluator + Printer + Main into one program."""
+    from repro.types.parser import parse_type_text
+    from repro.types.types import Arrow, STR, VOID
+
+    graph = TypedLinkGraph(
+        vimports=(("error", Arrow((STR,), VOID)),))
+    graph.add_box("Syntax", SYNTAX)
+    graph.add_box("Evaluator", EVALUATOR)
+    graph.add_box("Printer", PRINTER)
+    graph.add_box("Main", MAIN)
+    from repro.unitc.ast import TypedInvokeExpr
+    from repro.unitc.parser import parse_typed_program
+
+    error_handler = parse_typed_program(
+        '(lambda ((s str)) (begin (display s) (newline)))')
+    return TypedInvokeExpr(graph.to_compound_expr(), (),
+                           (("error", error_handler),))
+
+
+def main() -> None:
+    print("=== (1 + 2) * (3 + 4), through three linked units ===")
+    result, ty, output = run_typed_expr(build_program())
+    print(output, end="")
+    print(f"program value: {result} : {ty}")
+    assert result == 21
+
+
+if __name__ == "__main__":
+    main()

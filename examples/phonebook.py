@@ -1,0 +1,50 @@
+"""The paper's running example: the interactive phone book (Figures 1-6).
+
+Builds Database and NumberInfo (Figure 1), links them into PhoneBook
+with `delete` hidden (Figure 2), completes the program with a Gui and
+Main (Figure 3), abstracts the GUI with MakeIPB (Figure 5), and lets
+Starter choose a GUI at run time (Figure 6).
+
+Run with:  python examples/phonebook.py
+"""
+
+from repro.phonebook.program import (
+    build_phonebook,
+    run_ipb,
+    run_starter,
+)
+from repro.phonebook.units import DATABASE, NUMBER_INFO
+from repro.unitc.run import typecheck
+
+
+def main() -> None:
+    print("=== Figure 1: the atomic Database unit ===")
+    print("signature:", typecheck(DATABASE))
+    print()
+
+    print("=== Figure 2: PhoneBook = Database + NumberInfo ===")
+    pb_sig = typecheck(build_phonebook())
+    print("signature:", pb_sig)
+    print("delete hidden?", "delete" not in pb_sig.vexport_names)
+    print()
+
+    print("=== Figure 3: the complete program IPB ===")
+    result, transcript = run_ipb()
+    print(transcript, end="")
+    print("program result (from openBook):", result)
+    print()
+
+    print("=== Figures 5 & 6: MakeIPB and Starter ===")
+    for expert in (True, False):
+        result, transcript = run_starter(expert_mode=expert)
+        label = "expert" if expert else "novice"
+        print(f"[{label}]")
+        print(transcript, end="")
+        print("result:", result)
+    print()
+
+    print("NumberInfo signature:", typecheck(NUMBER_INFO))
+
+
+if __name__ == "__main__":
+    main()

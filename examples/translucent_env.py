@@ -1,0 +1,74 @@
+"""Section 5: translucent types and type hiding (Figures 20 and 21).
+
+The Environment unit implements environments as procedures
+(env = name -> value).  A *trusted* client (Letrec, Figure 21) links
+against the translucent signature and exploits the representation; the
+*untrusted* view hides env behind an opaque exported type, validated by
+the extended subtype relation.
+
+Run with:  python examples/translucent_env.py
+"""
+
+from repro.extensions.hiding import hide_types, subtype_with_hiding
+from repro.extensions.translucent import TranslucentSig, translucent_subtype
+from repro.types.parser import parse_sig_text, parse_type_text
+from repro.types.subtype import sig_subtype
+from repro.unitc.check import base_tyenv, check_typed_unit
+from repro.unitc.parser import parse_typed_program
+from repro.extensions.translucent import expose_unit_type
+
+ENVIRONMENT_UNIT = """
+    (unit/t (import (val default value))
+            (export (val empty env)
+                    (val extend (-> env name value env)))
+      (type env (-> name value))
+      (define empty env
+        (lambda ((n name)) default))
+      (define extend (-> env name value env)
+        (lambda ((e env) (n name) (v value))
+          (lambda ((m name)) v)))
+      (void))
+"""
+
+
+def main() -> None:
+    unit = parse_typed_program(ENVIRONMENT_UNIT)
+    sig = check_typed_unit(unit, base_tyenv())
+
+    print("=== Figure 20: exposing env as a translucent type ===")
+    print("checked signature (env expanded):")
+    print("  ", sig)
+    tsig = expose_unit_type(unit, sig, "env")
+    print("translucent view: env =", tsig.abbrevs[0][1])
+    print("equivalent to expansion?",
+          translucent_subtype(tsig, sig) and translucent_subtype(sig, tsig))
+
+    print("\n=== Figure 21: hiding env from untrusted clients ===")
+    opaque = hide_types(tsig, ("env",))
+    print("untrusted view:")
+    print("  ", opaque)
+    print("extended subtyping accepts the ascription?",
+          subtype_with_hiding(tsig, opaque))
+    print("plain Figure 14 subtyping accepts it? (should be False)",
+          sig_subtype(tsig.expand(), opaque))
+
+    print("\n=== a trusted client can exploit the representation ===")
+    # Letrec applies an environment directly — only possible because it
+    # sees env = name -> value through the translucent signature.
+    trusted_expectation = parse_sig_text("""
+        (sig (import (val default value))
+             (export (val empty (-> name value))
+                     (val extend (-> (-> name value) name value
+                                     (-> name value))))
+             void)
+    """)
+    print("Environment satisfies the trusted expectation?",
+          sig_subtype(tsig.expand(), trusted_expectation))
+
+    print("\n=== the untrusted client cannot ===")
+    print("opaque view satisfies the trusted expectation?",
+          sig_subtype(opaque, trusted_expectation))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Regenerate the paper's evaluation artifacts in one run.
+
+Runs every figure reproduction, times it, and writes a markdown report
+(stdout, or a file with ``--out``).  The benchmark harness
+(``pytest benchmarks/ --benchmark-only``) gives statistically careful
+numbers; this script gives the one-shot qualitative record used to
+refresh EXPERIMENTS.md.
+
+Usage:  python scripts/run_experiments.py [--out report.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.figures import FIGURES  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--out", help="write the report to a file")
+    args = parser.parse_args()
+
+    lines = ["# Figure reproduction report", ""]
+    lines.append("| Fig | Title | Time | Status |")
+    lines.append("|----:|-------|-----:|:------:|")
+    details = ["", "## Reports", ""]
+    failures = 0
+    for figure in FIGURES:
+        start = time.perf_counter()
+        try:
+            report = figure.run()
+            status = "ok"
+        except Exception as err:  # pragma: no cover - report path
+            report = f"FAILED: {err}"
+            status = "FAIL"
+            failures += 1
+        elapsed_ms = (time.perf_counter() - start) * 1000
+        lines.append(f"| {figure.number} | {figure.title} "
+                     f"| {elapsed_ms:.1f} ms | {status} |")
+        details.append(f"### Figure {figure.number}: {figure.title}")
+        details.append("")
+        details.append("```")
+        details.append(report.rstrip())
+        details.append("```")
+        details.append("")
+
+    text = "\n".join(lines + details)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

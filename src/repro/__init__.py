@@ -1,0 +1,102 @@
+"""Reproduction of "Units: Cool Modules for HOT Languages" (PLDI 1998).
+
+The library implements the paper's three calculi and their host
+language from scratch:
+
+* :mod:`repro.lang` — a Scheme-like core language (reader, parser,
+  interpreter, and the small-step rewriting semantics),
+* :mod:`repro.units` — UNITd, the dynamically typed unit calculus
+  (checks, reduction, and compilation to closures over cells),
+* :mod:`repro.types` — the type language (kinds, signatures, subtyping),
+* :mod:`repro.unitc` — UNITc, units with constructed types,
+* :mod:`repro.unite` — UNITe, units with type equations and dependencies,
+* :mod:`repro.extensions` — Section 5 extensions (translucent types,
+  type hiding, sharing),
+* :mod:`repro.linking` — the assembly layer: link graphs and the n-ary
+  MzScheme-style compound,
+* :mod:`repro.dynlink` — type-safe dynamic linking from a unit archive,
+* :mod:`repro.phonebook` — the paper's running example as a library,
+* :mod:`repro.figures` — a registry mapping every paper figure to the
+  code that reproduces it.
+
+Quickstart::
+
+    from repro import run_program
+
+    result, output = run_program('''
+        (invoke (unit (import) (export greet)
+                  (define greet (lambda (who)
+                    (string-append "hello, " who)))
+                  (greet "world")))
+    ''')
+    assert result == "hello, world"
+"""
+
+from repro.lang.errors import (
+    ArchiveError,
+    CheckError,
+    KindError,
+    LangError,
+    LexError,
+    ParseError,
+    RunTimeError,
+    TypeCheckError,
+    UnitLinkError,
+    VariantError,
+)
+from repro.lang.interp import Interpreter, run_program
+from repro.lang.machine import Machine, machine_eval
+from repro.lang.parser import parse_program, parse_script
+from repro.lang.pretty import pretty, show
+from repro.units.check import check_program
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    """Lazy access to the heavier public entry points.
+
+    Keeps ``import repro`` light while still offering the full toolkit
+    from the package root: ``repro.UnitArchive``, ``repro.LinkGraph``,
+    ``repro.run_typed``, ``repro.DrScheme``, and friends.
+    """
+    lazy = {
+        "UnitArchive": ("repro.dynlink.archive", "UnitArchive"),
+        "PluginHost": ("repro.dynlink.loader", "PluginHost"),
+        "LinkGraph": ("repro.linking.graph", "LinkGraph"),
+        "TypedLinkGraph": ("repro.linking.graph", "TypedLinkGraph"),
+        "DrScheme": ("repro.drscheme.environment", "DrScheme"),
+        "run_typed": ("repro.unitc.run", "run_typed"),
+        "typecheck": ("repro.unitc.run", "typecheck"),
+        "link_and_optimize": ("repro.units.linker", "link_and_optimize"),
+        "lint": ("repro.units.analysis", "lint"),
+        "FIGURES": ("repro.figures", "FIGURES"),
+    }
+    if name in lazy:
+        import importlib
+
+        module_name, attr = lazy[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+__all__ = [
+    "ArchiveError",
+    "CheckError",
+    "Interpreter",
+    "KindError",
+    "LangError",
+    "LexError",
+    "Machine",
+    "ParseError",
+    "RunTimeError",
+    "TypeCheckError",
+    "UnitLinkError",
+    "VariantError",
+    "check_program",
+    "machine_eval",
+    "parse_program",
+    "pretty",
+    "run_program",
+    "show",
+    "__version__",
+]

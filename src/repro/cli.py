@@ -1,0 +1,246 @@
+"""Command-line driver for the unit language.
+
+Usage::
+
+    python -m repro run FILE            # evaluate an untyped program
+    python -m repro check FILE          # Figure 10 checks only
+    python -m repro typecheck FILE      # typed program: print its type
+    python -m repro run-typed FILE      # typed program: check + run
+    python -m repro trace FILE          # small-step reduction trace
+    python -m repro compile FILE        # print the Figure 12 compilation
+    python -m repro figures [N ...]     # run figure reproductions
+
+Programs are single expressions in the s-expression surface syntax
+(see the README's grammar summary).  ``run`` prints the program's value
+and anything it displayed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lang.errors import LangError
+from repro.lang.interp import Interpreter
+from repro.lang.machine import Machine
+from repro.lang.parser import parse_script
+from repro.lang.pretty import pretty
+from repro.lang.values import to_write_string
+from repro.units.check import check_program
+from repro.units.compile import compile_expr
+
+
+def _read(path: str) -> str:
+    return Path(path).read_text()
+
+
+def _load_script(args: argparse.Namespace):
+    """Parse the program file, prepending any ``--load`` libraries.
+
+    Each ``--load FILE`` contributes its top-level definitions
+    (typically named units) to the main script's scope — assembly-line
+    programming across files: parts in their own files, one file doing
+    the assembly.
+    """
+    from repro.lang.ast import Letrec
+    from repro.lang.errors import ParseError
+    from repro.lang.parser import parse_library
+
+    bindings: list = []
+    for lib in getattr(args, "load", None) or []:
+        bindings.extend(parse_library(_read(lib), origin=lib))
+    main_expr = parse_script(_read(args.file), origin=args.file)
+    if not bindings:
+        return main_expr
+    if isinstance(main_expr, Letrec):
+        combined = bindings + list(main_expr.bindings)
+        names = [name for name, _ in combined]
+        if len(set(names)) != len(names):
+            raise ParseError("--load: duplicate top-level definition")
+        return Letrec(tuple(combined), main_expr.body)
+    return Letrec(tuple(bindings), main_expr)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Evaluate an untyped unit program."""
+    expr = _load_script(args)
+    check_program(expr, strict_valuable=not args.lenient)
+    interp = Interpreter()
+    result = interp.eval(expr)
+    output = interp.port.getvalue()
+    if output:
+        sys.stdout.write(output)
+        if not output.endswith("\n"):
+            sys.stdout.write("\n")
+    print("=>", to_write_string(result))
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Run the Figure 10 context-sensitive checks."""
+    expr = _load_script(args)
+    check_program(expr, strict_valuable=not args.lenient)
+    print("ok")
+    return 0
+
+
+def cmd_typecheck(args: argparse.Namespace) -> int:
+    """Type-check a typed program and print its type."""
+    from repro.unitc.run import typecheck
+
+    ty = typecheck(_read(args.file), origin=args.file,
+                   strict_valuable=not args.lenient)
+    print(ty)
+    return 0
+
+
+def cmd_run_typed(args: argparse.Namespace) -> int:
+    """Check and run a typed program."""
+    from repro.unitc.run import run_typed
+
+    result, ty, output = run_typed(_read(args.file), origin=args.file,
+                                   strict_valuable=not args.lenient)
+    if output:
+        sys.stdout.write(output)
+        if not output.endswith("\n"):
+            sys.stdout.write("\n")
+    print("=>", to_write_string(result), ":", ty)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Print a small-step reduction trace."""
+    expr = _load_script(args)
+    machine = Machine()
+    for index, term in enumerate(machine.trace(expr, limit=args.limit)):
+        print(f"[{index}]", pretty(term, width=100))
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    """Print the Figure 12 compilation of a program."""
+    expr = _load_script(args)
+    print(pretty(compile_expr(expr)))
+    return 0
+
+
+def cmd_link(args: argparse.Namespace) -> int:
+    """Statically link (flatten + optimize) a program and print it."""
+    from repro.units.linker import link_and_optimize
+
+    expr = _load_script(args)
+    check_program(expr, strict_valuable=not args.lenient)
+    linked, stats = link_and_optimize(expr)
+    print(f"; {stats}")
+    print(pretty(linked))
+    return 0
+
+
+def cmd_repl(args: argparse.Namespace) -> int:
+    """An interactive read-eval-print loop with unit support.
+
+    Top-level ``(define x e)`` forms bind into the session's global
+    environment (so units can be named and linked across inputs); any
+    other form is evaluated and its value printed.
+    """
+    from repro.lang.parser import _parse_define, parse_expr
+    from repro.lang.sexpr import SList, Symbol, read_sexpr
+    from repro.lang.errors import LangError
+
+    interp = Interpreter()
+    print("units repl — (define x e) persists; ctrl-d exits")
+    while True:
+        try:
+            line = input("units> ")
+        except EOFError:
+            print()
+            return 0
+        if not line.strip():
+            continue
+        try:
+            datum = read_sexpr(line, origin="<repl>")
+            if isinstance(datum, SList) and len(datum) > 0 \
+                    and isinstance(datum[0], Symbol) \
+                    and datum[0].name == "define":
+                name, rhs = _parse_define(datum)
+                interp.global_env.define(name, interp.eval(rhs))
+                print(f"defined {name}")
+                continue
+            value = interp.eval(parse_expr(datum))
+            flushed = interp.port.getvalue()
+            if flushed:
+                sys.stdout.write(flushed)
+                interp.port.chunks.clear()
+                if not flushed.endswith("\n"):
+                    sys.stdout.write("\n")
+            print("=>", to_write_string(value))
+        except LangError as err:
+            print(f"error: {err}")
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """Run figure reproductions and print their reports."""
+    from repro.figures import FIGURES, get_figure
+
+    figures = ([get_figure(n) for n in args.numbers]
+               if args.numbers else list(FIGURES))
+    for figure in figures:
+        print(f"=== Figure {figure.number}: {figure.title} ===")
+        print(figure.run())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Units: Cool Modules for HOT Languages — reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, fn, help_text, with_file=True):
+        p = sub.add_parser(name, help=help_text)
+        if with_file:
+            p.add_argument("file", help="program file")
+            p.add_argument("--lenient", action="store_true",
+                           help="skip the Harper-Stone valuability check")
+            p.add_argument("--load", action="append", metavar="LIB",
+                           help="prepend a library file's top-level "
+                                "definitions (repeatable)")
+        p.set_defaults(fn=fn)
+        return p
+
+    add("run", cmd_run, "evaluate an untyped unit program")
+    add("check", cmd_check, "run the Figure 10 checks")
+    add("typecheck", cmd_typecheck, "type-check a typed program")
+    add("run-typed", cmd_run_typed, "check and run a typed program")
+    trace = add("trace", cmd_trace, "print a reduction trace")
+    trace.add_argument("--limit", type=int, default=500,
+                       help="maximum reduction steps to show")
+    add("compile", cmd_compile, "print the Figure 12 compilation")
+    add("link", cmd_link, "statically link (flatten + optimize)")
+    repl = sub.add_parser("repl", help="interactive session")
+    repl.set_defaults(fn=cmd_repl)
+    figures = sub.add_parser("figures", help="run figure reproductions")
+    figures.add_argument("numbers", nargs="*", type=int,
+                         help="figure numbers (default: all)")
+    figures.set_defaults(fn=cmd_figures)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except LangError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    except OSError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

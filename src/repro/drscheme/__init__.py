@@ -1,0 +1,21 @@
+"""A DrScheme-style environment: an operating system for unit programs.
+
+Section 7: "DrScheme is a large and dynamic program with many
+integrated components ... Additional components can be dynamically
+linked into the environment.  DrScheme also acts as an operating
+system for client programs that are being developed, launching client
+programs by dynamically linking them into the system while maintaining
+the boundaries between clients."
+
+:class:`repro.drscheme.environment.DrScheme` reproduces that
+architecture in miniature: tools are units installed (optionally from
+an archive, with interface verification) into the environment; client
+programs are units launched with capability imports — a private
+console, a namespaced key-value store, a shared board — and a client
+crash never takes down the environment or its neighbours.
+"""
+
+from repro.drscheme.environment import ClientRecord, DrScheme
+from repro.drscheme.tools import BUILTIN_TOOLS
+
+__all__ = ["BUILTIN_TOOLS", "ClientRecord", "DrScheme"]

@@ -1,0 +1,79 @@
+"""Built-in tools for the DrScheme-style environment.
+
+Section 7 names DrScheme's integrated components: "a multimedia
+editor, an interactive evaluator, a syntax checker, and a static
+debugger."  Each is modelled here as a unit over the environment's
+capability imports.
+"""
+
+#: A buffer editor storing text in the client-namespaced store.
+EDITOR = """
+    (unit (import kv-put! kv-get) (export open-buffer! append-line!
+                                          buffer-text)
+      (define open-buffer! (lambda (name)
+        (kv-put! (string-append "buf:" name) "")))
+      (define append-line! (lambda (name line)
+        (kv-put! (string-append "buf:" name)
+                 (string-append
+                   (kv-get (string-append "buf:" name) "")
+                   line "\\n"))))
+      (define buffer-text (lambda (name)
+        (kv-get (string-append "buf:" name) "")))
+      (void))
+"""
+
+#: An interactive evaluator: runs little arithmetic scripts over a
+#: register, printing each result to the client console.
+EVALUATOR = """
+    (unit (import print!) (export reset! apply-op! current)
+      (define register (box 0))
+      (define reset! (lambda (v)
+        (begin (set-box! register v)
+               (print! (string-append "= " (number->string v))))))
+      (define apply-op! (lambda (op v)
+        (begin
+          (if (string=? op "+")
+              (set-box! register (+ (unbox register) v))
+              (if (string=? op "*")
+                  (set-box! register (* (unbox register) v))
+                  (print! (string-append "unknown op " op))))
+          (print! (string-append "= " (number->string
+                                        (unbox register)))))))
+      (define current (lambda () (unbox register)))
+      (void))
+"""
+
+#: The syntax checker: wraps the check-syntax capability with a
+#: console report.
+SYNTAX_CHECKER = """
+    (unit (import check-syntax print!) (export check-and-report!)
+      (define check-and-report! (lambda (source)
+        (if (check-syntax source)
+            (begin (print! "syntax ok") #t)
+            (begin (print! "syntax error") #f))))
+      (void))
+"""
+
+#: A "static debugger" stand-in: walks a list of (name . value)
+#: observations and flags suspicious ones onto the shared board.
+DEBUGGER = """
+    (unit (import shared-put! print!) (export observe! flags)
+      (define count (box 0))
+      (define observe! (lambda (label value)
+        (if (< value 0)
+            (begin
+              (set-box! count (+ (unbox count) 1))
+              (shared-put! (string-append "flag:" label) value)
+              (print! (string-append "flagged " label)))
+            (void))))
+      (define flags (lambda () (unbox count)))
+      (void))
+"""
+
+#: Registry of the built-in tool sources.
+BUILTIN_TOOLS: dict[str, str] = {
+    "editor": EDITOR,
+    "evaluator": EVALUATOR,
+    "syntax-checker": SYNTAX_CHECKER,
+    "debugger": DEBUGGER,
+}

@@ -1,0 +1,20 @@
+"""Type-safe dynamic linking (Section 3.4).
+
+"The core language must provide a syntactic form that retrieves a unit
+value from an archive, such as the Internet, and checks that the unit
+satisfies a particular signature.  This type-checking must be performed
+in the correct context to ensure that dynamic linking is type-safe.
+Java's dynamic class loading is broken because it checks types in a
+type environment that may differ from the environment where the class
+is used."
+
+* :mod:`repro.dynlink.archive` — the unit archive: serialized unit
+  sources retrieved under a signature check in the receiver's context,
+* :mod:`repro.dynlink.loader` — the Figure 7 plug-in protocol: a host
+  that dynamically links retrieved units into a running program.
+"""
+
+from repro.dynlink.archive import UnitArchive
+from repro.dynlink.loader import PluginHost
+
+__all__ = ["PluginHost", "UnitArchive"]

@@ -1,0 +1,214 @@
+"""The unit archive: retrieval with signature verification.
+
+An archive maps names to *serialized unit syntax* — units ship as
+source, the form in which they are first-class and recompilable.  The
+transport medium (here an in-memory table with JSON persistence,
+standing in for "the Internet") is irrelevant to the semantics; what
+matters is the retrieval contract:
+
+1. the retrieved text is parsed and **type-checked from scratch in the
+   receiver's environment** — never trusted from the sender, and never
+   checked against a different context (the Java class-loading bug the
+   paper cites [Saraswat 1997]),
+2. the resulting signature must be a *subtype* of the signature the
+   receiver expects, so specialized plug-ins satisfy general
+   interfaces (Figure 14's subsumption),
+3. only then is the unit released to the program for linking or
+   invocation.
+
+Untyped (UNITd) entries support a weaker contract: the Figure 10
+context-sensitive checks plus an import/export name check.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lang.errors import ArchiveError
+from repro.lang.parser import parse_program
+from repro.lang.pretty import show
+from repro.types.subtype import sig_subtype
+from repro.types.tyenv import TyEnv
+from repro.types.types import Sig
+from repro.unitc.ast import TypedUnitExpr
+from repro.unitc.check import base_tyenv, check_typed_unit
+from repro.unitc.parser import parse_typed_program
+from repro.units.ast import UnitExpr
+from repro.units.check import check_unit
+
+
+@dataclass(frozen=True)
+class ArchiveEntry:
+    """One archived unit: source text plus a typed/untyped marker.
+
+    ``declared_sig`` is the *publisher's claim* about the unit's
+    signature — useful for browsing an archive, but never trusted:
+    retrieval always re-checks the source in the receiver's context.
+    """
+
+    name: str
+    source: str
+    typed: bool
+    declared_sig: str | None = None
+
+
+class UnitArchive:
+    """A store of serialized units, retrieved under signature checks."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, ArchiveEntry] = {}
+
+    # -- publishing -------------------------------------------------------
+
+    def put(self, name: str, source: str, typed: bool = True,
+            declared_sig: str | None = None) -> None:
+        """Publish a unit's source under ``name``.
+
+        Publication validates nothing: the archive is an untrusted
+        medium, and all checking happens at retrieval.  A publisher may
+        attach a ``declared_sig`` claim for browsing; it carries no
+        authority.
+        """
+        self._entries[name] = ArchiveEntry(name, source, typed,
+                                           declared_sig)
+
+    def put_unit(self, name: str, unit: UnitExpr) -> None:
+        """Publish an untyped unit AST (serialized through the printer)."""
+        self._entries[name] = ArchiveEntry(name, show(unit), typed=False)
+
+    def put_typed_unit(self, name: str, unit: TypedUnitExpr) -> None:
+        """Publish a typed unit AST (serialized through the printer)."""
+        from repro.unitc.pretty import pretty_texpr
+
+        self._entries[name] = ArchiveEntry(name, pretty_texpr(unit),
+                                           typed=True)
+
+    def names(self) -> tuple[str, ...]:
+        """All published names."""
+        return tuple(self._entries)
+
+    def declared_signature(self, name: str) -> Sig | None:
+        """The publisher's (unverified!) signature claim, if any.
+
+        Only suitable for browsing.  Tests demonstrate that a lying
+        claim changes nothing: :meth:`retrieve_typed` judges the
+        source itself.
+        """
+        from repro.types.parser import parse_sig_text
+
+        entry = self._lookup(name)
+        if entry.declared_sig is None:
+            return None
+        try:
+            return parse_sig_text(entry.declared_sig,
+                                  origin=f"<archive:{name}:claim>")
+        except Exception as err:
+            raise ArchiveError(
+                f"archive entry '{name}' carries an unparseable "
+                f"signature claim: {err}")
+
+    # -- retrieval ------------------------------------------------------------
+
+    def retrieve_typed(self, name: str, expected: Sig,
+                       env: TyEnv | None = None,
+                       strict_valuable: bool = True
+                       ) -> tuple[TypedUnitExpr, Sig]:
+        """Retrieve a typed unit, verifying it against ``expected``.
+
+        The unit is parsed and checked in ``env`` — the *receiver's*
+        type environment — and its actual signature must be a subtype
+        of ``expected``.  Returns the unit syntax and its actual
+        signature.
+        """
+        entry = self._lookup(name)
+        if not entry.typed:
+            raise ArchiveError(
+                f"archive entry '{name}' is untyped; use "
+                f"retrieve_untyped")
+        try:
+            expr = parse_typed_program(entry.source,
+                                       origin=f"<archive:{name}>")
+        except Exception as err:
+            raise ArchiveError(
+                f"archive entry '{name}' failed to parse: {err}")
+        if not isinstance(expr, TypedUnitExpr):
+            raise ArchiveError(
+                f"archive entry '{name}' is not a unit expression")
+        check_env = env if env is not None else base_tyenv()
+        try:
+            actual = check_typed_unit(expr, check_env, strict_valuable)
+        except Exception as err:
+            raise ArchiveError(
+                f"archive entry '{name}' failed to type-check in the "
+                f"receiving context: {err}")
+        if not sig_subtype(actual, expected):
+            raise ArchiveError(
+                f"archive entry '{name}' does not satisfy the expected "
+                f"signature: {actual} is not a subtype of {expected}")
+        return expr, actual
+
+    def retrieve_untyped(self, name: str,
+                         expected_imports: tuple[str, ...],
+                         expected_exports: tuple[str, ...],
+                         strict_valuable: bool = False) -> UnitExpr:
+        """Retrieve an untyped unit under a name-level interface check.
+
+        The unit may import *fewer* names and export *more* than
+        expected (the name-level shadow of signature subtyping).
+        """
+        entry = self._lookup(name)
+        try:
+            expr = parse_program(entry.source, origin=f"<archive:{name}>")
+        except Exception as err:
+            raise ArchiveError(
+                f"archive entry '{name}' failed to parse: {err}")
+        if not isinstance(expr, UnitExpr):
+            raise ArchiveError(
+                f"archive entry '{name}' is not a unit expression")
+        try:
+            check_unit(expr, strict_valuable)
+        except Exception as err:
+            raise ArchiveError(
+                f"archive entry '{name}' failed checking: {err}")
+        extra = set(expr.imports) - set(expected_imports)
+        if extra:
+            raise ArchiveError(
+                f"archive entry '{name}' requires unexpected imports: "
+                + ", ".join(sorted(extra)))
+        missing = set(expected_exports) - set(expr.exports)
+        if missing:
+            raise ArchiveError(
+                f"archive entry '{name}' lacks expected exports: "
+                + ", ".join(sorted(missing)))
+        return expr
+
+    def _lookup(self, name: str) -> ArchiveEntry:
+        entry = self._entries.get(name)
+        if entry is None:
+            raise ArchiveError(f"no archive entry named '{name}'")
+        return entry
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the archive as JSON."""
+        payload = {
+            entry.name: {"source": entry.source, "typed": entry.typed,
+                         "declared_sig": entry.declared_sig}
+            for entry in self._entries.values()}
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "UnitArchive":
+        """Read an archive written by :meth:`save`."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            raise ArchiveError(f"cannot load archive: {err}")
+        archive = cls()
+        for name, fields in payload.items():
+            archive.put(name, fields["source"], bool(fields["typed"]),
+                        fields.get("declared_sig"))
+        return archive

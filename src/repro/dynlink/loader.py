@@ -1,0 +1,81 @@
+"""The Figure 7 plug-in protocol: dynamic linking into a running host.
+
+"The function ``addLoader`` consumes a loader extension as a unit and
+dynamically links it into the program using ``invoke``.  The extension
+unit imports types and functions that enable it to modify the phone
+book database.  These imports are satisfied in the invoke expression
+with types and variables that were originally imported into Gui, plus
+the ``error`` function defined within Gui.  The result of invoking the
+extension unit is the value of the unit's initialization expression,
+which is required (via signatures) to be a function..."
+
+:class:`PluginHost` packages that pattern: the host declares the
+signature extensions must satisfy, the types and values it will feed
+their imports, and a place to install each extension's initialization
+value.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.lang.errors import ArchiveError
+from repro.lang.interp import Interpreter
+from repro.types.tyenv import TyEnv
+from repro.types.types import Sig, Type
+from repro.unitc.check import base_tyenv
+from repro.unitc.erase import erase_unit
+from repro.dynlink.archive import UnitArchive
+
+
+class PluginHost:
+    """A running program that accepts dynamically linked extensions.
+
+    ``expected`` is the signature every extension must satisfy (its
+    ``init`` type is the type of the value the host installs).
+    ``type_imports`` supply the actual types behind the signature's
+    imported type variables — the host's own types, exactly as Gui
+    forwards its imported ``db`` and ``info``.  ``value_imports``
+    supply the runtime values for the signature's imported value
+    variables.
+    """
+
+    def __init__(self, interp: Interpreter, expected: Sig,
+                 type_imports: dict[str, Type],
+                 value_imports: dict[str, object],
+                 on_install: Callable[[str, object], None] | None = None):
+        self.interp = interp
+        self.expected = expected
+        self.type_imports = dict(type_imports)
+        self.value_imports = dict(value_imports)
+        self.installed: dict[str, object] = {}
+        self._on_install = on_install
+        missing_t = [n for n, _ in expected.timports
+                     if n not in self.type_imports]
+        missing_v = [n for n, _ in expected.vimports
+                     if n not in self.value_imports]
+        if missing_t or missing_v:
+            raise ArchiveError(
+                "plugin host does not supply the signature's imports: "
+                + ", ".join(missing_t + missing_v))
+
+    def load(self, archive: UnitArchive, name: str,
+             env: TyEnv | None = None) -> object:
+        """Retrieve, verify, dynamically link, and install an extension.
+
+        Returns the extension's initialization value (e.g. the loader
+        function of Figure 7) and remembers it under ``name``.
+        """
+        expr, _actual = archive.retrieve_typed(
+            name, self.expected, env if env is not None else base_tyenv())
+        erased = erase_unit(expr)
+        unit_value = self.interp.eval(erased)
+        result = self.interp.invoke(unit_value, dict(self.value_imports))
+        self.installed[name] = result
+        if self._on_install is not None:
+            self._on_install(name, result)
+        return result
+
+    def loaded_names(self) -> tuple[str, ...]:
+        """Extensions installed so far, in load order."""
+        return tuple(self.installed)

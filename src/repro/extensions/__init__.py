@@ -1,0 +1,19 @@
+"""Section 5 extensions to UNITe.
+
+* :mod:`repro.extensions.translucent` — exposing type information
+  (Figure 20): signatures carrying abbreviation sections,
+* :mod:`repro.extensions.hiding` — hiding type information (Figure 21):
+  the extended subtype relation that opaques an abbreviation,
+* :mod:`repro.extensions.sharing` — the Section 5.3 discussion of type
+  sharing and the diamond import problem, as executable demonstrations.
+"""
+
+from repro.extensions.translucent import TranslucentSig, expose_unit_type
+from repro.extensions.hiding import hide_types, subtype_with_hiding
+
+__all__ = [
+    "TranslucentSig",
+    "expose_unit_type",
+    "hide_types",
+    "subtype_with_hiding",
+]

@@ -1,0 +1,142 @@
+"""Type sharing and the diamond import problem (Section 5.3).
+
+ML solves the diamond import problem — a ``symbol`` structure feeding
+both a ``lexer`` and a ``parser`` whose outputs must agree on the
+``sym`` type — with after-the-fact sharing specifications.  "In UNITe,
+the diamond import problem is solved by linking lexer, parser, and
+symbol together at once."  But "the unit model provides nothing like
+after-the-fact sharing specifications; thus, if lexer and parser are
+compound units that contain internal instances of symbol, then symbol
+is instantiated twice and there is no way to unify the two sym types."
+
+This module builds both programs so tests and benchmarks can observe
+the paper's claim executably:
+
+* :func:`diamond_linked_at_once` — one ``symbol`` instance linked to
+  both clients; the joiner type-checks.
+* :func:`diamond_duplicated` — each client encapsulates its own
+  ``symbol``; the joiner is rejected because the two ``sym`` exports
+  collide in the link namespace with different sources.
+"""
+
+from __future__ import annotations
+
+from repro.types.types import Sig, Type
+from repro.unitc.parser import parse_typed_program
+from repro.unitc.run import run_typed_expr
+
+_SYMBOL = """
+    (unit/t (import) (export (type sym) (val intern (-> str sym))
+                             (val sym-name (-> sym str)))
+      (datatype sym (mk un str) (mk2 un2 void) first?)
+      (define intern (-> str sym) mk)
+      (define sym-name (-> sym str) un)
+      (void))
+"""
+
+_LEXER = """
+    (unit/t (import (type sym) (val intern (-> str sym)))
+            (export (val lex (-> str sym)))
+      (define lex (-> str sym) (lambda ((s str)) (intern s)))
+      (void))
+"""
+
+_PARSER = """
+    (unit/t (import (type sym) (val sym-name (-> sym str)))
+            (export (val parse-sym (-> sym str)))
+      (define parse-sym (-> sym str) (lambda ((s sym)) (sym-name s)))
+      (void))
+"""
+
+_SYM_DECLS = "(type sym) (val intern (-> str sym)) (val sym-name (-> sym str))"
+
+
+def diamond_linked_at_once() -> tuple[object, Type, str]:
+    """Link symbol, lexer, and parser in one linking expression.
+
+    The single ``sym`` source flows to both clients, so a joiner that
+    feeds the lexer's output to the parser type-checks and runs.
+    Returns the ``run_typed``-style triple.
+    """
+    program = f"""
+        (invoke/t
+          (compound/t (import) (export)
+            (link ((compound/t (import)
+                              (export {_SYM_DECLS}
+                                      (val lex (-> str sym)))
+                     (link ({_SYMBOL}
+                            (with)
+                            (provides {_SYM_DECLS}))
+                           ({_LEXER}
+                            (with (type sym) (val intern (-> str sym)))
+                            (provides (val lex (-> str sym))))))
+                   (with)
+                   (provides {_SYM_DECLS} (val lex (-> str sym))))
+                  ((compound/t (import {_SYM_DECLS}
+                                       (val lex (-> str sym)))
+                              (export (val go (-> str str)))
+                     (link ({_PARSER}
+                            (with (type sym) (val sym-name (-> sym str)))
+                            (provides (val parse-sym (-> sym str))))
+                           ((unit/t (import (type sym)
+                                            (val lex (-> str sym))
+                                            (val parse-sym (-> sym str)))
+                                    (export (val go (-> str str)))
+                              (define go (-> str str)
+                                (lambda ((s str)) (parse-sym (lex s))))
+                              (void))
+                            (with (type sym)
+                                  (val lex (-> str sym))
+                                  (val parse-sym (-> sym str)))
+                            (provides (val go (-> str str))))))
+                   (with {_SYM_DECLS} (val lex (-> str sym)))
+                   (provides (val go (-> str str)))))))
+    """
+    expr = parse_typed_program(program)
+    return run_typed_expr(expr)
+
+
+def duplicated_symbol_program_source() -> str:
+    """Source of the ill-fated program with two internal symbol
+    instances.
+
+    The lexer-side compound and the parser-side compound each
+    encapsulate their own ``symbol``; both then provide a type named
+    ``sym``.  The joining compound's namespace rejects the duplicate —
+    "there is no way to unify the two sym types."
+    """
+    lexer_side = f"""
+        (compound/t (import) (export (type sym) (val lex (-> str sym)))
+          (link ({_SYMBOL} (with) (provides {_SYM_DECLS}))
+                ({_LEXER}
+                 (with (type sym) (val intern (-> str sym)))
+                 (provides (val lex (-> str sym))))))
+    """
+    parser_side = f"""
+        (compound/t (import) (export (type sym)
+                                     (val parse-sym (-> sym str)))
+          (link ({_SYMBOL} (with) (provides {_SYM_DECLS}))
+                ({_PARSER}
+                 (with (type sym) (val sym-name (-> sym str)))
+                 (provides (val parse-sym (-> sym str))))))
+    """
+    return f"""
+        (compound/t (import) (export)
+          (link ({lexer_side}
+                 (with)
+                 (provides (type sym) (val lex (-> str sym))))
+                ({parser_side}
+                 (with)
+                 (provides (type sym) (val parse-sym (-> sym str))))))
+    """
+
+
+def diamond_duplicated() -> None:
+    """Type-check the duplicated-symbol program (raises TypeCheckError).
+
+    The duplicate ``sym`` in the joining compound's namespace is the
+    observable form of the unification failure Section 5.3 describes.
+    """
+    from repro.unitc.run import typecheck
+
+    typecheck(duplicated_symbol_program_source())

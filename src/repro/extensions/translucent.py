@@ -1,0 +1,106 @@
+"""Exposing type information — translucent types (Section 5.1, Fig 20).
+
+"Consider exporting values of type ``env`` from an ``Environment``
+unit such that ``env`` is revealed as a procedure type. ... The unit
+``Environment`` does not export the type ``env``.  Instead, the unit
+and its signature are extended with an extra section that defines the
+abbreviation ``env``.  The resulting unit and signature are equivalent
+to the unit and signature that expands ``env`` in all type
+expressions."
+
+:class:`TranslucentSig` is a signature plus that extra abbreviation
+section; :meth:`TranslucentSig.expand` recovers the equivalent plain
+signature, and :func:`translucent_subtype` compares translucent
+signatures through their expansions — making "equivalent to the
+expansion" literal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.errors import TypeCheckError
+from repro.types.subtype import sig_subtype
+from repro.types.types import Sig, Type
+from repro.unitc.ast import TypedUnitExpr
+from repro.unite.depends import check_equations_acyclic
+from repro.unite.expand import expand_type
+
+
+@dataclass(frozen=True)
+class TranslucentSig:
+    """A signature with an abbreviation section (Figure 20).
+
+    ``abbrevs`` is an ordered sequence of ``(name, rhs)`` abbreviations;
+    later abbreviations may reference earlier ones, and the signature's
+    type expressions may reference any of them.  The abbreviated names
+    are *not* exported type variables — clients that match against the
+    expansion see straight through them.
+    """
+
+    sig: Sig
+    abbrevs: tuple[tuple[str, Type], ...]
+
+    def __post_init__(self) -> None:
+        names = [name for name, _ in self.abbrevs]
+        if len(set(names)) != len(names):
+            raise TypeCheckError("translucent signature: duplicate "
+                                 "abbreviation")
+        overlap = set(names) & set(self.sig.bound_type_names())
+        if overlap:
+            raise TypeCheckError(
+                "translucent signature: abbreviation shadows interface "
+                "type(s): " + ", ".join(sorted(overlap)))
+        check_equations_acyclic(dict(self.abbrevs))
+
+    def equations(self) -> dict[str, Type]:
+        """The abbreviations as an equation set."""
+        return dict(self.abbrevs)
+
+    def expand(self) -> Sig:
+        """The equivalent plain signature with abbreviations expanded."""
+        eqs = self.equations()
+        return Sig(
+            self.sig.timports,
+            tuple((n, expand_type(t, eqs)) for n, t in self.sig.vimports),
+            self.sig.texports,
+            tuple((n, expand_type(t, eqs)) for n, t in self.sig.vexports),
+            expand_type(self.sig.init, eqs),
+            self.sig.depends,
+        )
+
+
+def translucent_subtype(specific: TranslucentSig | Sig,
+                        general: TranslucentSig | Sig) -> bool:
+    """Subtyping through abbreviations: compare the expansions."""
+    s = specific.expand() if isinstance(specific, TranslucentSig) else specific
+    g = general.expand() if isinstance(general, TranslucentSig) else general
+    return sig_subtype(s, g)
+
+
+def expose_unit_type(unit: TypedUnitExpr, sig: Sig,
+                     name: str) -> TranslucentSig:
+    """Expose one of a unit's type equations in its signature.
+
+    ``sig`` is the unit's checked signature; ``name`` must be one of the
+    unit's type equations.  The result is the unit's signature with
+    ``name`` revealed as an abbreviation — Figure 20's ``Environment``
+    construction.  If ``name`` was exported opaquely, it is removed
+    from the type exports (the abbreviation supersedes it).
+    """
+    for eq in unit.equations:
+        if eq.name == name:
+            rhs = eq.rhs
+            break
+    else:
+        raise TypeCheckError(
+            f"expose_unit_type: '{name}' is not a type equation of the "
+            f"unit")
+    # Inline every *other* equation into the revealed right-hand side so
+    # the abbreviation is self-contained.
+    others = {eq.name: eq.rhs for eq in unit.equations if eq.name != name}
+    revealed = expand_type(rhs, others)
+    new_texports = tuple((n, k) for n, k in sig.texports if n != name)
+    base = Sig(sig.timports, sig.vimports, new_texports, sig.vexports,
+               sig.init, tuple(d for d in sig.depends if d[0] != name))
+    return TranslucentSig(base, ((name, revealed),))

@@ -1,0 +1,554 @@
+"""Registry: every figure of the paper mapped to executable code.
+
+The paper's evaluation artifacts are its 21 figures — worked examples
+(1–8, 12, 20, 21) and formal systems (9–11, 13–19).  Each entry here
+reproduces one figure: examples run end to end; formal systems are
+exercised on their defining cases (acceptance *and* rejection).  Each
+``run`` callable returns a human-readable report string and raises if
+the reproduction no longer matches the paper.
+
+The benchmark harness (``benchmarks/``) times these reproductions; the
+test suite asserts their observable claims; ``EXPERIMENTS.md`` records
+the outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Figure:
+    """One paper figure and the code that reproduces it."""
+
+    number: int
+    title: str
+    claim: str
+    run: Callable[[], str]
+
+
+def _expect(condition: bool, message: str) -> None:
+    if not condition:
+        raise AssertionError(f"figure reproduction failed: {message}")
+
+
+# ---------------------------------------------------------------------------
+# Figures 1–3: the phone book
+# ---------------------------------------------------------------------------
+
+
+def figure_1() -> str:
+    """The atomic Database unit type-checks with the Figure 1 interface."""
+    from repro.phonebook.units import DATABASE
+    from repro.unitc.run import typecheck
+
+    sig = typecheck(DATABASE)
+    _expect(sig.timport_names == ("info",), "Database imports info")
+    _expect(sig.vimport_names == ("error",), "Database imports error")
+    _expect(sig.texport_names == ("db",), "Database exports db")
+    for name in ("new", "insert", "delete"):
+        _expect(name in sig.vexport_names, f"Database exports {name}")
+    return f"Database : {sig}"
+
+
+def figure_2() -> str:
+    """PhoneBook links Database+NumberInfo, hides delete, re-exports."""
+    from repro.phonebook.program import build_phonebook
+    from repro.unitc.run import typecheck
+
+    sig = typecheck(build_phonebook())
+    _expect(sig.vimport_names == ("error",), "error passes through")
+    _expect("delete" not in sig.vexport_names, "delete is hidden")
+    _expect({"db", "info"} <= set(sig.texport_names),
+            "db and info are re-exported")
+    return f"PhoneBook : {sig}"
+
+
+def figure_3() -> str:
+    """IPB is a complete program; invoking it returns a bool."""
+    from repro.phonebook.program import run_ipb
+
+    result, output = run_ipb()
+    _expect(result is True, "IPB returns the bool from openBook")
+    _expect("entries: 3" in output, "Main inserted three entries")
+    return f"IPB -> {result}; transcript:\n{output}"
+
+
+def figure_4() -> str:
+    """Bad is rejected: two db types with different sources."""
+    from repro.lang.errors import TypeCheckError
+    from repro.unitc.run import typecheck
+
+    # Gui defines its own db; its clause cannot give openBook's type a
+    # source for db without colliding with PhoneBook's provided db.
+    bad_with_collision = """
+        (compound/t (import) (export)
+          (link ((unit/t (import) (export (type db) (val new (-> db)))
+                   (datatype db (mk un void) (mk2 un2 void) first?)
+                   (define new (-> db) (lambda () (mk (void))))
+                   (void))
+                 (with)
+                 (provides (type db) (val new (-> db))))
+                ((unit/t (import) (export (type db)
+                                          (val openBook (-> db bool)))
+                   (datatype db (mk un void) (mk2 un2 void) first?)
+                   (define openBook (-> db bool) (lambda ((d db)) #t))
+                   (void))
+                 (with)
+                 (provides (type db) (val openBook (-> db bool))))))
+    """
+    try:
+        typecheck(bad_with_collision)
+    except TypeCheckError as err:
+        first = str(err)
+    else:
+        raise AssertionError("Bad (collision form) was accepted")
+
+    bad_without_source = """
+        (compound/t (import) (export)
+          (link ((unit/t (import) (export (type db) (val new (-> db)))
+                   (datatype db (mk un void) (mk2 un2 void) first?)
+                   (define new (-> db) (lambda () (mk (void))))
+                   (void))
+                 (with)
+                 (provides (type db) (val new (-> db))))
+                ((unit/t (import) (export (type db)
+                                          (val openBook (-> db bool)))
+                   (datatype db (mk un void) (mk2 un2 void) first?)
+                   (define openBook (-> db bool) (lambda ((d db)) #t))
+                   (void))
+                 (with)
+                 (provides (val openBook (-> db bool))))))
+    """
+    try:
+        typecheck(bad_without_source)
+    except TypeCheckError as err:
+        second = str(err)
+    else:
+        raise AssertionError("Bad (no-source form) was accepted")
+    return ("Bad rejected both ways:\n  [collision] " + first
+            + "\n  [no source] " + second)
+
+
+def figure_5() -> str:
+    """MakeIPB abstracts IPB over its GUI via a signature-typed function."""
+    from repro.phonebook.program import make_ipb_program
+    from repro.types.types import BOOL
+    from repro.unitc.check import base_tyenv, check_texpr
+
+    program = make_ipb_program(expert_mode=True)
+    ty = check_texpr(program, base_tyenv())
+    _expect(ty == BOOL, "the launched program has type bool")
+    return "MakeIPB(ExpertGui) : bool — linkage verified from the GUI " \
+        "signature alone"
+
+
+def figure_6() -> str:
+    """Starter selects a GUI at run time and launches the program."""
+    from repro.phonebook.program import run_starter
+
+    result_e, out_e = run_starter(expert_mode=True)
+    result_n, out_n = run_starter(expert_mode=False)
+    _expect(result_e is True and result_n is True, "both starters run")
+    _expect("expert phone book" in out_e, "expert GUI selected")
+    _expect("welcome to your phone book!" in out_n, "novice GUI selected")
+    return ("Starter/expert:\n" + out_e
+            + "Starter/novice:\n" + out_n)
+
+
+def figure_7() -> str:
+    """Dynamic linking: a loader extension retrieved, verified, linked."""
+    from repro.lang.errors import ArchiveError
+    from repro.phonebook.program import run_loader_demo
+
+    result, output = run_loader_demo()
+    _expect(result is True, "loader demo runs")
+    _expect("entries: 2" in output, "loader added a contact")
+    try:
+        run_loader_demo("broken-loader")
+    except ArchiveError as err:
+        rejection = str(err)
+    else:
+        raise AssertionError("broken loader was linked")
+    return (f"loader installed a contact; transcript:\n{output}"
+            f"broken loader rejected: {rejection}")
+
+
+def figure_8() -> str:
+    """Graphical reduction: PhoneBook's compound merges into one box."""
+    from repro.lang.parser import parse_program
+    from repro.lang.pretty import pretty
+    from repro.units.reduce import reduce_compound_expr
+
+    compound = parse_program("""
+        (compound (import error) (export new insert numInfo)
+          (link ((unit (import numInfo error) (export new insert)
+                   (define new (lambda () (box 0)))
+                   (define insert (lambda (db k v)
+                     (set-box! db (+ (unbox db) 1))))
+                   (void))
+                 (with numInfo error) (provides new insert))
+                ((unit (import) (export numInfo)
+                   (define numInfo (lambda (n) n))
+                   (void))
+                 (with) (provides numInfo))))
+    """)
+    merged = reduce_compound_expr(compound)
+    _expect(merged.imports == ("error",), "merged unit imports error")
+    _expect(set(merged.defined) >= {"new", "insert", "numInfo"},
+            "definitions merged")
+    return "merged unit:\n" + pretty(merged)
+
+
+def figure_9() -> str:
+    """The UNITd grammar parses (and misparses) as Figure 9 specifies."""
+    from repro.lang.errors import ParseError
+    from repro.lang.parser import parse_program
+
+    parse_program("""
+        (invoke
+          (compound (import) (export)
+            (link ((unit (import a) (export b) (define b 1) b)
+                   (with a) (provides b))
+                  ((unit (import b) (export a) (define a 2) a)
+                   (with b) (provides a))))
+          (x 5))
+    """)
+    rejected = 0
+    for bad in ("(unit (import))",
+                "(compound (import) (export) (link))",
+                "(invoke u (a))",
+                "(unit (import) (export) 1 (define x 2))"):
+        try:
+            parse_program(bad)
+        except ParseError:
+            rejected += 1
+    _expect(rejected == 4, "malformed unit syntax rejected")
+    return "grammar accepts Figure 9 forms; 4/4 malformed variants rejected"
+
+
+def figure_10() -> str:
+    """The context-sensitive checks accept/reject per Figure 10."""
+    from repro.lang.errors import CheckError
+    from repro.lang.parser import parse_program
+    from repro.units.check import check_program
+
+    check_program(parse_program("""
+        (unit (import a) (export f)
+          (define f (lambda () a))
+          (f))
+    """))
+    rejected = 0
+    for bad in (
+            "(unit (import a a) (export) 1)",
+            "(unit (import) (export ghost) 1)",
+            '(unit (import) (export x) (define x (display "e")) 1)',
+            """(compound (import) (export)
+                 (link ((unit (import) (export) 1) (with q) (provides))
+                       ((unit (import) (export) 2) (with) (provides))))"""):
+        try:
+            check_program(parse_program(bad))
+        except CheckError:
+            rejected += 1
+    _expect(rejected == 4, "Figure 10 violations rejected")
+    return "Figure 10 checks: well-formed unit accepted; 4/4 violations " \
+        "rejected"
+
+
+def figure_11() -> str:
+    """The reduction rules: invoke -> letrec; compound -> merged unit."""
+    from repro.lang.machine import Machine
+    from repro.lang.parser import parse_program
+    from repro.lang.pretty import show
+
+    machine = Machine()
+    expr = parse_program("""
+        (invoke
+          (compound (import) (export)
+            (link ((unit (import) (export x) (define x 3) (void))
+                   (with) (provides x))
+                  ((unit (import x) (export) (* x x))
+                   (with x) (provides)))))
+    """)
+    terms = machine.trace(expr)
+    value = machine.eval(expr)
+    from repro.lang.ast import Lit
+
+    _expect(isinstance(value, Lit) and value.value == 9,
+            "program reduces to 9")
+    lines = [show(t) for t in terms[:4]]
+    return "first reduction steps:\n" + "\n".join(
+        f"  {line[:100]}" for line in lines) + f"\n... -> {show(value)}"
+
+
+def figure_12() -> str:
+    """Compilation: the even/odd unit becomes a function over cells."""
+    from repro.lang.interp import Interpreter
+    from repro.lang.parser import parse_program
+    from repro.lang.pretty import pretty
+    from repro.units.compile import compile_expr
+
+    program = parse_program("""
+        (invoke
+          (unit (import even?) (export odd?)
+            (define odd? (lambda (n)
+              (if (zero? n) #f (even? (- n 1)))))
+            (odd? 19))
+          (even? (lambda (n) (zero? (modulo n 2)))))
+    """)
+    compiled = compile_expr(program)
+    interp = Interpreter()
+    result = interp.eval(compiled)
+    _expect(result is True, "(odd? 19) is true")
+    return "compiled form (no unit forms remain):\n" + pretty(compiled)
+
+
+def figure_13() -> str:
+    """The UNITc grammar: types, kinds, datatypes, signatures."""
+    from repro.unitc.parser import parse_typed_program
+
+    expr = parse_typed_program("""
+        (unit/t (import (type info *) (val error (-> str void)))
+                (export (type db) (val new (-> db)))
+          (datatype db (mk un (box int)) (mk2 un2 void) db?)
+          (define new (-> db) (lambda () (mk (box 0))))
+          (void))
+    """)
+    _expect(expr.timports[0][0] == "info", "kinded type import parsed")
+    return "UNITc syntax parsed: kinds, typed interfaces, datatypes"
+
+
+def figure_14() -> str:
+    """Signature subtyping: all four conditions, plus rejections."""
+    from repro.types.parser import parse_sig_text
+    from repro.types.subtype import sig_subtype
+
+    general = parse_sig_text("""
+        (sig (import (val err (-> str void))) (export (val a int)) void)
+    """)
+    specific = parse_sig_text("""
+        (sig (import) (export (val a int) (val b str)) void)
+    """)
+    _expect(sig_subtype(specific, general),
+            "fewer imports + more exports is a subtype")
+    _expect(not sig_subtype(general, specific), "and not conversely")
+    return "Figure 14 subtyping verified (fewer imports, more exports, " \
+        "contravariant imports, covariant exports)"
+
+
+def figure_15() -> str:
+    """UNITc type checking: the four judgments on their defining cases."""
+    from repro.lang.errors import TypeCheckError
+    from repro.unitc.run import typecheck
+
+    sig = typecheck("""
+        (unit/t (import (type t) (val v t)) (export (val f (-> t t)))
+          (define f (-> t t) (lambda ((x t)) x))
+          (f v))
+    """)
+    rejected = 0
+    for bad in (
+            '(unit/t (import) (export) (define x int "s") (void))',
+            "(invoke/t (unit/t (import (type t)) (export) (void)))",
+            """(compound/t (import) (export)
+                 (link ((unit/t (import (val n int)) (export) n)
+                        (with) (provides))
+                       ((unit/t (import) (export) 1)
+                        (with) (provides))))"""):
+        try:
+            typecheck(bad)
+        except TypeCheckError:
+            rejected += 1
+    _expect(rejected == 3, "Figure 15 violations rejected")
+    return f"unit rule: {sig}; 3/3 violations rejected"
+
+
+def figure_16() -> str:
+    """UNITe syntax: type equations and depends clauses parse."""
+    from repro.types.parser import parse_sig_text
+    from repro.unitc.parser import parse_typed_program
+
+    unit = parse_typed_program("""
+        (unit/t (import (type a)) (export (type b))
+          (type b (-> a a))
+          (void))
+    """)
+    _expect(unit.equations[0].name == "b", "equation parsed")
+    sig = parse_sig_text(
+        "(sig (import (type a)) (export (type b)) (depends (b a)) void)")
+    _expect(sig.depends == (("b", "a"),), "depends clause parsed")
+    return "UNITe syntax parsed: equations and dependency clauses"
+
+
+def figure_17() -> str:
+    """Dependency-aware subtyping: ascription may add, never hide, deps."""
+    from repro.types.parser import parse_sig_text
+    from repro.types.subtype import sig_subtype
+
+    with_dep = parse_sig_text(
+        "(sig (import (type a)) (export (type b)) (depends (b a)) void)")
+    without_dep = parse_sig_text(
+        "(sig (import (type a)) (export (type b)) void)")
+    _expect(sig_subtype(without_dep, with_dep),
+            "dependency-free unit satisfies a depending signature")
+    _expect(not sig_subtype(with_dep, without_dep),
+            "a real dependency cannot be hidden by ascription")
+    return "Figure 17 dependency subtyping verified"
+
+
+def figure_18() -> str:
+    """Abbreviation expansion, including the sig-shadowing side
+    condition."""
+    from repro.types.parser import parse_type_text
+    from repro.types.pretty import show_type
+    from repro.unite.expand import expand_type
+
+    eqs = {"env": parse_type_text("(-> name value)"),
+           "stack": parse_type_text("(* env env)")}
+    out = expand_type(parse_type_text("(-> stack env)"), eqs)
+    _expect(show_type(out)
+            == "(-> (* (-> name value) (-> name value)) (-> name value))",
+            "nested expansion")
+    shadowed = expand_type(
+        parse_type_text("(sig (import (type env) (val x env)) (export) void)"),
+        eqs)
+    _expect("(val x env)" in show_type(shadowed),
+            "sig-bound env shadows the equation")
+    return f"expansion: (-> stack env) => {show_type(out)}"
+
+
+def figure_19() -> str:
+    """UNITe checking: dependencies computed, link cycles rejected."""
+    from repro.lang.errors import TypeCheckError
+    from repro.unitc.run import typecheck
+
+    sig = typecheck("""
+        (unit/t (import (type a)) (export (type b))
+          (type b (-> a a))
+          (void))
+    """)
+    _expect(sig.depends == (("b", "a"),), "dependency computed")
+    try:
+        typecheck("""
+            (compound/t (import) (export)
+              (link ((unit/t (import (type a)) (export (type b))
+                       (type b (-> a a)) (void))
+                     (with (type a)) (provides (type b)))
+                    ((unit/t (import (type b)) (export (type a))
+                       (type a (-> b b)) (void))
+                     (with (type b)) (provides (type a)))))
+        """)
+    except TypeCheckError as err:
+        rejection = str(err)
+    else:
+        raise AssertionError("cyclic type linking accepted")
+    return f"deps: {sig.depends}; cyclic link rejected: {rejection}"
+
+
+def figure_20() -> str:
+    """Translucent types: env revealed as (-> name value)."""
+    from repro.extensions.translucent import (
+        TranslucentSig,
+        translucent_subtype,
+    )
+    from repro.types.parser import parse_sig_text, parse_type_text
+
+    sig = parse_sig_text("""
+        (sig (import)
+             (export (val extend (-> env name value env)))
+             void)
+    """)
+    tsig = TranslucentSig(sig, (("env", parse_type_text("(-> name value)")),))
+    expanded = tsig.expand()
+    _expect(translucent_subtype(tsig, expanded)
+            and translucent_subtype(expanded, tsig),
+            "translucent signature is equivalent to its expansion")
+    return f"Environment signature expands to: {expanded}"
+
+
+def figure_21() -> str:
+    """Hiding: env becomes opaque for untrusted clients."""
+    from repro.extensions.hiding import hide_types, subtype_with_hiding
+    from repro.extensions.translucent import TranslucentSig
+    from repro.types.parser import parse_sig_text, parse_type_text
+    from repro.types.subtype import sig_subtype
+
+    sig = parse_sig_text("""
+        (sig (import)
+             (export (val extend (-> env name value env))
+                     (val recExtend (-> env name value env)))
+             void)
+    """)
+    tsig = TranslucentSig(sig, (("env", parse_type_text("(-> name value)")),))
+    opaque = hide_types(tsig, ("env",))
+    _expect(subtype_with_hiding(tsig, opaque),
+            "RecEnv satisfies the opaque ascription")
+    _expect(not sig_subtype(tsig.expand(), opaque),
+            "without the extension the ascription does not hold")
+    return f"untrusted view: {opaque}"
+
+
+FIGURES: tuple[Figure, ...] = (
+    Figure(1, "An atomic database unit",
+           "Database encapsulates db behind an import/export interface",
+           figure_1),
+    Figure(2, "Linking units to form a compound unit",
+           "PhoneBook hides delete and re-exports the rest", figure_2),
+    Figure(3, "Linking units (complete program)",
+           "IPB links PhoneBook and Gui cyclically; invoking returns bool",
+           figure_3),
+    Figure(4, "Illegal linking due to a type mismatch",
+           "Bad is rejected: two db types with different sources",
+           figure_4),
+    Figure(5, "Abstracting over constituent units",
+           "MakeIPB verifies linkage from the GUI signature alone",
+           figure_5),
+    Figure(6, "Linking and invoking other programs",
+           "Starter selects a GUI at run time", figure_6),
+    Figure(7, "Dynamic linking with invoke",
+           "Loader extensions are verified and linked at run time",
+           figure_7),
+    Figure(8, "Graphical reduction",
+           "A compound of known units merges into one atomic unit",
+           figure_8),
+    Figure(9, "Syntax for UNITd", "the grammar of Figure 9", figure_9),
+    Figure(10, "Checking the form of UNITd expressions",
+           "context-sensitive checks", figure_10),
+    Figure(11, "Reducing UNITd expressions",
+           "invoke -> letrec; compound -> merged unit", figure_11),
+    Figure(12, "An example of UNITd compilation",
+           "units compile to functions over reference cells", figure_12),
+    Figure(13, "Syntax for UNITc", "typed unit grammar", figure_13),
+    Figure(14, "Subtyping and subsumption in UNITc",
+           "fewer imports, more exports; contra/co-variance", figure_14),
+    Figure(15, "Type checking for UNITc",
+           "the sig/invoke/unit/compound judgments", figure_15),
+    Figure(16, "Syntax for UNITe",
+           "type equations and depends clauses", figure_16),
+    Figure(17, "Subtyping in UNITe signatures",
+           "dependencies cannot be hidden by ascription", figure_17),
+    Figure(18, "Expanding a type with respect to abbreviations",
+           "the |tau|_D operator", figure_18),
+    Figure(19, "Type checking for UNITe",
+           "dependency computation and link-cycle rejection", figure_19),
+    Figure(20, "Exposing information for a type",
+           "translucent signatures are equivalent to their expansions",
+           figure_20),
+    Figure(21, "Hiding type information for an exported value",
+           "the extended subtype relation opaques an abbreviation",
+           figure_21),
+)
+
+
+def get_figure(number: int) -> Figure:
+    """Fetch a figure's reproduction entry by number."""
+    for figure in FIGURES:
+        if figure.number == number:
+            return figure
+    raise KeyError(f"no figure {number}")
+
+
+def run_all() -> dict[int, str]:
+    """Run every figure reproduction; return number -> report."""
+    return {figure.number: figure.run() for figure in FIGURES}

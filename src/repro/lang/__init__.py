@@ -1,0 +1,34 @@
+"""Core language substrate: a Scheme-like language hosting program units.
+
+The paper integrates units into a core evaluation language ("the unit
+definition and linking forms are core expression forms").  This package
+provides that core language:
+
+* :mod:`repro.lang.sexpr` — an s-expression reader and printer,
+* :mod:`repro.lang.ast` — the core abstract syntax,
+* :mod:`repro.lang.parser` — s-expressions to AST,
+* :mod:`repro.lang.values` — runtime values (closures, cells, units, ...),
+* :mod:`repro.lang.prims` — the primitive environment,
+* :mod:`repro.lang.interp` — a big-step environment interpreter,
+* :mod:`repro.lang.subst` — capture-avoiding substitution,
+* :mod:`repro.lang.machine` — the small-step rewriting semantics,
+* :mod:`repro.lang.pretty` — an AST pretty-printer.
+"""
+
+from repro.lang.errors import (
+    LangError,
+    LexError,
+    ParseError,
+    CheckError,
+    RunTimeError,
+    UnitLinkError,
+)
+
+__all__ = [
+    "LangError",
+    "LexError",
+    "ParseError",
+    "CheckError",
+    "RunTimeError",
+    "UnitLinkError",
+]

@@ -1,0 +1,86 @@
+"""Error hierarchy for the core language and the unit calculi.
+
+Every error carries an optional source location so that tooling built on
+the library (the examples, the archive loader, the figure registry) can
+report positions in unit sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SrcLoc:
+    """A source location: 1-based line and column, plus an origin label.
+
+    The origin is typically a file name, an archive entry name, or a
+    description such as ``"<string>"`` for programmatic sources.
+    """
+
+    line: int
+    col: int
+    origin: str = "<string>"
+
+    def __str__(self) -> str:
+        return f"{self.origin}:{self.line}:{self.col}"
+
+
+class LangError(Exception):
+    """Base class for every error raised by the reproduction library."""
+
+    def __init__(self, message: str, loc: SrcLoc | None = None):
+        self.message = message
+        self.loc = loc
+        super().__init__(str(self))
+
+    def __str__(self) -> str:
+        if self.loc is not None:
+            return f"{self.loc}: {self.message}"
+        return self.message
+
+
+class LexError(LangError):
+    """Raised by the s-expression reader on malformed input text."""
+
+
+class ParseError(LangError):
+    """Raised when an s-expression does not match the language grammar."""
+
+
+class CheckError(LangError):
+    """Raised by context-sensitive checking (Figure 10) and type checking
+    (Figures 15 and 19) when a program is rejected statically."""
+
+
+class TypeCheckError(CheckError):
+    """Raised specifically for type errors in UNITc / UNITe programs."""
+
+
+class KindError(TypeCheckError):
+    """Raised when a type expression is applied at the wrong kind."""
+
+
+class RunTimeError(LangError):
+    """Raised by the interpreter or the rewriting machine at run time.
+
+    The paper specifies two primitive run-time errors for units: invoking
+    a unit with missing imports, and applying a datatype deconstructor to
+    the wrong variant.  Both are signalled with this class (or a
+    subclass)."""
+
+
+class UnitLinkError(RunTimeError):
+    """Raised when invoke's ``with`` clause fails to cover a unit's
+    imports, or when a compound's constituents violate their
+    with/provides contracts at link time (Section 4.1.5)."""
+
+
+class VariantError(RunTimeError):
+    """Raised when a datatype deconstructor is applied to the wrong
+    variant (Section 4.2)."""
+
+
+class ArchiveError(LangError):
+    """Raised by the dynamic-linking archive on retrieval failures,
+    including signature mismatches (Section 3.4)."""

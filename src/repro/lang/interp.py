@@ -1,0 +1,317 @@
+"""Big-step environment interpreter for the core language with units.
+
+This is the library's fast execution path.  Units are evaluated to
+:class:`~repro.lang.values.AtomicUnitValue` /
+:class:`~repro.lang.values.CompoundUnitValue` objects, and invocation
+follows the implementation model of Section 4.1.6: imported and
+exported variables are first-class reference cells created externally
+and threaded into the unit, whose "function body" fills the export
+cells by evaluating its definitions.  Mutual recursion across unit
+boundaries works because valuable definition expressions never
+dereference a cell until they are applied, by which time linking has
+filled every cell.
+
+The small-step *rewriting* semantics (the paper's formal account,
+Figures 8 and 11) lives in :mod:`repro.lang.machine` and
+:mod:`repro.units.reduce`; the test suite checks that both semantics
+agree on every program in the corpus.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    App,
+    Expr,
+    If,
+    Lambda,
+    Let,
+    Letrec,
+    Lit,
+    Seq,
+    SetBang,
+    Var,
+)
+from repro.lang.errors import RunTimeError, UnitLinkError
+from repro.lang.prims import OutputPort, make_global_env
+from repro.lang.values import (
+    AtomicUnitValue,
+    Cell,
+    Closure,
+    CompoundUnitValue,
+    Env,
+    Primitive,
+    UnitValue,
+    is_true,
+)
+from repro.units.ast import CompoundExpr, InvokeExpr, UnitExpr
+
+
+class Interpreter:
+    """Evaluates core + UNITd expressions.
+
+    The evaluator is properly tail-recursive: tail positions (procedure
+    bodies, conditional branches, sequence tails, block bodies, and the
+    final initialization expression of an invoked unit) are executed in
+    a loop rather than by Python recursion, so unit programs may use
+    unbounded loops written as tail calls.
+    """
+
+    def __init__(self, global_env: Env | None = None,
+                 port: OutputPort | None = None,
+                 with_prelude: bool = True):
+        self.port = port if port is not None else OutputPort()
+        self.global_env = (global_env if global_env is not None
+                           else make_global_env(self.port))
+        if with_prelude and global_env is None:
+            from repro.lang.prelude import install_prelude
+
+            install_prelude(self)
+
+    # -- public API -----------------------------------------------------
+
+    def eval(self, expr: Expr, env: Env | None = None) -> object:
+        """Evaluate ``expr`` in ``env`` (default: the global environment)."""
+        return self._eval(expr, env if env is not None else self.global_env)
+
+    def run(self, text: str, origin: str = "<string>") -> object:
+        """Parse and evaluate source text."""
+        from repro.lang.parser import parse_program
+
+        return self.eval(parse_program(text, origin))
+
+    # -- core evaluation --------------------------------------------------
+
+    def _eval(self, expr: Expr, env: Env) -> object:
+        while True:
+            if isinstance(expr, Lit):
+                return expr.value
+            if isinstance(expr, Var):
+                return env.lookup(expr.name)
+            if isinstance(expr, Lambda):
+                return Closure(expr.params, expr.body, env)
+            if isinstance(expr, If):
+                expr = expr.then if is_true(self._eval(expr.test, env)) \
+                    else expr.orelse
+                continue
+            if isinstance(expr, Seq):
+                for sub in expr.exprs[:-1]:
+                    self._eval(sub, env)
+                expr = expr.exprs[-1]
+                continue
+            if isinstance(expr, Let):
+                child = env.child()
+                for name, rhs in expr.bindings:
+                    child.define(name, self._eval(rhs, env))
+                env, expr = child, expr.body
+                continue
+            if isinstance(expr, Letrec):
+                child = env.child()
+                cells = [child.define(name, None) for name, _ in expr.bindings]
+                for cell in cells:
+                    cell.value = _undefined()
+                for (name, rhs), cell in zip(expr.bindings, cells):
+                    cell.set(self._eval(rhs, child))
+                env, expr = child, expr.body
+                continue
+            if isinstance(expr, SetBang):
+                env.lookup_cell(expr.name).set(self._eval(expr.expr, env))
+                return None
+            if isinstance(expr, App):
+                fn = self._eval(expr.fn, env)
+                args = [self._eval(arg, env) for arg in expr.args]
+                if isinstance(fn, Primitive):
+                    return self._apply_primitive(fn, args)
+                if isinstance(fn, Closure):
+                    env = self._bind_params(fn, args)
+                    expr = fn.body
+                    continue
+                raise RunTimeError(f"not a procedure: {fn!r}")
+            if isinstance(expr, UnitExpr):
+                return AtomicUnitValue(expr, env)
+            if isinstance(expr, CompoundExpr):
+                return self._eval_compound(expr, env)
+            if isinstance(expr, InvokeExpr):
+                runs, result_env, init = self._prepare_invoke(expr, env)
+                for pre_env, pre_init in runs:
+                    self._eval(pre_init, pre_env)
+                env, expr = result_env, init
+                continue
+            raise RunTimeError(f"cannot evaluate: {expr!r}")
+
+    def apply(self, fn: object, args: list[object]) -> object:
+        """Apply a procedure value to already-evaluated arguments."""
+        if isinstance(fn, Primitive):
+            return self._apply_primitive(fn, args)
+        if isinstance(fn, Closure):
+            return self._eval(fn.body, self._bind_params(fn, args))
+        raise RunTimeError(f"not a procedure: {fn!r}")
+
+    def _apply_primitive(self, fn: Primitive, args: list[object]) -> object:
+        if fn.arity is not None and len(args) != fn.arity:
+            raise RunTimeError(
+                f"{fn.name}: expects {fn.arity} arguments, got {len(args)}")
+        return fn.fn(*args)
+
+    def _bind_params(self, fn: Closure, args: list[object]) -> Env:
+        if len(args) != len(fn.params):
+            raise RunTimeError(
+                f"{fn.name}: expects {len(fn.params)} arguments, "
+                f"got {len(args)}")
+        child = fn.env.child()
+        for name, value in zip(fn.params, args):
+            child.define(name, value)
+        return child
+
+    # -- unit linking and invocation ------------------------------------
+
+    def _eval_compound(self, expr: CompoundExpr, env: Env) -> CompoundUnitValue:
+        first = self._eval(expr.first.expr, env)
+        second = self._eval(expr.second.expr, env)
+        _require_unit(first, "compound")
+        _require_unit(second, "compound")
+        _check_clause(first, expr.first.withs, expr.first.provides)
+        _check_clause(second, expr.second.withs, expr.second.provides)
+        return CompoundUnitValue(expr.imports, expr.exports, first, second,
+                                 expr.first, expr.second)
+
+    def _prepare_invoke(self, expr: InvokeExpr, env: Env):
+        unit = self._eval(expr.expr, env)
+        _require_unit(unit, "invoke")
+        supplied: dict[str, Cell] = {}
+        for name, rhs in expr.links:
+            supplied[name] = Cell(self._eval(rhs, env))
+        missing = [name for name in unit.imports if name not in supplied]
+        if missing:
+            raise UnitLinkError(
+                "invoke: unit imports not satisfied: " + ", ".join(missing))
+        cells = {name: supplied[name] for name in unit.imports}
+        for name in unit.exports:
+            cells[name] = Cell()
+        runs = self.instantiate(unit, cells)
+        (last_env, last_init) = runs[-1]
+        return runs[:-1], last_env, last_init
+
+    def invoke(self, unit: UnitValue,
+               imports: dict[str, object] | None = None) -> object:
+        """Invoke a unit value directly from Python.
+
+        ``imports`` maps import names to values; the result is the value
+        of the unit's (last) initialization expression, as specified in
+        Section 3.2.
+        """
+        _require_unit(unit, "invoke")
+        imports = imports or {}
+        missing = [name for name in unit.imports if name not in imports]
+        if missing:
+            raise UnitLinkError(
+                "invoke: unit imports not satisfied: " + ", ".join(missing))
+        cells = {name: Cell(imports[name]) for name in unit.imports}
+        for name in unit.exports:
+            cells[name] = Cell()
+        result: object = None
+        for init_env, init in self.instantiate(unit, cells):
+            result = self._eval(init, init_env)
+        return result
+
+    def instantiate(self, unit: UnitValue,
+                    cells: dict[str, Cell]) -> list[tuple[Env, Expr]]:
+        """Instantiate a unit against externally created cells.
+
+        ``cells`` must provide a cell for each of the unit's imports and
+        exports.  Instantiation evaluates the unit's definitions
+        (filling export cells) and returns the ordered list of
+        ``(environment, initialization expression)`` pairs to run —
+        one per atomic constituent, reflecting the sequencing rule of
+        Section 4.1.2.
+        """
+        if isinstance(unit, AtomicUnitValue):
+            return self._instantiate_atomic(unit, cells)
+        if isinstance(unit, CompoundUnitValue):
+            return self._instantiate_compound(unit, cells)
+        custom = getattr(unit, "instantiate_with", None)
+        if custom is not None:
+            # Extension point used by the MzScheme-style linking layer
+            # (n-ary compounds and internal/external renaming,
+            # repro.linking.compound_n).
+            return custom(self, cells)
+        raise RunTimeError(f"not an instantiable unit: {unit!r}")
+
+    def _instantiate_atomic(self, unit: AtomicUnitValue,
+                            cells: dict[str, Cell]) -> list[tuple[Env, Expr]]:
+        syntax: UnitExpr = unit.syntax
+        env = unit.env.child()
+        exports = set(syntax.exports)
+        for name in syntax.imports:
+            env.bind_cell(name, cells[name])
+        defined_cells: list[Cell] = []
+        for name, _ in syntax.defns:
+            cell = cells[name] if name in exports else Cell()
+            env.bind_cell(name, cell)
+            defined_cells.append(cell)
+        for (name, rhs), cell in zip(syntax.defns, defined_cells):
+            cell.set(self._eval(rhs, env))
+        return [(env, syntax.init)]
+
+    def _instantiate_compound(self, unit: CompoundUnitValue,
+                              cells: dict[str, Cell]) -> list[tuple[Env, Expr]]:
+        namespace: dict[str, Cell] = {}
+        for name in unit.imports:
+            namespace[name] = cells[name]
+        for name in (set(unit.first_clause.provides)
+                     | set(unit.second_clause.provides)):
+            namespace[name] = cells[name] if name in cells \
+                and name in unit.exports else Cell()
+        runs: list[tuple[Env, Expr]] = []
+        for constituent, clause in ((unit.first, unit.first_clause),
+                                    (unit.second, unit.second_clause)):
+            sub_cells: dict[str, Cell] = {}
+            for name in constituent.imports:
+                if name not in namespace:
+                    raise UnitLinkError(
+                        f"compound: constituent import '{name}' has no "
+                        f"source among the compound's imports and the "
+                        f"other constituent's provides")
+                sub_cells[name] = namespace[name]
+            provided = set(clause.provides)
+            for name in constituent.exports:
+                sub_cells[name] = namespace[name] if name in provided else Cell()
+            runs.extend(self.instantiate(constituent, sub_cells))
+        return runs
+
+
+def _undefined():
+    from repro.lang.values import UNDEFINED
+
+    return UNDEFINED
+
+
+def _require_unit(value: object, who: str) -> None:
+    if not isinstance(value, UnitValue):
+        raise RunTimeError(f"{who}: expected a unit, got {value!r}")
+
+
+def _check_clause(unit: UnitValue, withs: tuple[str, ...],
+                  provides: tuple[str, ...]) -> None:
+    """Enforce Figure 11's side conditions at link time: a constituent
+    must need no more than the ``with`` names and provide at least the
+    ``provides`` names."""
+    extra = [name for name in unit.imports if name not in withs]
+    if extra:
+        raise UnitLinkError(
+            "compound: constituent imports exceed its with clause: "
+            + ", ".join(extra))
+    missing = [name for name in provides if name not in unit.exports]
+    if missing:
+        raise UnitLinkError(
+            "compound: constituent does not provide: " + ", ".join(missing))
+
+
+def run_program(text: str, origin: str = "<string>") -> tuple[object, str]:
+    """Parse, evaluate, and return ``(result, captured output)``.
+
+    A convenience wrapper used throughout the examples and tests.
+    """
+    port = OutputPort()
+    interp = Interpreter(port=port)
+    result = interp.run(text, origin)
+    return result, port.getvalue()

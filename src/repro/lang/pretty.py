@@ -1,0 +1,118 @@
+"""Pretty-printer: AST back to s-expression syntax.
+
+``expr_to_datum`` is a right inverse of the parser on kernel forms:
+``parse_expr(expr_to_datum(e)) == e`` for every expression the parser
+can produce (modulo sugar, which the parser eliminates).  The printer
+is used by the archive (units are shipped as source text), by the
+compilation demo of Figure 12, and by error messages.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    App,
+    Expr,
+    If,
+    Lambda,
+    Let,
+    Letrec,
+    Lit,
+    Seq,
+    SetBang,
+    Var,
+)
+from repro.lang.sexpr import Datum, SList, Symbol, format_sexpr, write_sexpr
+from repro.units.ast import CompoundExpr, InvokeExpr, LinkClause, UnitExpr
+
+
+def _s(*items: Datum) -> SList:
+    return SList(tuple(items))
+
+
+def _y(name: str) -> Symbol:
+    return Symbol(name)
+
+
+def expr_to_datum(expr: Expr) -> Datum:
+    """Convert an expression to an s-expression datum."""
+    if isinstance(expr, Lit):
+        if expr.value is None:
+            return _s(_y("void"))
+        if isinstance(expr.value, (bool, int, float, str)):
+            return expr.value
+        # Runtime data carried as constants by the machine (pairs,
+        # primitives, hash tables): printable but not re-readable.
+        return _y(repr(expr.value))
+    if isinstance(expr, Var):
+        return _y(expr.name)
+    if isinstance(expr, Lambda):
+        return _s(_y("lambda"), _s(*(_y(p) for p in expr.params)),
+                  expr_to_datum(expr.body))
+    if isinstance(expr, App):
+        return _s(expr_to_datum(expr.fn),
+                  *(expr_to_datum(a) for a in expr.args))
+    if isinstance(expr, If):
+        return _s(_y("if"), expr_to_datum(expr.test),
+                  expr_to_datum(expr.then), expr_to_datum(expr.orelse))
+    if isinstance(expr, (Let, Letrec)):
+        keyword = "let" if isinstance(expr, Let) else "letrec"
+        bindings = _s(*(_s(_y(name), expr_to_datum(rhs))
+                        for name, rhs in expr.bindings))
+        return _s(_y(keyword), bindings, expr_to_datum(expr.body))
+    if isinstance(expr, SetBang):
+        return _s(_y("set!"), _y(expr.name), expr_to_datum(expr.expr))
+    if isinstance(expr, Seq):
+        return _s(_y("begin"), *(expr_to_datum(e) for e in expr.exprs))
+    if isinstance(expr, UnitExpr):
+        return unit_to_datum(expr)
+    if isinstance(expr, CompoundExpr):
+        return compound_to_datum(expr)
+    if isinstance(expr, InvokeExpr):
+        return invoke_to_datum(expr)
+    raise TypeError(f"expr_to_datum: unknown expression {expr!r}")
+
+
+def unit_to_datum(expr: UnitExpr) -> SList:
+    """Convert a ``unit`` expression to its surface syntax."""
+    items: list[Datum] = [
+        _y("unit"),
+        _s(_y("import"), *(_y(n) for n in expr.imports)),
+        _s(_y("export"), *(_y(n) for n in expr.exports)),
+    ]
+    for name, rhs in expr.defns:
+        items.append(_s(_y("define"), _y(name), expr_to_datum(rhs)))
+    items.append(expr_to_datum(expr.init))
+    return SList(tuple(items))
+
+
+def _clause_to_datum(clause: LinkClause) -> SList:
+    return _s(expr_to_datum(clause.expr),
+              _s(_y("with"), *(_y(n) for n in clause.withs)),
+              _s(_y("provides"), *(_y(n) for n in clause.provides)))
+
+
+def compound_to_datum(expr: CompoundExpr) -> SList:
+    """Convert a ``compound`` expression to its surface syntax."""
+    return _s(_y("compound"),
+              _s(_y("import"), *(_y(n) for n in expr.imports)),
+              _s(_y("export"), *(_y(n) for n in expr.exports)),
+              _s(_y("link"),
+                 _clause_to_datum(expr.first),
+                 _clause_to_datum(expr.second)))
+
+
+def invoke_to_datum(expr: InvokeExpr) -> SList:
+    """Convert an ``invoke`` expression to its surface syntax."""
+    return _s(_y("invoke"), expr_to_datum(expr.expr),
+              *(_s(_y(name), expr_to_datum(rhs))
+                for name, rhs in expr.links))
+
+
+def pretty(expr: Expr, width: int = 78) -> str:
+    """Pretty-print an expression as multi-line source text."""
+    return format_sexpr(expr_to_datum(expr), width)
+
+
+def show(expr: Expr) -> str:
+    """Print an expression on a single line."""
+    return write_sexpr(expr_to_datum(expr))

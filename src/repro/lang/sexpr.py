@@ -1,0 +1,329 @@
+"""An s-expression reader and printer with source locations.
+
+The surface syntax of the whole reproduction is s-expressions, as in
+MzScheme (the paper's host language).  The reader produces a small datum
+language:
+
+* ``Symbol`` — an interned identifier,
+* ``int`` / ``float`` — numbers,
+* ``str`` — string literals,
+* ``bool`` — ``#t`` / ``#f``,
+* ``SList`` — a parenthesized sequence of data.
+
+``SList`` and ``Symbol`` carry source locations so later phases can
+report positions.  ``write_sexpr`` prints a datum back to reader syntax;
+reading the result yields an equal datum (a property the test suite
+checks with hypothesis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Union
+
+from repro.lang.errors import LexError, SrcLoc
+
+#: The datum type produced by the reader.
+Datum = Union["Symbol", "SList", int, float, str, bool]
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """An identifier datum.
+
+    Symbols compare equal by name only; the source location is carried
+    for error reporting but ignored by ``__eq__`` and ``__hash__``.
+    """
+
+    name: str
+    loc: SrcLoc | None = field(default=None, compare=False)
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Symbol({self.name!r})"
+
+
+@dataclass(frozen=True)
+class SList:
+    """A parenthesized list datum.
+
+    Like :class:`Symbol`, equality ignores the source location.
+    """
+
+    items: tuple[Datum, ...]
+    loc: SrcLoc | None = field(default=None, compare=False)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[Datum]:
+        return iter(self.items)
+
+    def __getitem__(self, index):
+        return self.items[index]
+
+    def __str__(self) -> str:
+        return write_sexpr(self)
+
+    def __repr__(self) -> str:
+        return f"SList({self.items!r})"
+
+
+def slist(*items: Datum) -> SList:
+    """Build an :class:`SList` from the given items (convenience)."""
+    return SList(tuple(items))
+
+
+def sym(name: str) -> Symbol:
+    """Build a :class:`Symbol` with no source location (convenience)."""
+    return Symbol(name)
+
+
+_DELIMS = set('()";')
+_WHITESPACE = set(" \t\r\n")
+
+#: Maximum nesting depth the reader accepts.  Deeper input is almost
+#: certainly hostile or malformed; rejecting it with a LexError keeps
+#: the recursive reader within Python's stack.
+MAX_NESTING_DEPTH = 250
+
+
+class _Reader:
+    """Internal cursor over source text, tracking line and column."""
+
+    def __init__(self, text: str, origin: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+        self.origin = origin
+        self.depth = 0
+
+    def loc(self) -> SrcLoc:
+        return SrcLoc(self.line, self.col, self.origin)
+
+    def peek(self) -> str | None:
+        if self.pos >= len(self.text):
+            return None
+        return self.text[self.pos]
+
+    def advance(self) -> str:
+        ch = self.text[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.col = 1
+        else:
+            self.col += 1
+        return ch
+
+    def skip_atmosphere(self) -> None:
+        """Skip whitespace and ``;`` line comments."""
+        while True:
+            ch = self.peek()
+            if ch is None:
+                return
+            if ch in _WHITESPACE:
+                self.advance()
+            elif ch == ";":
+                while self.peek() not in (None, "\n"):
+                    self.advance()
+            else:
+                return
+
+    def read(self) -> Datum:
+        self.skip_atmosphere()
+        loc = self.loc()
+        ch = self.peek()
+        if ch is None:
+            raise LexError("unexpected end of input", loc)
+        if ch == "(" or ch == "[":
+            return self._read_list(loc, ")" if ch == "(" else "]")
+        if ch == ")" or ch == "]":
+            raise LexError(f"unexpected '{ch}'", loc)
+        if ch == '"':
+            return self._read_string(loc)
+        if ch == "#":
+            return self._read_hash(loc)
+        return self._read_atom(loc)
+
+    def _read_list(self, loc: SrcLoc, closer: str) -> SList:
+        self.advance()  # opening paren
+        self.depth += 1
+        if self.depth > MAX_NESTING_DEPTH:
+            raise LexError(
+                f"nesting deeper than {MAX_NESTING_DEPTH} levels", loc)
+        try:
+            return self._read_list_items(loc, closer)
+        finally:
+            self.depth -= 1
+
+    def _read_list_items(self, loc: SrcLoc, closer: str) -> SList:
+        items: list[Datum] = []
+        while True:
+            self.skip_atmosphere()
+            ch = self.peek()
+            if ch is None:
+                raise LexError("unterminated list", loc)
+            if ch in ")]":
+                if ch != closer:
+                    raise LexError(
+                        f"mismatched close paren: expected '{closer}'", self.loc()
+                    )
+                self.advance()
+                return SList(tuple(items), loc)
+            items.append(self.read())
+
+    def _read_string(self, loc: SrcLoc) -> str:
+        self.advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self.peek()
+            if ch is None:
+                raise LexError("unterminated string literal", loc)
+            self.advance()
+            if ch == '"':
+                return "".join(chars)
+            if ch == "\\":
+                esc = self.peek()
+                if esc is None:
+                    raise LexError("unterminated escape in string literal", loc)
+                self.advance()
+                mapping = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\"}
+                if esc not in mapping:
+                    raise LexError(f"unknown string escape '\\{esc}'", loc)
+                chars.append(mapping[esc])
+            else:
+                chars.append(ch)
+
+    def _read_hash(self, loc: SrcLoc) -> Datum:
+        self.advance()  # '#'
+        ch = self.peek()
+        if ch in ("t", "f"):
+            self.advance()
+            nxt = self.peek()
+            if nxt is not None and nxt not in _WHITESPACE and nxt not in _DELIMS \
+                    and nxt not in ")]([":
+                raise LexError(f"bad token after #{ch}", loc)
+            return ch == "t"
+        raise LexError("unknown '#' syntax", loc)
+
+    def _read_atom(self, loc: SrcLoc) -> Datum:
+        chars: list[str] = []
+        while True:
+            ch = self.peek()
+            if ch is None or ch in _WHITESPACE or ch in "()[]\";":
+                break
+            chars.append(self.advance())
+        token = "".join(chars)
+        if not token:
+            raise LexError("empty token", loc)
+        try:
+            return int(token)
+        except ValueError:
+            pass
+        try:
+            return float(token)
+        except ValueError:
+            pass
+        return Symbol(token, loc)
+
+
+def read_sexpr(text: str, origin: str = "<string>") -> Datum:
+    """Read a single datum from ``text``.
+
+    Raises :class:`LexError` if the text is empty, malformed, or has
+    trailing non-whitespace after the first datum.
+    """
+    reader = _Reader(text, origin)
+    datum = reader.read()
+    reader.skip_atmosphere()
+    if reader.peek() is not None:
+        raise LexError("unexpected text after datum", reader.loc())
+    return datum
+
+
+def read_all_sexprs(text: str, origin: str = "<string>") -> list[Datum]:
+    """Read every datum in ``text`` and return them as a list."""
+    reader = _Reader(text, origin)
+    data: list[Datum] = []
+    while True:
+        reader.skip_atmosphere()
+        if reader.peek() is None:
+            return data
+        data.append(reader.read())
+
+
+def _escape_string(value: str) -> str:
+    out: list[str] = ['"']
+    for ch in value:
+        if ch == '"':
+            out.append('\\"')
+        elif ch == "\\":
+            out.append("\\\\")
+        elif ch == "\n":
+            out.append("\\n")
+        elif ch == "\t":
+            out.append("\\t")
+        elif ch == "\r":
+            out.append("\\r")
+        else:
+            out.append(ch)
+    out.append('"')
+    return "".join(out)
+
+
+def write_sexpr(datum: Datum) -> str:
+    """Print a datum in reader syntax (single line)."""
+    if isinstance(datum, bool):
+        return "#t" if datum else "#f"
+    if isinstance(datum, (int, float)):
+        return repr(datum)
+    if isinstance(datum, str):
+        return _escape_string(datum)
+    if isinstance(datum, Symbol):
+        return datum.name
+    if isinstance(datum, SList):
+        return "(" + " ".join(write_sexpr(item) for item in datum.items) + ")"
+    raise TypeError(f"not a datum: {datum!r}")
+
+
+def format_sexpr(datum: Datum, width: int = 78, indent: int = 0) -> str:
+    """Pretty-print a datum, breaking lists that exceed ``width`` columns.
+
+    The output reads back to an equal datum; it is used to render unit
+    sources in the examples and the archive.
+    """
+    flat = write_sexpr(datum)
+    if indent + len(flat) <= width or not isinstance(datum, SList):
+        return flat
+    if len(datum.items) == 0:
+        return "()"
+    head = format_sexpr(datum.items[0], width, indent + 1)
+    lines = [f"({head}"]
+    pad = " " * (indent + 2)
+    for item in datum.items[1:]:
+        lines.append(pad + format_sexpr(item, width, indent + 2))
+    lines[-1] += ")"
+    return "\n".join(lines)
+
+
+def datum_to_python(datum: Datum):
+    """Convert a datum to plain Python data (lists, strings, numbers).
+
+    Symbols become strings tagged by a leading quote marker is *not*
+    used; instead symbols map to their names.  This lossy view is only
+    used by the archive's JSON fallback and by diagnostics.
+    """
+    if isinstance(datum, Symbol):
+        return datum.name
+    if isinstance(datum, SList):
+        return [datum_to_python(item) for item in datum.items]
+    return datum
+
+
+def sexpr_equal(left: Datum, right: Datum) -> bool:
+    """Structural equality of data, ignoring source locations."""
+    return left == right

@@ -1,0 +1,27 @@
+"""The assembly layer: MzScheme-style linking beyond the binary calculus.
+
+"MzScheme's syntax is less restrictive than UNITd's.  In MzScheme, the
+compound form links any number of units together at once (a simple
+generalization of UNITd's two-unit form), and links imports and exports
+via source and destination name pairs, rather than requiring the same
+name at both ends of a linkage."  And units' "imported and exported
+variables have separate internal (binding) and external (linking)
+names".
+
+* :mod:`repro.linking.compound_n` — n-ary compound unit values and
+  internal/external renaming,
+* :mod:`repro.linking.graph` — the box-and-arrow link-graph builder
+  (the informal graphical language of Section 3, programmatically),
+* :mod:`repro.linking.signatures` — a named-signature registry for
+  link-time verification.
+"""
+
+from repro.linking.compound_n import NCompoundUnitValue, rename_unit
+from repro.linking.graph import LinkGraph, TypedLinkGraph
+
+__all__ = [
+    "LinkGraph",
+    "NCompoundUnitValue",
+    "TypedLinkGraph",
+    "rename_unit",
+]

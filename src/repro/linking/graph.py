@@ -1,0 +1,321 @@
+"""Link graphs: the paper's box-and-arrow language, programmatically.
+
+Section 3 presents linking "using an informal, semi-graphical
+programming language ... programmers will define modules and linking by
+actually drawing boxes and arrows."  :class:`LinkGraph` (untyped) and
+:class:`TypedLinkGraph` (typed) are the programmatic equivalent: boxes
+hold unit expressions, arrows connect like-named exports to imports,
+and :meth:`LinkGraph.to_compound_expr` compiles the whole graph to a
+nest of the calculus's *binary* compounds — demonstrating that the
+two-unit form of Figure 9 suffices to express arbitrary link graphs.
+
+Compilation folds the boxes left to right:
+
+* the accumulated compound exports *everything* provided so far (so
+  later boxes can link against it) and imports whatever is still
+  unsatisfied,
+* a final wrapper restricts the exports to the graph's declared
+  interface, hiding everything else — the Figure 2 ``delete`` hiding
+  falls out of this step,
+* initialization expressions run in box-insertion order (the paper's
+  sequencing rule, applied associatively).
+
+Cyclic dependencies between boxes need no special treatment: the binary
+compound links its two sides mutually recursively, and the fold
+preserves that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.ast import Expr, Lit
+from repro.lang.errors import CheckError
+from repro.lang.parser import parse_program
+from repro.units.ast import CompoundExpr, InvokeExpr, LinkClause, UnitExpr
+
+
+@dataclass
+class Box:
+    """A node in an untyped link graph."""
+
+    name: str
+    expr: Expr
+    withs: tuple[str, ...]
+    provides: tuple[str, ...]
+
+
+_EMPTY_UNIT = UnitExpr((), (), (), Lit(None))
+
+
+class LinkGraph:
+    """An untyped link graph over UNITd units."""
+
+    def __init__(self, imports: tuple[str, ...] = (),
+                 exports: tuple[str, ...] = ()):
+        self.imports = tuple(imports)
+        self.exports = tuple(exports)
+        self.boxes: list[Box] = []
+
+    # -- construction -----------------------------------------------------
+
+    def add_box(self, name: str, unit, withs=None, provides=None) -> Box:
+        """Add a unit box.
+
+        ``unit`` may be a :class:`UnitExpr`, any expression evaluating
+        to a unit, or source text.  For a literal ``UnitExpr`` the
+        ``withs``/``provides`` clauses default to the unit's own
+        interface.
+        """
+        if isinstance(unit, str):
+            unit = parse_program(unit)
+        if withs is None or provides is None:
+            if not isinstance(unit, UnitExpr):
+                raise CheckError(
+                    f"box '{name}': withs/provides are required unless "
+                    f"the box holds a literal unit expression")
+            withs = unit.imports if withs is None else withs
+            provides = unit.exports if provides is None else provides
+        box = Box(name, unit, tuple(withs), tuple(provides))
+        self.boxes.append(box)
+        return box
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the graph's wiring before compilation."""
+        provided: dict[str, str] = {}
+        for box in self.boxes:
+            for name in box.provides:
+                if name in provided:
+                    raise CheckError(
+                        f"graph: '{name}' provided by both "
+                        f"'{provided[name]}' and '{box.name}'")
+                if name in self.imports:
+                    raise CheckError(
+                        f"graph: '{name}' is both an import and provided "
+                        f"by '{box.name}'")
+                provided[name] = box.name
+        available = set(self.imports) | set(provided)
+        for box in self.boxes:
+            for name in box.withs:
+                if name not in available:
+                    raise CheckError(
+                        f"graph: box '{box.name}' needs '{name}', which "
+                        f"no box provides and the graph does not import")
+        for name in self.exports:
+            if name not in provided:
+                raise CheckError(
+                    f"graph: export '{name}' is not provided by any box")
+
+    def arrows(self) -> list[tuple[str, str, str]]:
+        """The graph's arrows as ``(source box, name, target box)``.
+
+        An arrow from the pseudo-box ``<imports>`` represents an outer
+        import flowing in.
+        """
+        provider: dict[str, str] = {}
+        for box in self.boxes:
+            for name in box.provides:
+                provider[name] = box.name
+        out: list[tuple[str, str, str]] = []
+        for box in self.boxes:
+            for name in box.withs:
+                out.append((provider.get(name, "<imports>"), name, box.name))
+        return out
+
+    # -- compilation -------------------------------------------------------
+
+    def to_compound_expr(self) -> Expr:
+        """Compile the graph to nested binary ``compound`` expressions."""
+        self.validate()
+        if not self.boxes:
+            return _EMPTY_UNIT
+        acc_expr: Expr = self.boxes[0].expr
+        acc_withs = tuple(self.boxes[0].withs)
+        acc_provides = tuple(self.boxes[0].provides)
+        needs = set(acc_withs)
+        provides = set(acc_provides)
+        for box in self.boxes[1:]:
+            needs |= set(box.withs)
+            provides |= set(box.provides)
+            step_imports = tuple(sorted(needs - provides))
+            step_exports = acc_provides + box.provides
+            acc_expr = CompoundExpr(
+                imports=step_imports,
+                exports=step_exports,
+                first=LinkClause(acc_expr, acc_withs, acc_provides),
+                second=LinkClause(box.expr, box.withs, box.provides))
+            acc_withs = step_imports
+            acc_provides = step_exports
+        # Final wrapper: restrict exports to the declared interface.
+        # The empty unit goes first so the program's result is the last
+        # real box's initialization value.
+        return CompoundExpr(
+            imports=self.imports,
+            exports=self.exports,
+            first=LinkClause(_EMPTY_UNIT, (), ()),
+            second=LinkClause(acc_expr, acc_withs, self.exports))
+
+    def to_invoke_expr(self, links: dict[str, Expr] | None = None) -> Expr:
+        """Compile to an ``invoke`` of the compiled compound."""
+        links = links or {}
+        return InvokeExpr(self.to_compound_expr(),
+                          tuple(links.items()))
+
+    # -- rendering ------------------------------------------------------------
+
+    def render(self) -> str:
+        """ASCII rendering: one box per unit, then the arrow list."""
+        lines: list[str] = []
+        for box in self.boxes:
+            header = f"+--{box.name}" + "-" * max(1, 30 - len(box.name)) + "+"
+            lines.append(header)
+            lines.append(_row("imports: " + ", ".join(box.withs)))
+            lines.append(_row("exports: " + ", ".join(box.provides)))
+            lines.append("+" + "-" * (len(header) - 2) + "+")
+        if self.imports:
+            lines.append("graph imports: " + ", ".join(self.imports))
+        lines.append("graph exports: " + ", ".join(self.exports))
+        for src, name, dst in self.arrows():
+            lines.append(f"  {src} --{name}--> {dst}")
+        return "\n".join(lines)
+
+
+    def to_dot(self, name: str = "linkgraph") -> str:
+        """Render the graph in Graphviz DOT syntax.
+
+        Boxes become record nodes listing their ports; arrows are
+        labelled with the linked variable.  Useful for actually
+        *drawing* the paper's figures.
+        """
+        lines = [f"digraph {name} {{", "  rankdir=LR;",
+                 "  node [shape=record];"]
+        for box in self.boxes:
+            imports = ", ".join(box.withs) or "-"
+            exports = ", ".join(box.provides) or "-"
+            lines.append(
+                f'  "{box.name}" [label="{{{box.name}|imports: {imports}'
+                f'|exports: {exports}}}"];')
+        if self.imports:
+            lines.append('  "<imports>" [shape=plaintext];')
+        for src, label, dst in self.arrows():
+            lines.append(f'  "{src}" -> "{dst}" [label="{label}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def _row(text: str, width: int = 31) -> str:
+    return "| " + text.ljust(width) + "|"
+
+
+# ---------------------------------------------------------------------------
+# Typed link graphs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TypedBox:
+    """A node in a typed link graph, carrying full declarations."""
+
+    name: str
+    expr: object  # a TExpr
+    with_types: tuple[tuple[str, object], ...]
+    with_values: tuple[tuple[str, object], ...]
+    prov_types: tuple[tuple[str, object], ...]
+    prov_values: tuple[tuple[str, object], ...]
+
+
+class TypedLinkGraph:
+    """A typed link graph over UNITc/UNITe units.
+
+    Declarations carry kinds and types; compilation produces nested
+    ``compound/t`` expressions that the Figure 15/19 checker verifies.
+    """
+
+    def __init__(self,
+                 timports=(), vimports=(), texports=(), vexports=()):
+        self.timports = tuple(timports)
+        self.vimports = tuple(vimports)
+        self.texports = tuple(texports)
+        self.vexports = tuple(vexports)
+        self.boxes: list[TypedBox] = []
+
+    def add_box(self, name: str, unit, with_types=None, with_values=None,
+                prov_types=None, prov_values=None) -> TypedBox:
+        """Add a typed unit box; clauses default to a literal unit's
+        interface."""
+        from repro.unitc.ast import TypedUnitExpr
+        from repro.unitc.parser import parse_typed_program
+
+        if isinstance(unit, str):
+            unit = parse_typed_program(unit)
+        if any(clause is None for clause in
+               (with_types, with_values, prov_types, prov_values)):
+            if not isinstance(unit, TypedUnitExpr):
+                raise CheckError(
+                    f"box '{name}': full clauses are required unless the "
+                    f"box holds a literal unit/t expression")
+            with_types = unit.timports if with_types is None else with_types
+            with_values = unit.vimports if with_values is None else with_values
+            prov_types = unit.texports if prov_types is None else prov_types
+            prov_values = unit.vexports if prov_values is None else prov_values
+        box = TypedBox(name, unit, tuple(with_types), tuple(with_values),
+                       tuple(prov_types), tuple(prov_values))
+        self.boxes.append(box)
+        return box
+
+    def to_compound_expr(self):
+        """Compile to nested ``compound/t`` expressions."""
+        from repro.unitc.ast import (
+            TLit,
+            TypedCompoundExpr,
+            TypedLinkClause,
+            TypedUnitExpr,
+        )
+
+        empty = TypedUnitExpr((), (), (), (), (), (), (), TLit(None))
+        if not self.boxes:
+            return empty
+        first = self.boxes[0]
+        acc_expr = first.expr
+        acc_wt, acc_wv = first.with_types, first.with_values
+        acc_pt, acc_pv = first.prov_types, first.prov_values
+        need_t = dict(acc_wt)
+        need_v = dict(acc_wv)
+        have_t = dict(acc_pt)
+        have_v = dict(acc_pv)
+        for box in self.boxes[1:]:
+            need_t.update(dict(box.with_types))
+            need_v.update(dict(box.with_values))
+            have_t.update(dict(box.prov_types))
+            have_v.update(dict(box.prov_values))
+            step_it = tuple(sorted(
+                (n, k) for n, k in need_t.items() if n not in have_t))
+            step_iv = tuple(sorted(
+                (n, t) for n, t in need_v.items() if n not in have_v))
+            step_et = acc_pt + box.prov_types
+            step_ev = acc_pv + box.prov_values
+            acc_expr = TypedCompoundExpr(
+                timports=step_it, vimports=step_iv,
+                texports=step_et, vexports=step_ev,
+                first=TypedLinkClause(acc_expr, acc_wt, acc_wv,
+                                      acc_pt, acc_pv),
+                second=TypedLinkClause(box.expr, box.with_types,
+                                       box.with_values, box.prov_types,
+                                       box.prov_values))
+            acc_wt, acc_wv = step_it, step_iv
+            acc_pt, acc_pv = step_et, step_ev
+        return TypedCompoundExpr(
+            timports=self.timports, vimports=self.vimports,
+            texports=self.texports, vexports=self.vexports,
+            first=TypedLinkClause(empty, (), (), (), ()),
+            second=TypedLinkClause(acc_expr, acc_wt, acc_wv,
+                                   self.texports, self.vexports))
+
+    def to_invoke_expr(self, tlinks=(), vlinks=()):
+        """Compile to an ``invoke/t`` of the compiled compound."""
+        from repro.unitc.ast import TypedInvokeExpr
+
+        return TypedInvokeExpr(self.to_compound_expr(),
+                               tuple(tlinks), tuple(vlinks))

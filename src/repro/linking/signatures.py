@@ -1,0 +1,54 @@
+"""A named-signature registry.
+
+Section 3.3 types ``MakeIPB``'s argument with "a unit type, a
+signature, that contains all of the information needed to verify its
+linkage."  Real programs name such signatures and reuse them (every GUI
+unit "will have the same set of imports and exports"); the registry
+gives names to signatures and verifies units against them — also the
+contract store used by the dynamic-linking archive (Section 3.4).
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import TypeCheckError
+from repro.types.parser import parse_sig_text
+from repro.types.subtype import sig_subtype
+from repro.types.tyenv import TyEnv
+from repro.types.types import Sig
+from repro.types.wf import check_sig_wf
+
+
+class SignatureRegistry:
+    """Named signatures with subtype-based verification."""
+
+    def __init__(self) -> None:
+        self._sigs: dict[str, Sig] = {}
+
+    def define(self, name: str, sig: Sig | str) -> Sig:
+        """Register a signature (object or source text) under a name."""
+        if isinstance(sig, str):
+            sig = parse_sig_text(sig, origin=f"<sig {name}>")
+        check_sig_wf(sig, TyEnv())
+        if name in self._sigs:
+            raise TypeCheckError(f"signature '{name}' is already defined")
+        self._sigs[name] = sig
+        return sig
+
+    def lookup(self, name: str) -> Sig:
+        """Fetch a registered signature."""
+        sig = self._sigs.get(name)
+        if sig is None:
+            raise TypeCheckError(f"unknown signature: {name}")
+        return sig
+
+    def names(self) -> tuple[str, ...]:
+        """All registered signature names, in definition order."""
+        return tuple(self._sigs)
+
+    def verify(self, actual: Sig, name: str) -> None:
+        """Check ``actual <= registered``; raise with a diagnosis."""
+        expected = self.lookup(name)
+        if not sig_subtype(actual, expected):
+            raise TypeCheckError(
+                f"unit does not satisfy signature '{name}': "
+                f"{actual} is not a subtype of {expected}")

@@ -1,0 +1,43 @@
+"""The paper's running example: the interactive phone book.
+
+* :mod:`repro.phonebook.units` — the atomic units of Figures 1–7
+  (``Database``, ``NumberInfo``, ``Gui`` and variants, ``Main``) as
+  typed unit sources,
+* :mod:`repro.phonebook.program` — the assemblies: ``PhoneBook``
+  (Figure 2), ``IPB`` (Figure 3), ``MakeIPB`` (Figure 5), ``Starter``
+  (Figure 6), and the loader-extension demo (Figure 7).
+"""
+
+from repro.phonebook.units import (
+    DATABASE,
+    EXPERT_GUI,
+    GUI,
+    LOADER_SIG_TEXT,
+    MAIN,
+    NOVICE_GUI,
+    NUMBER_INFO,
+)
+from repro.phonebook.program import (
+    build_ipb,
+    build_phonebook,
+    make_ipb_program,
+    run_ipb,
+    run_loader_demo,
+    run_starter,
+)
+
+__all__ = [
+    "DATABASE",
+    "EXPERT_GUI",
+    "GUI",
+    "LOADER_SIG_TEXT",
+    "MAIN",
+    "NOVICE_GUI",
+    "NUMBER_INFO",
+    "build_ipb",
+    "build_phonebook",
+    "make_ipb_program",
+    "run_ipb",
+    "run_loader_demo",
+    "run_starter",
+]

@@ -1,0 +1,213 @@
+"""Assembling the phone book: Figures 2–7 as executable programs.
+
+* :func:`build_phonebook` — Figure 2: ``PhoneBook`` links ``Database``
+  with ``NumberInfo``, passes ``error`` through, hides ``delete``, and
+  re-exports the rest.
+* :func:`build_ipb` — Figure 3: the complete program ``IPB`` links
+  ``PhoneBook`` with a ``Gui`` and ``Main``, with cyclic links between
+  the phone book and the GUI.
+* :func:`make_ipb_program` — Figure 5: ``MakeIPB`` abstracts ``IPB``
+  over its GUI unit as a core-language function on first-class units.
+* :func:`run_starter` — Figure 6: ``Starter`` picks a GUI at run time,
+  links via ``MakeIPB``, and launches the result with ``invoke``.
+* :func:`run_loader_demo` — Figures 7 + Section 3.4: a loader extension
+  is retrieved from an archive under the loader signature and
+  dynamically linked into the running phone book.
+"""
+
+from __future__ import annotations
+
+from repro.dynlink.archive import UnitArchive
+from repro.lang.errors import ArchiveError
+from repro.lang.sexpr import read_sexpr
+from repro.linking.graph import TypedLinkGraph
+from repro.types.parser import parse_decls, parse_sig_text
+from repro.unitc.ast import TExpr, TLambda, TVar, TypedInvokeExpr
+from repro.unitc.parser import parse_typed_program
+from repro.unitc.run import run_typed_expr
+from repro.phonebook.units import (
+    BROKEN_LOADER,
+    DATABASE,
+    DB_OPS_DECLS,
+    ERROR_DECL,
+    EXPERT_GUI,
+    GUI,
+    INFO_DECLS,
+    LOADER_GUI,
+    LOADER_SIG_TEXT,
+    MAIN,
+    NOVICE_GUI,
+    NUMBER_INFO,
+    SAMPLE_LOADER,
+)
+
+# Declarations of what PhoneBook provides (Figure 2's lower port row).
+PHONEBOOK_PROVIDES = DB_OPS_DECLS + INFO_DECLS + """
+    (val noInfo (-> info))
+"""
+
+#: Figure 5's GUI signature: "the linking information required to
+#: produce the complete interactive phone book is independent of the
+#: specific GUI unit".
+GUI_SIG_TEXT = f"""
+    (sig (import {DB_OPS_DECLS} {INFO_DECLS})
+         (export (val error (-> str void))
+                 (val openBook (-> db bool)))
+         void)
+"""
+
+
+def _decls(text: str, keyword: str = "with"):
+    """Parse a declaration fragment into (type decls, value decls)."""
+    return parse_decls(read_sexpr(f"({keyword} {text})"), keyword)
+
+
+def build_phonebook() -> str:
+    """The Figure 2 ``PhoneBook`` compound, as source text.
+
+    ``delete`` is provided by ``Database`` but not exported — hidden
+    exactly as the figure shows.
+    """
+    database_provides = """
+        (type db)
+        (val new (-> db))
+        (val insert (-> db str info void))
+        (val delete (-> db str void))
+        (val lookup (-> db str info info))
+        (val size (-> db int))
+    """
+    info_provides = INFO_DECLS + "(val noInfo (-> info))"
+    return f"""
+    (compound/t (import {ERROR_DECL})
+                (export {PHONEBOOK_PROVIDES})
+      (link ({DATABASE}
+             (with (type info) {ERROR_DECL})
+             (provides {database_provides}))
+            ({NUMBER_INFO}
+             (with)
+             (provides {info_provides}))))
+    """
+
+
+def build_ipb(gui_source: str | None = None) -> TExpr:
+    """The Figure 3 ``IPB`` program: PhoneBook + Gui + Main.
+
+    Links flow both from PhoneBook to Gui (the database operations) and
+    from Gui to PhoneBook (``error``) — the cyclic linking the figure
+    highlights.  Returns the compound as a typed expression.
+    """
+    graph = TypedLinkGraph()
+    pb_t, pb_v = _decls(PHONEBOOK_PROVIDES, "provides")
+    err_t, err_v = _decls(ERROR_DECL)
+    graph.add_box("PhoneBook", parse_typed_program(build_phonebook()),
+                  with_types=err_t, with_values=err_v,
+                  prov_types=pb_t, prov_values=pb_v)
+    graph.add_box("Gui", gui_source if gui_source is not None else GUI)
+    graph.add_box("Main", MAIN)
+    return graph.to_compound_expr()
+
+
+def run_ipb(gui_source: str | None = None) -> tuple[object, str]:
+    """Invoke ``IPB``; returns ``(bool result, GUI transcript)``."""
+    result, _ty, output = run_typed_expr(
+        TypedInvokeExpr(build_ipb(gui_source), (), ()))
+    return result, output
+
+
+def make_ipb_program(expert_mode: bool) -> TExpr:
+    """Figures 5 and 6: ``Starter`` with ``MakeIPB``.
+
+    ``MakeIPB`` is an ordinary core function whose parameter is typed
+    by the GUI *signature*; applying it to either GUI unit yields a
+    complete program unit, which ``Starter`` launches with ``invoke``.
+    """
+    gui_sig = parse_sig_text(GUI_SIG_TEXT)
+    graph = TypedLinkGraph()
+    pb_t, pb_v = _decls(PHONEBOOK_PROVIDES, "provides")
+    err_t, err_v = _decls(ERROR_DECL)
+    graph.add_box("PhoneBook", parse_typed_program(build_phonebook()),
+                  with_types=err_t, with_values=err_v,
+                  prov_types=pb_t, prov_values=pb_v)
+    gui_with_t, gui_with_v = _decls(DB_OPS_DECLS + INFO_DECLS)
+    gui_prov_t, gui_prov_v = _decls(
+        "(val error (-> str void)) (val openBook (-> db bool))",
+        "provides")
+    graph.add_box("aGui", TVar("aGui"),
+                  with_types=gui_with_t, with_values=gui_with_v,
+                  prov_types=gui_prov_t, prov_values=gui_prov_v)
+    graph.add_box("Main", MAIN)
+    make_ipb = TLambda((("aGui", gui_sig),), graph.to_compound_expr())
+
+    chooser = parse_typed_program(f"""
+        (if {'#t' if expert_mode else '#f'}
+            {EXPERT_GUI}
+            {NOVICE_GUI})
+    """)
+    from repro.unitc.ast import TApp
+
+    return TypedInvokeExpr(TApp(make_ipb, (chooser,)), (), ())
+
+
+def run_starter(expert_mode: bool) -> tuple[object, str]:
+    """Run Figure 6's ``Starter``; returns ``(result, transcript)``."""
+    result, _ty, output = run_typed_expr(make_ipb_program(expert_mode))
+    return result, output
+
+
+# ---------------------------------------------------------------------------
+# Dynamic linking (Figure 7)
+# ---------------------------------------------------------------------------
+
+#: Main variant that installs a dynamically retrieved loader extension.
+MAIN_WITH_LOADER = f"""
+    (unit/t (import (type db) (type info)
+                    (val new (-> db))
+                    (val insert (-> db str info void))
+                    (val numInfo (-> int info))
+                    (val openBook (-> db bool))
+                    (val addLoader (-> {LOADER_SIG_TEXT} db str void))
+                    (val ext {LOADER_SIG_TEXT}))
+            (export)
+      (let ((book (new)))
+        (begin
+          (insert book "robby" (numInfo 5550100))
+          (addLoader ext book "imported-contact")
+          (openBook book))))
+"""
+
+
+def build_loader_archive() -> UnitArchive:
+    """An archive holding the sample extension and a broken one."""
+    archive = UnitArchive()
+    archive.put("sample-loader", SAMPLE_LOADER)
+    archive.put("broken-loader", BROKEN_LOADER)
+    return archive
+
+
+def run_loader_demo(extension_name: str = "sample-loader"
+                    ) -> tuple[object, str]:
+    """Figure 7 end to end.
+
+    The extension is retrieved from the archive and verified against
+    the loader signature *before* it reaches the program; the program
+    then links it in with ``invoke`` through ``addLoader``.  Retrieval
+    failures (e.g. ``broken-loader``) raise
+    :class:`~repro.lang.errors.ArchiveError` and never execute.
+    """
+    archive = build_loader_archive()
+    loader_sig = parse_sig_text(LOADER_SIG_TEXT)
+    extension, _sig = archive.retrieve_typed(extension_name, loader_sig)
+
+    graph = TypedLinkGraph(vimports=(("ext", loader_sig),))
+    pb_t, pb_v = _decls(PHONEBOOK_PROVIDES, "provides")
+    err_t, err_v = _decls(ERROR_DECL)
+    graph.add_box("PhoneBook", parse_typed_program(build_phonebook()),
+                  with_types=err_t, with_values=err_v,
+                  prov_types=pb_t, prov_values=pb_v)
+    graph.add_box("Gui", LOADER_GUI)
+    graph.add_box("Main", MAIN_WITH_LOADER)
+    compound = graph.to_compound_expr()
+    program = TypedInvokeExpr(
+        compound, (), (("ext", extension),))
+    result, _ty, output = run_typed_expr(program)
+    return result, output

@@ -1,0 +1,242 @@
+"""The atomic units of the phone-book example (Figures 1, 3, 6, 7).
+
+Each constant is typed unit source.  The paper's graphical boxes map
+onto these as follows:
+
+* :data:`DATABASE` — Figure 1's ``Database``: imports the ``info`` type
+  and ``error``; defines the ``db`` type and its operations; its
+  initialization expression performs start-up actions (the paper
+  initializes a string hash table; here a statistics cell).
+* :data:`NUMBER_INFO` — ``NumberInfo``: "a unit that implements the
+  info type for phone numbers" (Figure 2).
+* :data:`GUI` — Figure 3's ``Gui``, simulated textually: ``openBook``
+  renders the book with ``display`` and returns ``#t``; ``error``
+  prints and re-inserts a sentinel entry, exercising the cyclic
+  ``insert → error → insert`` call chain of Section 3.2.
+* :data:`EXPERT_GUI` / :data:`NOVICE_GUI` — the Figure 6 variants
+  ``Starter`` chooses between.
+* :data:`LOADER_GUI` — Figure 7's ``Gui`` with ``addLoader``, which
+  dynamically links a loader-extension unit via ``invoke``.
+* :data:`MAIN` — Figure 3's ``Main``: "creates a database and an
+  associated graphical user interface"; its initialization value is
+  the program's ``bool`` result.
+"""
+
+# Shared declaration fragments (the with/provides clause types).
+DB_OPS_DECLS = """
+    (type db)
+    (val new (-> db))
+    (val insert (-> db str info void))
+    (val lookup (-> db str info info))
+    (val size (-> db int))
+"""
+
+INFO_DECLS = """
+    (type info)
+    (val numInfo (-> int info))
+    (val info->string (-> info str))
+"""
+
+ERROR_DECL = "(val error (-> str void))"
+
+DATABASE = """
+    (unit/t (import (type info) (val error (-> str void)))
+            (export (type db)
+                    (val new (-> db))
+                    (val insert (-> db str info void))
+                    (val delete (-> db str void))
+                    (val lookup (-> db str info info))
+                    (val size (-> db int)))
+      (datatype entries
+        (mt un-mt void)
+        (node un-node (* str info entries))
+        mt?)
+      (datatype db
+        (mkdb un-mkdb (box entries))
+        (nodb un-nodb void)
+        db?)
+      (define op-count (box int) (box 0))
+      (define new (-> db)
+        (lambda () (mkdb (box (mt (void))))))
+      (define insert (-> db str info void)
+        (lambda ((d db) (key str) (v info))
+          (begin
+            (set-box! op-count (+ (unbox op-count) 1))
+            (if (string=? key "")
+                (error "insert: empty key")
+                (set-box! (un-mkdb d)
+                          (node (tuple key v (unbox (un-mkdb d)))))))))
+      (define remove-key (-> entries str entries)
+        (lambda ((e entries) (key str))
+          (if (mt? e)
+              e
+              (let ((t (un-node e)))
+                (if (string=? (proj 0 t) key)
+                    (remove-key (proj 2 t) key)
+                    (node (tuple (proj 0 t) (proj 1 t)
+                                 (remove-key (proj 2 t) key))))))))
+      (define has-key? (-> entries str bool)
+        (lambda ((e entries) (key str))
+          (if (mt? e)
+              #f
+              (if (string=? (proj 0 (un-node e)) key)
+                  #t
+                  (has-key? (proj 2 (un-node e)) key)))))
+      (define delete (-> db str void)
+        (lambda ((d db) (key str))
+          (if (has-key? (unbox (un-mkdb d)) key)
+              (set-box! (un-mkdb d) (remove-key (unbox (un-mkdb d)) key))
+              (error (string-append "delete: no entry for " key)))))
+      (define find (-> entries str info info)
+        (lambda ((e entries) (key str) (default info))
+          (if (mt? e)
+              default
+              (if (string=? (proj 0 (un-node e)) key)
+                  (proj 1 (un-node e))
+                  (find (proj 2 (un-node e)) key default)))))
+      (define lookup (-> db str info info)
+        (lambda ((d db) (key str) (default info))
+          (find (unbox (un-mkdb d)) key default)))
+      (define count-entries (-> entries int)
+        (lambda ((e entries))
+          (if (mt? e) 0 (+ 1 (count-entries (proj 2 (un-node e)))))))
+      (define size (-> db int)
+        (lambda ((d db)) (count-entries (unbox (un-mkdb d)))))
+      ;; Start-up action, as in Figure 1's strTable initialization.
+      (set-box! op-count 0))
+"""
+
+NUMBER_INFO = """
+    (unit/t (import)
+            (export (type info)
+                    (val numInfo (-> int info))
+                    (val noInfo (-> info))
+                    (val info->string (-> info str)))
+      (datatype info
+        (num-info un-num int)
+        (no-info un-no void)
+        num?)
+      (define numInfo (-> int info) num-info)
+      (define noInfo (-> info) (lambda () (no-info (void))))
+      (define info->string (-> info str)
+        (lambda ((i info))
+          (if (num? i) (number->string (un-num i)) "<no number>")))
+      (void))
+"""
+
+
+def _gui(greeting: str, verbose: bool) -> str:
+    """Build a Gui unit variant; Figure 6's Expert/Novice differ only
+    in chrome."""
+    verbose_line = (
+        '(display "[gui] book opened, entries: ")' if verbose
+        else '(display "entries: ")')
+    return f"""
+    (unit/t (import {DB_OPS_DECLS} {INFO_DECLS})
+            (export (val error (-> str void))
+                    (val openBook (-> db bool)))
+      (define error-count (box int) (box 0))
+      (define error (-> str void)
+        (lambda ((msg str))
+          (begin
+            (set-box! error-count (+ (unbox error-count) 1))
+            (display "{greeting} error: ")
+            (display msg)
+            (newline))))
+      (define openBook (-> db bool)
+        (lambda ((book db))
+          (begin
+            (display "{greeting}")
+            (newline)
+            {verbose_line}
+            (display (number->string (size book)))
+            (newline)
+            (< (unbox error-count) 1))))
+      (void))
+"""
+
+
+GUI = _gui("phone book", verbose=False)
+EXPERT_GUI = _gui("expert phone book", verbose=True)
+NOVICE_GUI = _gui("welcome to your phone book!", verbose=True)
+
+#: The signature loader extensions must satisfy (Figure 7): they may
+#: use the database operations and error handling, and their
+#: initialization value is the loader function itself.
+LOADER_SIG_TEXT = """
+    (sig (import (type db) (type info)
+                 (val insert (-> db str info void))
+                 (val numInfo (-> int info))
+                 (val error (-> str void)))
+         (export)
+         (-> db str void))
+"""
+
+#: Figure 7's Gui: ``addLoader`` consumes an extension unit and
+#: dynamically links it with ``invoke``, installing the resulting
+#: loader function.
+LOADER_GUI = f"""
+    (unit/t (import {DB_OPS_DECLS} {INFO_DECLS})
+            (export (val error (-> str void))
+                    (val openBook (-> db bool))
+                    (val addLoader (-> {LOADER_SIG_TEXT} db str void)))
+      (define error (-> str void)
+        (lambda ((msg str))
+          (begin (display "gui error: ") (display msg) (newline))))
+      (define openBook (-> db bool)
+        (lambda ((book db))
+          (begin
+            (display "entries: ")
+            (display (number->string (size book)))
+            (newline)
+            #t)))
+      (define addLoader (-> {LOADER_SIG_TEXT} db str void)
+        (lambda ((ext {LOADER_SIG_TEXT}) (book db) (source str))
+          (let ((loader (invoke/t ext
+                          (type db db)
+                          (type info info)
+                          (val insert insert)
+                          (val numInfo numInfo)
+                          (val error error))))
+            (loader book source))))
+      (void))
+"""
+
+MAIN = """
+    (unit/t (import (type db) (type info)
+                    (val new (-> db))
+                    (val insert (-> db str info void))
+                    (val numInfo (-> int info))
+                    (val openBook (-> db bool)))
+            (export)
+      ;; Create a database, populate it, and open the book window; the
+      ;; bool result of openBook is the program's value (Section 3.2).
+      (let ((book (new)))
+        (begin
+          (insert book "marion" (numInfo 5550001))
+          (insert book "robby" (numInfo 5550002))
+          (insert book "shriram" (numInfo 5550003))
+          (openBook book))))
+"""
+
+#: A loader extension (the third-party plug-in of Section 3.4): loads
+#: one number from a "foreign source" string.
+SAMPLE_LOADER = """
+    (unit/t (import (type db) (type info)
+                    (val insert (-> db str info void))
+                    (val numInfo (-> int info))
+                    (val error (-> str void)))
+            (export)
+      (define load-one (-> db str void)
+        (lambda ((book db) (source str))
+          (if (string=? source "")
+              (error "loader: empty source")
+              (insert book source (numInfo 5559999)))))
+      load-one)
+"""
+
+#: A malicious/broken extension: well-formed syntax, wrong signature.
+BROKEN_LOADER = """
+    (unit/t (import) (export)
+      "i am not a loader function")
+"""

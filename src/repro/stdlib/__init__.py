@@ -1,0 +1,17 @@
+"""A small standard library of reusable units.
+
+The paper's thesis is that units enable an ecosystem of independently
+developed, reusable parts.  This package is that ecosystem in
+miniature: a handful of general-purpose UNITd units (association
+lists, stacks, queues, counters, a logger, math extras) published
+through a registry, each linkable into any program — including
+multiple instances with separate state.
+
+Use :func:`load` to get a unit value, :func:`catalog` to browse, or
+pull the raw sources from :data:`repro.stdlib.units.STDLIB_SOURCES`
+to link them with the graph builder.
+"""
+
+from repro.stdlib.units import STDLIB_SOURCES, catalog, describe, load
+
+__all__ = ["STDLIB_SOURCES", "catalog", "describe", "load"]

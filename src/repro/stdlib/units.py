@@ -1,0 +1,179 @@
+"""The standard-library unit sources and their registry.
+
+Every entry is a self-contained UNITd unit: no imports except where a
+dependency is the point (``logger`` imports its sink, ``memo`` wraps a
+function you supply).  All state is per-instance — linking a unit
+twice yields two independent instances, as Section 2 promises.
+"""
+
+from __future__ import annotations
+
+from repro.lang.interp import Interpreter
+from repro.lang.values import UnitValue
+
+ASSOC = """
+    (unit (import) (export assoc-empty assoc-put assoc-get assoc-has?
+                           assoc-remove assoc-size)
+      ;; Association lists keyed by strings, persistent-style: every
+      ;; operation returns a new list.
+      (define assoc-empty (lambda () (list)))
+      (define assoc-put (lambda (al key value)
+        (cons (cons key value) (assoc-remove al key))))
+      (define assoc-get (lambda (al key default)
+        (if (null? al)
+            default
+            (if (string=? (car (car al)) key)
+                (cdr (car al))
+                (assoc-get (cdr al) key default)))))
+      (define assoc-has? (lambda (al key)
+        (if (null? al)
+            #f
+            (if (string=? (car (car al)) key)
+                #t
+                (assoc-has? (cdr al) key)))))
+      (define assoc-remove (lambda (al key)
+        (if (null? al)
+            al
+            (if (string=? (car (car al)) key)
+                (assoc-remove (cdr al) key)
+                (cons (car al) (assoc-remove (cdr al) key))))))
+      (define assoc-size (lambda (al) (length al)))
+      (void))
+"""
+
+STACK = """
+    (unit (import) (export stack-new stack-push! stack-pop! stack-peek
+                           stack-empty?)
+      ;; Mutable stacks as boxed lists.
+      (define stack-new (lambda () (box (list))))
+      (define stack-push! (lambda (s v)
+        (set-box! s (cons v (unbox s)))))
+      (define stack-pop! (lambda (s)
+        (if (null? (unbox s))
+            (error "stack-pop!: empty stack")
+            (let ((top (car (unbox s))))
+              (begin (set-box! s (cdr (unbox s))) top)))))
+      (define stack-peek (lambda (s)
+        (if (null? (unbox s))
+            (error "stack-peek: empty stack")
+            (car (unbox s)))))
+      (define stack-empty? (lambda (s) (null? (unbox s))))
+      (void))
+"""
+
+QUEUE = """
+    (unit (import) (export queue-new queue-put! queue-take! queue-empty?
+                           queue-size)
+      ;; Two-list functional queue behind a box.
+      (define queue-new (lambda () (box (cons (list) (list)))))
+      (define queue-put! (lambda (q v)
+        (let ((state (unbox q)))
+          (set-box! q (cons (car state) (cons v (cdr state)))))))
+      (define queue-take! (lambda (q)
+        (let ((state (unbox q)))
+          (if (null? (car state))
+              (if (null? (cdr state))
+                  (error "queue-take!: empty queue")
+                  (let ((flipped (reverse (cdr state))))
+                    (begin
+                      (set-box! q (cons (cdr flipped) (list)))
+                      (car flipped))))
+              (begin
+                (set-box! q (cons (cdr (car state)) (cdr state)))
+                (car (car state)))))))
+      (define queue-empty? (lambda (q)
+        (let ((state (unbox q)))
+          (if (null? (car state)) (null? (cdr state)) #f))))
+      (define queue-size (lambda (q)
+        (let ((state (unbox q)))
+          (+ (length (car state)) (length (cdr state))))))
+      (void))
+"""
+
+COUNTER = """
+    (unit (import) (export counter-next! counter-reset! counter-value)
+      ;; A single per-instance counter; link twice for two counters.
+      (define state (box 0))
+      (define counter-next! (lambda ()
+        (begin (set-box! state (+ (unbox state) 1)) (unbox state))))
+      (define counter-reset! (lambda () (set-box! state 0)))
+      (define counter-value (lambda () (unbox state)))
+      (void))
+"""
+
+LOGGER = """
+    (unit (import sink) (export log! log-count)
+      ;; A leveled logger writing through an imported sink procedure.
+      (define count (box 0))
+      (define log! (lambda (level message)
+        (begin
+          (set-box! count (+ (unbox count) 1))
+          (sink (string-append "[" level "] " message)))))
+      (define log-count (lambda () (unbox count)))
+      (void))
+"""
+
+MATHX = """
+    (unit (import) (export gcd lcm expt fact fib sum-to)
+      (define gcd (lambda (a b)
+        (if (zero? b) (abs a) (gcd b (modulo a b)))))
+      (define lcm (lambda (a b)
+        (if (zero? (* a b)) 0 (quotient (abs (* a b)) (gcd a b)))))
+      (define expt (lambda (base power)
+        (if (zero? power) 1 (* base (expt base (- power 1))))))
+      (define fact (lambda (n)
+        (if (zero? n) 1 (* n (fact (- n 1))))))
+      (define fib (lambda (n)
+        (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))))
+      (define sum-to (lambda (n)
+        (if (zero? n) 0 (+ n (sum-to (- n 1))))))
+      (void))
+"""
+
+MEMO = """
+    (unit (import fn) (export memoized stats)
+      ;; Memoize a string->value function with a per-instance table.
+      (define table (makeStringHashTable))
+      (define hits (box 0))
+      (define misses (box 0))
+      (define memoized (lambda (key)
+        (if (hash-has? table key)
+            (begin (set-box! hits (+ (unbox hits) 1))
+                   (hash-get table key))
+            (let ((value (fn key)))
+              (begin
+                (set-box! misses (+ (unbox misses) 1))
+                (hash-put! table key value)
+                value)))))
+      (define stats (lambda () (list (unbox hits) (unbox misses))))
+      (void))
+"""
+
+#: Registry: name -> (source, one-line description).
+STDLIB_SOURCES: dict[str, tuple[str, str]] = {
+    "assoc": (ASSOC, "persistent string-keyed association lists"),
+    "stack": (STACK, "mutable stacks (boxed lists)"),
+    "queue": (QUEUE, "amortized O(1) two-list queues"),
+    "counter": (COUNTER, "a per-instance counter"),
+    "logger": (LOGGER, "a leveled logger over an imported sink"),
+    "mathx": (MATHX, "gcd/lcm/expt/fact/fib/sum-to"),
+    "memo": (MEMO, "memoization of an imported function"),
+}
+
+
+def catalog() -> tuple[str, ...]:
+    """Names of every stdlib unit."""
+    return tuple(STDLIB_SOURCES)
+
+
+def describe(name: str) -> str:
+    """One-line description of a stdlib unit."""
+    return STDLIB_SOURCES[name][1]
+
+
+def load(interp: Interpreter, name: str) -> UnitValue:
+    """Evaluate a stdlib unit's source to a unit value."""
+    source, _ = STDLIB_SOURCES[name]
+    value = interp.run(source, origin=f"<stdlib:{name}>")
+    assert isinstance(value, UnitValue)
+    return value

@@ -1,0 +1,42 @@
+"""The type language shared by UNITc and UNITe.
+
+* :mod:`repro.types.kinds` — kinds (Omega, plus arrow kinds "in
+  anticipation of future work that handles type constructors"),
+* :mod:`repro.types.types` — the type AST, including signatures,
+* :mod:`repro.types.tyenv` — kinding/typing environments,
+* :mod:`repro.types.wf` — well-formedness of types and signatures,
+* :mod:`repro.types.subtype` — Figures 14 and 17 signature subtyping,
+* :mod:`repro.types.parser` / :mod:`repro.types.pretty` — surface syntax.
+"""
+
+from repro.types.kinds import OMEGA, KArrow, Kind
+from repro.types.types import (
+    Arrow,
+    BaseType,
+    BoxType,
+    Product,
+    Sig,
+    TyVar,
+    Type,
+    BOOL,
+    INT,
+    STR,
+    VOID,
+)
+
+__all__ = [
+    "OMEGA",
+    "KArrow",
+    "Kind",
+    "Arrow",
+    "BaseType",
+    "BoxType",
+    "Product",
+    "Sig",
+    "TyVar",
+    "Type",
+    "BOOL",
+    "INT",
+    "STR",
+    "VOID",
+]

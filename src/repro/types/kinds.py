@@ -1,0 +1,48 @@
+"""Kinds: types for types (Section 3.1, footnote 3).
+
+"A kind is a type for a type.  Most languages have only one kind, Omega
+... Some languages (such as ML, Haskell, and Miranda) also provide type
+constructors or functions on types, which have the kind Omega ->
+Omega."  The paper's calculi use only Omega but declare kinds
+explicitly "in anticipation of future work that handles type
+constructors and polymorphism" (Section 4.2, footnote 9); we follow
+suit and implement arrow kinds as well, which the kinding rules in
+:mod:`repro.types.wf` understand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Kind:
+    """Base class of kinds."""
+
+
+@dataclass(frozen=True)
+class KOmega(Kind):
+    """The kind of (proper) types, written Omega in the paper."""
+
+    def __str__(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class KArrow(Kind):
+    """The kind of type constructors: ``kappa -> kappa``."""
+
+    param: Kind
+    result: Kind
+
+    def __str__(self) -> str:
+        return f"(=> {self.param} {self.result})"
+
+
+OMEGA = KOmega()
+"""The unique proper-type kind."""
+
+
+def kind_equal(left: Kind, right: Kind) -> bool:
+    """Kinds have no subsumption; equality is structural."""
+    return left == right

@@ -1,0 +1,154 @@
+"""Surface syntax for types, kinds, and signatures.
+
+.. code-block:: text
+
+   kind ::= * | (=> kind kind)
+   type ::= int | str | bool | void | num | file | name | value
+          | t                       ; any other symbol: a type variable
+          | (-> type ... type)      ; n-ary arrow, last is the result
+          | (* type type ...)       ; product
+          | (box type)
+          | (sig (import decl ...) (export decl ...)
+                 [(depends (te ti) ...)] type)
+   decl ::= (type t) | (type t kind) | (val x type)
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import ParseError
+from repro.lang.sexpr import Datum, SList, Symbol, read_sexpr
+from repro.types.kinds import KArrow, Kind, OMEGA
+from repro.types.types import (
+    Arrow,
+    BASE_TYPES,
+    BoxType,
+    Product,
+    Sig,
+    TyVar,
+    Type,
+)
+
+
+def parse_kind(datum: Datum) -> Kind:
+    """Parse a kind expression."""
+    if isinstance(datum, Symbol) and datum.name == "*":
+        return OMEGA
+    if isinstance(datum, SList) and len(datum) == 3 \
+            and isinstance(datum[0], Symbol) and datum[0].name == "=>":
+        return KArrow(parse_kind(datum[1]), parse_kind(datum[2]))
+    raise ParseError(f"malformed kind: {datum!r}",
+                     getattr(datum, "loc", None))
+
+
+def parse_type(datum: Datum) -> Type:
+    """Parse a type expression."""
+    if isinstance(datum, Symbol):
+        base = BASE_TYPES.get(datum.name)
+        if base is not None:
+            return base
+        return TyVar(datum.name)
+    if isinstance(datum, SList) and len(datum) >= 1 \
+            and isinstance(datum[0], Symbol):
+        head = datum[0].name
+        if head == "->":
+            if len(datum) < 2:
+                raise ParseError("arrow type needs a result", datum.loc)
+            types = [parse_type(d) for d in datum[1:]]
+            return Arrow(tuple(types[:-1]), types[-1])
+        if head == "*":
+            if len(datum) < 3:
+                raise ParseError("product type needs two components",
+                                 datum.loc)
+            return Product(tuple(parse_type(d) for d in datum[1:]))
+        if head == "box":
+            if len(datum) != 2:
+                raise ParseError("box type takes one content type",
+                                 datum.loc)
+            return BoxType(parse_type(datum[1]))
+        if head == "sig":
+            return parse_sig(datum)
+    raise ParseError(f"malformed type: {datum!r}",
+                     getattr(datum, "loc", None))
+
+
+def parse_decls(datum: Datum, keyword: str):
+    """Parse an ``(import decl ...)`` / ``(export decl ...)`` clause.
+
+    Returns ``(type_decls, value_decls)`` where type declarations carry
+    kinds (defaulting to Omega) and value declarations carry types.
+    """
+    if not isinstance(datum, SList) or len(datum) < 1 \
+            or not isinstance(datum[0], Symbol) or datum[0].name != keyword:
+        raise ParseError(f"expected ({keyword} decl ...)",
+                         getattr(datum, "loc", None))
+    tdecls: list[tuple[str, Kind]] = []
+    vdecls: list[tuple[str, Type]] = []
+    for decl in datum[1:]:
+        if not isinstance(decl, SList) or len(decl) < 2 \
+                or not isinstance(decl[0], Symbol):
+            raise ParseError(f"malformed declaration in {keyword}",
+                             datum.loc)
+        what = decl[0].name
+        if what == "type":
+            if not isinstance(decl[1], Symbol):
+                raise ParseError("type declaration needs a name", datum.loc)
+            name = decl[1].name
+            if len(decl) == 2:
+                kind: Kind = OMEGA
+            elif len(decl) == 3:
+                kind = parse_kind(decl[2])
+            else:
+                raise ParseError("malformed type declaration", datum.loc)
+            tdecls.append((name, kind))
+        elif what == "val":
+            if len(decl) != 3 or not isinstance(decl[1], Symbol):
+                raise ParseError("val declaration needs a name and a type",
+                                 datum.loc)
+            vdecls.append((decl[1].name, parse_type(decl[2])))
+        else:
+            raise ParseError(
+                f"declaration must be (type ...) or (val ...), got {what}",
+                datum.loc)
+    return tuple(tdecls), tuple(vdecls)
+
+
+def parse_sig(datum: SList) -> Sig:
+    """Parse a ``(sig (import ...) (export ...) [(depends ...)] tau)``."""
+    if len(datum) not in (4, 5):
+        raise ParseError(
+            "sig: expected (sig (import ...) (export ...) "
+            "[(depends ...)] init-type)", datum.loc)
+    timports, vimports = parse_decls(datum[1], "import")
+    texports, vexports = parse_decls(datum[2], "export")
+    depends: tuple[tuple[str, str], ...] = ()
+    if len(datum) == 5:
+        dep_datum = datum[3]
+        if not isinstance(dep_datum, SList) or len(dep_datum) < 1 \
+                or not isinstance(dep_datum[0], Symbol) \
+                or dep_datum[0].name != "depends":
+            raise ParseError("sig: expected (depends (te ti) ...)",
+                             datum.loc)
+        deps: list[tuple[str, str]] = []
+        for pair in dep_datum[1:]:
+            if not isinstance(pair, SList) or len(pair) != 2 \
+                    or not isinstance(pair[0], Symbol) \
+                    or not isinstance(pair[1], Symbol):
+                raise ParseError("sig: malformed dependency pair",
+                                 datum.loc)
+            deps.append((pair[0].name, pair[1].name))
+        depends = tuple(deps)
+    init = parse_type(datum[-1])
+    return Sig(timports, vimports, texports, vexports, init, depends)
+
+
+def parse_type_text(text: str, origin: str = "<type>") -> Type:
+    """Parse a type from source text."""
+    return parse_type(read_sexpr(text, origin))
+
+
+def parse_sig_text(text: str, origin: str = "<sig>") -> Sig:
+    """Parse a signature from source text."""
+    ty = parse_type_text(text, origin)
+    if not isinstance(ty, Sig):
+        raise ParseError("expected a signature type")
+    return ty

@@ -1,0 +1,119 @@
+"""Signature subtyping and subsumption (Figures 14 and 17).
+
+Figure 14 defines when a specific signature may be used in place of a
+more general one (``ts <= tg``):
+
+1. the initialization type is covariant,
+2. the subtype has *fewer imports and more exports*,
+3. imported value types are contravariant,
+4. exported value types are covariant.
+
+Figure 17 extends the relation with dependency clauses.  The premise
+(and soundness) requires the subtype to declare a *subset* of the
+supertype's dependencies: a context type-checks its links against the
+declared dependencies of the signature it sees, so an ascription may
+only add dependency declarations, never hide them — hiding a real
+dependency would let a compound create exactly the cyclic type
+definition the clause exists to prevent.  (The prose of Section 4.3.1
+phrases this as the signature with more dependencies being "more
+specific" — more informative — while the rule itself relates the
+types in the direction implemented here.)
+
+Structural rules for the other type forms: arrows are contravariant in
+their domains and covariant in their result; products are covariant
+pointwise; boxes are invariant (they are read *and* written).
+"""
+
+from __future__ import annotations
+
+from repro.types.kinds import kind_equal
+from repro.types.types import (
+    Arrow,
+    BaseType,
+    BoxType,
+    Product,
+    Sig,
+    TyVar,
+    Type,
+)
+
+
+def subtype(left: Type, right: Type) -> bool:
+    """Decide ``left <= right``."""
+    if left == right:
+        return True
+    if isinstance(left, (BaseType, TyVar)) or isinstance(right,
+                                                         (BaseType, TyVar)):
+        # Base types and opaque type variables relate only to themselves.
+        return False
+    if isinstance(left, Arrow) and isinstance(right, Arrow):
+        if len(left.domains) != len(right.domains):
+            return False
+        return (all(subtype(rd, ld)
+                    for ld, rd in zip(left.domains, right.domains))
+                and subtype(left.result, right.result))
+    if isinstance(left, Product) and isinstance(right, Product):
+        if len(left.components) != len(right.components):
+            return False
+        return all(subtype(lc, rc)
+                   for lc, rc in zip(left.components, right.components))
+    if isinstance(left, BoxType) and isinstance(right, BoxType):
+        return left.content == right.content
+    if isinstance(left, Sig) and isinstance(right, Sig):
+        return sig_subtype(left, right)
+    return False
+
+
+def sig_subtype(specific: Sig, general: Sig) -> bool:
+    """Figures 14 and 17: ``specific <= general`` on signatures."""
+    # 0. Same-source condition.  Signature type variables are labels in
+    #    a shared namespace ("UNITd does not allow alpha-renaming for a
+    #    unit's imported and exported variables"), so a type name
+    #    exported by the specific signature must not be conflated with
+    #    a like-named *import* of the general one: the two occurrences
+    #    would have different sources in the link graph, exactly the
+    #    mismatch Figure 4 illustrates.
+    if set(specific.texport_names) & set(general.timport_names):
+        return False
+    # 1. Covariant initialization type.
+    if not subtype(specific.init, general.init):
+        return False
+    # 2a. Fewer type imports, with matching kinds.
+    for name, kind in specific.timports:
+        gkind = general.timport_kind(name)
+        if gkind is None or not kind_equal(kind, gkind):
+            return False
+    # 2b. More type exports, with matching kinds.
+    for name, kind in general.texports:
+        skind = specific.texport_kind(name)
+        if skind is None or not kind_equal(skind, kind):
+            return False
+    # 3. Contravariant value imports: every import the specific unit
+    #    needs must be promised by the general signature, at a type the
+    #    specific unit accepts.
+    for name, sty in specific.vimports:
+        gty = general.vimport_type(name)
+        if gty is None or not subtype(gty, sty):
+            return False
+    # 4. Covariant value exports: everything the general signature
+    #    promises, the specific unit provides, at a type that suffices.
+    for name, gty in general.vexports:
+        sty = specific.vexport_type(name)
+        if sty is None or not subtype(sty, gty):
+            return False
+    # 5. Dependencies: the specific signature declares a subset.
+    return set(specific.depends) <= set(general.depends)
+
+
+def join(left: Type, right: Type) -> Type | None:
+    """The least common supertype of two comparable types, or None.
+
+    Used for conditional branches; comparable means one side already
+    subsumes the other (no general lattice join is needed for the
+    paper's monomorphic core).
+    """
+    if subtype(left, right):
+        return right
+    if subtype(right, left):
+        return left
+    return None

@@ -1,0 +1,87 @@
+"""Kinding and typing environments for the typed calculi."""
+
+from __future__ import annotations
+
+from repro.lang.errors import KindError, TypeCheckError
+from repro.types.kinds import Kind
+from repro.types.types import Type
+
+
+class TyEnv:
+    """An environment Gamma mapping type variables to kinds and value
+    variables to types.
+
+    Environments are persistent: ``with_types`` / ``with_values`` return
+    extended children, so checking different branches cannot leak
+    bindings into each other.
+    """
+
+    def __init__(self,
+                 types: dict[str, Kind] | None = None,
+                 values: dict[str, Type] | None = None,
+                 parent: "TyEnv | None" = None):
+        self.types = types if types is not None else {}
+        self.values = values if values is not None else {}
+        self.parent = parent
+
+    # -- lookups ----------------------------------------------------------
+
+    def kind_of(self, name: str) -> Kind:
+        """Kind of a type variable; raises :class:`KindError` if unbound."""
+        env: TyEnv | None = self
+        while env is not None:
+            if name in env.types:
+                return env.types[name]
+            env = env.parent
+        raise KindError(f"unbound type variable: {name}")
+
+    def has_type_var(self, name: str) -> bool:
+        """Is ``name`` a bound type variable?"""
+        env: TyEnv | None = self
+        while env is not None:
+            if name in env.types:
+                return True
+            env = env.parent
+        return False
+
+    def type_of(self, name: str) -> Type:
+        """Type of a value variable; raises if unbound."""
+        env: TyEnv | None = self
+        while env is not None:
+            if name in env.values:
+                return env.values[name]
+            env = env.parent
+        raise TypeCheckError(f"unbound variable: {name}")
+
+    def has_value(self, name: str) -> bool:
+        """Is ``name`` a bound value variable?"""
+        env: TyEnv | None = self
+        while env is not None:
+            if name in env.values:
+                return True
+            env = env.parent
+        return False
+
+    # -- extension --------------------------------------------------------
+
+    def with_types(self, bindings: dict[str, Kind]) -> "TyEnv":
+        """Extend with type-variable bindings."""
+        return TyEnv(dict(bindings), {}, self)
+
+    def with_values(self, bindings: dict[str, Type]) -> "TyEnv":
+        """Extend with value-variable bindings."""
+        return TyEnv({}, dict(bindings), self)
+
+    def with_both(self, types: dict[str, Kind],
+                  values: dict[str, Type]) -> "TyEnv":
+        """Extend with both kinds of bindings at once."""
+        return TyEnv(dict(types), dict(values), self)
+
+    def type_var_names(self) -> frozenset[str]:
+        """All bound type-variable names (for freshness checks)."""
+        names: set[str] = set()
+        env: TyEnv | None = self
+        while env is not None:
+            names.update(env.types)
+            env = env.parent
+        return frozenset(names)

@@ -1,0 +1,278 @@
+"""The type AST for UNITc and UNITe (Figures 13 and 16).
+
+The paper's type grammar is ``tau ::= t | tau -> tau | sig``; products
+appear in example types such as ``insert : db x str x info -> void``.
+We model the grammar with
+
+* :class:`BaseType` — predefined type constants (``int``, ``str``, ...),
+* :class:`TyVar` — type variables ``t`` (imported, exported, or defined
+  by datatypes/equations),
+* :class:`Arrow` — n-ary arrows, covering ``t1 x ... x tn -> t``,
+* :class:`Product` — tuple types (used by the examples' payloads),
+* :class:`BoxType` — reference cells (``strTable`` in Figure 1 is
+  mutable state; boxes give the typed examples honest state),
+* :class:`Sig` — unit signatures ``sig imports exports depends tau_b``
+  (the ``depends`` clause is UNITe's addition, empty in UNITc).
+
+Signature *names are labels*: UNITd "does not allow alpha-renaming for
+a unit's imported and exported variables" and linking connects
+variables by name, so two signatures are equal only when their declared
+names coincide (no alpha-equivalence over the sig-bound type
+variables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.types.kinds import Kind, OMEGA
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class of types."""
+
+
+@dataclass(frozen=True)
+class BaseType(Type):
+    """A predefined type constant."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TyVar(Type):
+    """A type variable, bound by a unit interface, datatype, or equation."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Arrow(Type):
+    """An n-ary function type ``t1 x ... x tn -> t``."""
+
+    domains: tuple[Type, ...]
+    result: Type
+
+    def __str__(self) -> str:
+        if not self.domains:
+            return f"(-> {self.result})"
+        doms = " ".join(str(d) for d in self.domains)
+        return f"(-> {doms} {self.result})"
+
+
+@dataclass(frozen=True)
+class Product(Type):
+    """A tuple type ``t1 x ... x tn``."""
+
+    components: tuple[Type, ...]
+
+    def __str__(self) -> str:
+        return "(* " + " ".join(str(c) for c in self.components) + ")"
+
+
+@dataclass(frozen=True)
+class BoxType(Type):
+    """The type of a mutable reference cell holding a ``content``."""
+
+    content: Type
+
+    def __str__(self) -> str:
+        return f"(box {self.content})"
+
+
+@dataclass(frozen=True)
+class Sig(Type):
+    """A unit signature: ``sig imports exports depends tau_b``.
+
+    ``timports`` / ``texports`` declare type variables with kinds;
+    ``vimports`` / ``vexports`` declare value variables with types.
+    ``depends`` is the UNITe dependency clause — pairs ``(te, ti)``
+    meaning *exported type te depends on imported type ti* — and is
+    empty for UNITc signatures.  ``init`` is the type of the unit's
+    initialization expression, which "cannot depend on type variables
+    listed in exports" (Section 4.2).
+    """
+
+    timports: tuple[tuple[str, Kind], ...]
+    vimports: tuple[tuple[str, Type], ...]
+    texports: tuple[tuple[str, Kind], ...]
+    vexports: tuple[tuple[str, Type], ...]
+    init: Type
+    depends: tuple[tuple[str, str], ...] = ()
+
+    # -- convenient views -------------------------------------------------
+
+    @property
+    def timport_names(self) -> tuple[str, ...]:
+        """Names of imported type variables."""
+        return tuple(name for name, _ in self.timports)
+
+    @property
+    def texport_names(self) -> tuple[str, ...]:
+        """Names of exported type variables."""
+        return tuple(name for name, _ in self.texports)
+
+    @property
+    def vimport_names(self) -> tuple[str, ...]:
+        """Names of imported value variables."""
+        return tuple(name for name, _ in self.vimports)
+
+    @property
+    def vexport_names(self) -> tuple[str, ...]:
+        """Names of exported value variables."""
+        return tuple(name for name, _ in self.vexports)
+
+    def timport_kind(self, name: str) -> Kind | None:
+        """Kind of an imported type variable, or None."""
+        for other, kind in self.timports:
+            if other == name:
+                return kind
+        return None
+
+    def texport_kind(self, name: str) -> Kind | None:
+        """Kind of an exported type variable, or None."""
+        for other, kind in self.texports:
+            if other == name:
+                return kind
+        return None
+
+    def vimport_type(self, name: str) -> Type | None:
+        """Declared type of an imported value variable, or None."""
+        for other, ty in self.vimports:
+            if other == name:
+                return ty
+        return None
+
+    def vexport_type(self, name: str) -> Type | None:
+        """Declared type of an exported value variable, or None."""
+        for other, ty in self.vexports:
+            if other == name:
+                return ty
+        return None
+
+    def bound_type_names(self) -> frozenset[str]:
+        """Type variables bound by this signature's interface."""
+        return frozenset(self.timport_names) | frozenset(self.texport_names)
+
+    def __str__(self) -> str:
+        parts = ["(sig (import"]
+        for name, kind in self.timports:
+            parts.append(f" (type {name} {kind})")
+        for name, ty in self.vimports:
+            parts.append(f" (val {name} {ty})")
+        parts.append(") (export")
+        for name, kind in self.texports:
+            parts.append(f" (type {name} {kind})")
+        for name, ty in self.vexports:
+            parts.append(f" (val {name} {ty})")
+        parts.append(")")
+        if self.depends:
+            parts.append(" (depends")
+            for te, ti in self.depends:
+                parts.append(f" ({te} {ti})")
+            parts.append(")")
+        parts.append(f" {self.init})")
+        return "".join(parts)
+
+
+# Predefined base types used throughout the paper's examples.
+INT = BaseType("int")
+STR = BaseType("str")
+BOOL = BaseType("bool")
+VOID = BaseType("void")
+NUM = BaseType("num")
+FILE = BaseType("file")
+NAME = BaseType("name")
+VALUE = BaseType("value")
+
+#: The base-type constants the type parser recognizes.
+BASE_TYPES: dict[str, BaseType] = {
+    t.name: t for t in (INT, STR, BOOL, VOID, NUM, FILE, NAME, VALUE)
+}
+
+
+def arrow(*types: Type) -> Arrow:
+    """Build an arrow from domains followed by the result type."""
+    if not types:
+        raise ValueError("arrow needs at least a result type")
+    return Arrow(tuple(types[:-1]), types[-1])
+
+
+def free_type_vars(ty: Type) -> frozenset[str]:
+    """FTV(tau): type variables not bound by a sig's interface clauses.
+
+    Matches the note below Figure 18: "FTV(tau) denotes the set of type
+    variables in tau that are not bound by the import or export clause
+    of a sig type."
+    """
+    if isinstance(ty, BaseType):
+        return frozenset()
+    if isinstance(ty, TyVar):
+        return frozenset((ty.name,))
+    if isinstance(ty, Arrow):
+        out = free_type_vars(ty.result)
+        for dom in ty.domains:
+            out |= free_type_vars(dom)
+        return out
+    if isinstance(ty, Product):
+        out: frozenset[str] = frozenset()
+        for comp in ty.components:
+            out |= free_type_vars(comp)
+        return out
+    if isinstance(ty, BoxType):
+        return free_type_vars(ty.content)
+    if isinstance(ty, Sig):
+        bound = ty.bound_type_names()
+        out = free_type_vars(ty.init)
+        for _, vty in ty.vimports:
+            out |= free_type_vars(vty)
+        for _, vty in ty.vexports:
+            out |= free_type_vars(vty)
+        return out - bound
+    raise TypeError(f"free_type_vars: unknown type {ty!r}")
+
+
+def subst_type(ty: Type, mapping: dict[str, Type]) -> Type:
+    """Substitute types for free type variables.
+
+    Signature-bound type variables shadow the mapping, in line with
+    ``free_type_vars``.  Signature interfaces are labels and are never
+    renamed, so a mapping whose *replacement* mentions a name bound by
+    an inner sig would be ill-scoped; callers (invoke typing,
+    abbreviation expansion) only substitute closed or
+    alpha-independent types, which the checker guarantees.
+    """
+    if not mapping:
+        return ty
+    if isinstance(ty, BaseType):
+        return ty
+    if isinstance(ty, TyVar):
+        return mapping.get(ty.name, ty)
+    if isinstance(ty, Arrow):
+        return Arrow(tuple(subst_type(d, mapping) for d in ty.domains),
+                     subst_type(ty.result, mapping))
+    if isinstance(ty, Product):
+        return Product(tuple(subst_type(c, mapping) for c in ty.components))
+    if isinstance(ty, BoxType):
+        return BoxType(subst_type(ty.content, mapping))
+    if isinstance(ty, Sig):
+        bound = ty.bound_type_names()
+        inner = {k: v for k, v in mapping.items() if k not in bound}
+        if not inner:
+            return ty
+        return Sig(
+            ty.timports,
+            tuple((n, subst_type(t, inner)) for n, t in ty.vimports),
+            ty.texports,
+            tuple((n, subst_type(t, inner)) for n, t in ty.vexports),
+            subst_type(ty.init, inner),
+            ty.depends,
+        )
+    raise TypeError(f"subst_type: unknown type {ty!r}")

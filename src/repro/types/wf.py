@@ -1,0 +1,113 @@
+"""Well-formedness (kinding) of types and signatures.
+
+Implements the first rule of Figure 15 (and its Figure 19 refinement
+for dependency clauses):
+
+* a signature's type expressions are checked "in an environment
+  containing the signature's imported and exported type variables";
+* the initialization type "must not refer to any of the exported type
+  variables" (``FTV(tau_b) ∩ te = ∅``);
+* a ``depends`` entry ``te ~> ti`` must relate an exported type
+  variable to an imported one.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import KindError, TypeCheckError
+from repro.types.kinds import Kind, OMEGA
+from repro.types.tyenv import TyEnv
+from repro.types.types import (
+    Arrow,
+    BaseType,
+    BoxType,
+    Product,
+    Sig,
+    TyVar,
+    Type,
+    free_type_vars,
+)
+
+
+def kind_of(ty: Type, env: TyEnv) -> Kind:
+    """Compute the kind of a type expression; raise on ill-formedness."""
+    if isinstance(ty, BaseType):
+        return OMEGA
+    if isinstance(ty, TyVar):
+        return env.kind_of(ty.name)
+    if isinstance(ty, Arrow):
+        for dom in ty.domains:
+            _require_omega(dom, env, "function domain")
+        _require_omega(ty.result, env, "function result")
+        return OMEGA
+    if isinstance(ty, Product):
+        for comp in ty.components:
+            _require_omega(comp, env, "tuple component")
+        return OMEGA
+    if isinstance(ty, BoxType):
+        _require_omega(ty.content, env, "box content")
+        return OMEGA
+    if isinstance(ty, Sig):
+        check_sig_wf(ty, env)
+        return OMEGA
+    raise KindError(f"unknown type expression: {ty!r}")
+
+
+def _require_omega(ty: Type, env: TyEnv, what: str) -> None:
+    kind = kind_of(ty, env)
+    if kind != OMEGA:
+        raise KindError(f"{what} must have kind *, got {kind}")
+
+
+def check_type_wf(ty: Type, env: TyEnv) -> None:
+    """Check that ``ty`` is a well-formed proper type (kind Omega)."""
+    _require_omega(ty, env, "type")
+
+
+def check_sig_wf(sig: Sig, env: TyEnv) -> None:
+    """Check signature well-formedness (Figures 15 and 19, first rule)."""
+    tnames = sig.timport_names + sig.texport_names
+    if len(set(tnames)) != len(tnames):
+        raise TypeCheckError("signature: duplicate type variable")
+    vnames = sig.vimport_names + sig.vexport_names
+    if len(set(vnames)) != len(vnames):
+        raise TypeCheckError("signature: duplicate value variable")
+
+    inner = env.with_types(
+        {name: kind for name, kind in sig.timports + sig.texports})
+    for name, ty in sig.vimports:
+        try:
+            _require_omega(ty, inner, f"type of import '{name}'")
+        except KindError as err:
+            raise TypeCheckError(f"signature import '{name}': {err.message}")
+    for name, ty in sig.vexports:
+        try:
+            _require_omega(ty, inner, f"type of export '{name}'")
+        except KindError as err:
+            raise TypeCheckError(f"signature export '{name}': {err.message}")
+    try:
+        _require_omega(sig.init, inner, "initialization type")
+    except KindError as err:
+        raise TypeCheckError(f"signature initialization type: {err.message}")
+
+    exported = set(sig.texport_names)
+    leaked = free_type_vars(sig.init) & exported
+    if leaked:
+        raise TypeCheckError(
+            "signature: initialization type refers to exported type "
+            "variable(s): " + ", ".join(sorted(leaked)))
+
+    imported = set(sig.timport_names)
+    seen: set[tuple[str, str]] = set()
+    for te, ti in sig.depends:
+        if te not in exported:
+            raise TypeCheckError(
+                f"signature: dependency source '{te}' is not an exported "
+                f"type")
+        if ti not in imported:
+            raise TypeCheckError(
+                f"signature: dependency target '{ti}' is not an imported "
+                f"type")
+        if (te, ti) in seen:
+            raise TypeCheckError(
+                f"signature: duplicate dependency {te} ~> {ti}")
+        seen.add((te, ti))

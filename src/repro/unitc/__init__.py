@@ -1,0 +1,28 @@
+"""UNITc: units with constructed types (Section 4.2), and the syntax
+shared with UNITe (Section 4.3).
+
+* :mod:`repro.unitc.ast` — the typed expression language,
+* :mod:`repro.unitc.parser` — typed surface syntax,
+* :mod:`repro.unitc.prims` — monomorphic types for the primitives,
+* :mod:`repro.unitc.check` — Figure 15 type checking,
+* :mod:`repro.unitc.erase` — type erasure into the untyped core,
+* :mod:`repro.unitc.reduce` — typed reduction (propagating type
+  definitions, Section 4.2.2),
+* :mod:`repro.unitc.datatypes` — semantics of two-variant datatypes.
+"""
+
+from repro.unitc.ast import (
+    DatatypeDefn,
+    TypeEqn,
+    TypedCompoundExpr,
+    TypedInvokeExpr,
+    TypedUnitExpr,
+)
+
+__all__ = [
+    "DatatypeDefn",
+    "TypeEqn",
+    "TypedCompoundExpr",
+    "TypedInvokeExpr",
+    "TypedUnitExpr",
+]

@@ -1,0 +1,170 @@
+"""Type erasure: typed expressions to untyped core expressions.
+
+Section 4.2.2 observes that UNITc's reduction rules "are nearly the
+same as the rules for UNITd", with type definitions merely propagated;
+and Section 4.3.2 that type equations "have no run-time effect when
+programs are executed."  Erasure makes this precise: a checked typed
+program erases to an untyped program whose evaluation (by the
+interpreter or the rewriting machine) gives the typed program's
+meaning.
+
+* annotations are dropped,
+* datatype definitions become the five value definitions the variants
+  induce (constructors, deconstructors, predicate) over the runtime
+  variant representation,
+* type equations vanish,
+* typed unit interfaces keep only their value imports/exports,
+* tuples erase to lists, projection to ``list-ref``.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast as core
+from repro.lang.ast import Expr
+from repro.units.ast import CompoundExpr, InvokeExpr, LinkClause, UnitExpr
+from repro.unitc.ast import (
+    DatatypeDefn,
+    TApp,
+    TBox,
+    TExpr,
+    TIf,
+    TLambda,
+    TLet,
+    TLetrec,
+    TLit,
+    TProj,
+    TSeq,
+    TSet,
+    TSetBox,
+    TTuple,
+    TUnbox,
+    TVar,
+    TypedCompoundExpr,
+    TypedInvokeExpr,
+    TypedUnitExpr,
+)
+from repro.unitc.prims import PRIM_ERASURE
+
+
+def erase(expr: TExpr) -> Expr:
+    """Erase a typed expression to an untyped core expression."""
+    if isinstance(expr, TLit):
+        return core.Lit(expr.value, expr.loc)
+    if isinstance(expr, TVar):
+        return core.Var(PRIM_ERASURE.get(expr.name, expr.name), expr.loc)
+    if isinstance(expr, TLambda):
+        return core.Lambda(tuple(name for name, _ in expr.params),
+                           erase(expr.body), expr.loc)
+    if isinstance(expr, TApp):
+        return core.App(erase(expr.fn), tuple(erase(a) for a in expr.args),
+                        expr.loc)
+    if isinstance(expr, TIf):
+        return core.If(erase(expr.test), erase(expr.then),
+                       erase(expr.orelse), expr.loc)
+    if isinstance(expr, TLet):
+        return core.Let(tuple((n, erase(rhs)) for n, rhs in expr.bindings),
+                        erase(expr.body), expr.loc)
+    if isinstance(expr, TLetrec):
+        return core.Letrec(
+            tuple((n, erase(rhs)) for n, _, rhs in expr.bindings),
+            erase(expr.body), expr.loc)
+    if isinstance(expr, TSeq):
+        return core.Seq(tuple(erase(e) for e in expr.exprs), expr.loc)
+    if isinstance(expr, TSet):
+        return core.SetBang(expr.name, erase(expr.expr), expr.loc)
+    if isinstance(expr, TTuple):
+        return core.App(core.Var("list"),
+                        tuple(erase(e) for e in expr.exprs), expr.loc)
+    if isinstance(expr, TProj):
+        return core.App(core.Var("list-ref"),
+                        (erase(expr.expr), core.Lit(expr.index)), expr.loc)
+    if isinstance(expr, TBox):
+        return core.App(core.Var("box"), (erase(expr.expr),), expr.loc)
+    if isinstance(expr, TUnbox):
+        return core.App(core.Var("unbox"), (erase(expr.expr),), expr.loc)
+    if isinstance(expr, TSetBox):
+        return core.App(core.Var("set-box!"),
+                        (erase(expr.box), erase(expr.expr)), expr.loc)
+    if isinstance(expr, TypedUnitExpr):
+        return erase_unit(expr)
+    if isinstance(expr, TypedCompoundExpr):
+        return erase_compound(expr)
+    if isinstance(expr, TypedInvokeExpr):
+        return erase_invoke(expr)
+    raise TypeError(f"erase: unknown typed expression {expr!r}")
+
+
+def datatype_defns(dt: DatatypeDefn) -> list[tuple[str, Expr]]:
+    """The value definitions a datatype erases to.
+
+    Instances are :class:`~repro.lang.values.VariantValue` objects
+    tagged with the datatype's name; the deconstructors and predicate
+    check the tag and variant index at run time, raising the
+    :class:`~repro.lang.errors.VariantError` that Section 4.2 specifies
+    for applying a deconstructor to the wrong variant.
+    """
+    tag = core.Lit(dt.name)
+
+    def ctor(index: int) -> Expr:
+        return core.Lambda(
+            ("v",),
+            core.App(core.Var("make-variant"),
+                     (tag, core.Lit(index), core.Var("v"))))
+
+    def dtor(index: int) -> Expr:
+        return core.Lambda(
+            ("v",),
+            core.App(core.Var("variant-payload"),
+                     (tag, core.Lit(index), core.Var("v"))))
+
+    pred = core.Lambda(
+        ("v",),
+        core.App(core.Var("variant-first?"), (tag, core.Var("v"))))
+    return [
+        (dt.ctor1, ctor(0)),
+        (dt.dtor1, dtor(0)),
+        (dt.ctor2, ctor(1)),
+        (dt.dtor2, dtor(1)),
+        (dt.pred, pred),
+    ]
+
+
+def erase_unit(unit: TypedUnitExpr) -> UnitExpr:
+    """Erase a typed unit: type interface dropped, datatypes expanded."""
+    defns: list[tuple[str, Expr]] = []
+    for dt in unit.datatypes:
+        defns.extend(datatype_defns(dt))
+    for name, _, rhs in unit.defns:
+        defns.append((name, erase(rhs)))
+    return UnitExpr(
+        imports=tuple(name for name, _ in unit.vimports),
+        exports=tuple(name for name, _ in unit.vexports),
+        defns=tuple(defns),
+        init=erase(unit.init),
+        loc=unit.loc)
+
+
+def erase_compound(compound: TypedCompoundExpr) -> CompoundExpr:
+    """Erase a typed compound: value linking only."""
+
+    def clause(c) -> LinkClause:
+        return LinkClause(
+            erase(c.expr),
+            tuple(name for name, _ in c.with_values),
+            tuple(name for name, _ in c.prov_values),
+            c.loc)
+
+    return CompoundExpr(
+        imports=tuple(name for name, _ in compound.vimports),
+        exports=tuple(name for name, _ in compound.vexports),
+        first=clause(compound.first),
+        second=clause(compound.second),
+        loc=compound.loc)
+
+
+def erase_invoke(invoke: TypedInvokeExpr) -> InvokeExpr:
+    """Erase a typed invoke: type links vanish, value links remain."""
+    return InvokeExpr(
+        erase(invoke.expr),
+        tuple((name, erase(rhs)) for name, rhs in invoke.vlinks),
+        invoke.loc)

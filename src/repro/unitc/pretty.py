@@ -1,0 +1,168 @@
+"""Pretty-printer for the typed expression language.
+
+``texpr_to_datum`` is a right inverse of the typed parser: printing a
+typed AST and re-parsing yields an equal AST (checked by property
+tests).  Used to serialize typed units into the archive and to render
+typed reduction results.
+"""
+
+from __future__ import annotations
+
+from repro.lang.sexpr import Datum, SList, Symbol, format_sexpr, write_sexpr
+from repro.types.pretty import kind_to_datum, type_to_datum
+from repro.unitc.ast import (
+    DatatypeDefn,
+    TApp,
+    TBox,
+    TExpr,
+    TIf,
+    TLambda,
+    TLet,
+    TLetrec,
+    TLit,
+    TProj,
+    TSeq,
+    TSet,
+    TSetBox,
+    TTuple,
+    TUnbox,
+    TVar,
+    TypeEqn,
+    TypedCompoundExpr,
+    TypedInvokeExpr,
+    TypedLinkClause,
+    TypedUnitExpr,
+)
+
+
+def _s(*items: Datum) -> SList:
+    return SList(tuple(items))
+
+
+def _y(name: str) -> Symbol:
+    return Symbol(name)
+
+
+def texpr_to_datum(expr: TExpr) -> Datum:
+    """Convert a typed expression to its surface syntax."""
+    if isinstance(expr, TLit):
+        if expr.value is None:
+            return _s(_y("void"))
+        return expr.value  # type: ignore[return-value]
+    if isinstance(expr, TVar):
+        return _y(expr.name)
+    if isinstance(expr, TLambda):
+        params = _s(*(_s(_y(name), type_to_datum(ty))
+                      for name, ty in expr.params))
+        return _s(_y("lambda"), params, texpr_to_datum(expr.body))
+    if isinstance(expr, TApp):
+        return _s(texpr_to_datum(expr.fn),
+                  *(texpr_to_datum(a) for a in expr.args))
+    if isinstance(expr, TIf):
+        return _s(_y("if"), texpr_to_datum(expr.test),
+                  texpr_to_datum(expr.then), texpr_to_datum(expr.orelse))
+    if isinstance(expr, TLet):
+        bindings = _s(*(_s(_y(name), texpr_to_datum(rhs))
+                        for name, rhs in expr.bindings))
+        return _s(_y("let"), bindings, texpr_to_datum(expr.body))
+    if isinstance(expr, TLetrec):
+        bindings = _s(*(_s(_y(name), type_to_datum(ty), texpr_to_datum(rhs))
+                        for name, ty, rhs in expr.bindings))
+        return _s(_y("letrec"), bindings, texpr_to_datum(expr.body))
+    if isinstance(expr, TSeq):
+        return _s(_y("begin"), *(texpr_to_datum(e) for e in expr.exprs))
+    if isinstance(expr, TSet):
+        return _s(_y("set!"), _y(expr.name), texpr_to_datum(expr.expr))
+    if isinstance(expr, TTuple):
+        return _s(_y("tuple"), *(texpr_to_datum(e) for e in expr.exprs))
+    if isinstance(expr, TProj):
+        return _s(_y("proj"), expr.index, texpr_to_datum(expr.expr))
+    if isinstance(expr, TBox):
+        return _s(_y("box"), texpr_to_datum(expr.expr))
+    if isinstance(expr, TUnbox):
+        return _s(_y("unbox"), texpr_to_datum(expr.expr))
+    if isinstance(expr, TSetBox):
+        return _s(_y("set-box!"), texpr_to_datum(expr.box),
+                  texpr_to_datum(expr.expr))
+    if isinstance(expr, TypedUnitExpr):
+        return typed_unit_to_datum(expr)
+    if isinstance(expr, TypedCompoundExpr):
+        return typed_compound_to_datum(expr)
+    if isinstance(expr, TypedInvokeExpr):
+        return typed_invoke_to_datum(expr)
+    raise TypeError(f"texpr_to_datum: unknown expression {expr!r}")
+
+
+def _decls_datum(keyword: str, tdecls, vdecls) -> SList:
+    items: list[Datum] = [_y(keyword)]
+    for name, kind in tdecls:
+        items.append(_s(_y("type"), _y(name), kind_to_datum(kind)))
+    for name, ty in vdecls:
+        items.append(_s(_y("val"), _y(name), type_to_datum(ty)))
+    return SList(tuple(items))
+
+
+def _datatype_datum(dt: DatatypeDefn) -> SList:
+    return _s(_y("datatype"), _y(dt.name),
+              _s(_y(dt.ctor1), _y(dt.dtor1), type_to_datum(dt.ty1)),
+              _s(_y(dt.ctor2), _y(dt.dtor2), type_to_datum(dt.ty2)),
+              _y(dt.pred))
+
+
+def _equation_datum(eq: TypeEqn) -> SList:
+    return _s(_y("type"), _y(eq.name), kind_to_datum(eq.kind),
+              type_to_datum(eq.rhs))
+
+
+def typed_unit_to_datum(unit: TypedUnitExpr) -> SList:
+    """Convert a typed unit to its surface syntax."""
+    items: list[Datum] = [
+        _y("unit/t"),
+        _decls_datum("import", unit.timports, unit.vimports),
+        _decls_datum("export", unit.texports, unit.vexports),
+    ]
+    for dt in unit.datatypes:
+        items.append(_datatype_datum(dt))
+    for eq in unit.equations:
+        items.append(_equation_datum(eq))
+    for name, ty, rhs in unit.defns:
+        items.append(_s(_y("define"), _y(name), type_to_datum(ty),
+                        texpr_to_datum(rhs)))
+    items.append(texpr_to_datum(unit.init))
+    return SList(tuple(items))
+
+
+def _clause_datum(clause: TypedLinkClause) -> SList:
+    return _s(texpr_to_datum(clause.expr),
+              _decls_datum("with", clause.with_types, clause.with_values),
+              _decls_datum("provides", clause.prov_types,
+                           clause.prov_values))
+
+
+def typed_compound_to_datum(compound: TypedCompoundExpr) -> SList:
+    """Convert a typed compound to its surface syntax."""
+    return _s(_y("compound/t"),
+              _decls_datum("import", compound.timports, compound.vimports),
+              _decls_datum("export", compound.texports, compound.vexports),
+              _s(_y("link"), _clause_datum(compound.first),
+                 _clause_datum(compound.second)))
+
+
+def typed_invoke_to_datum(invoke: TypedInvokeExpr) -> SList:
+    """Convert a typed invoke to its surface syntax."""
+    items: list[Datum] = [_y("invoke/t"), texpr_to_datum(invoke.expr)]
+    for name, ty in invoke.tlinks:
+        items.append(_s(_y("type"), _y(name), type_to_datum(ty)))
+    for name, rhs in invoke.vlinks:
+        items.append(_s(_y("val"), _y(name), texpr_to_datum(rhs)))
+    return SList(tuple(items))
+
+
+def show_texpr(expr: TExpr) -> str:
+    """Render a typed expression on one line."""
+    return write_sexpr(texpr_to_datum(expr))
+
+
+def pretty_texpr(expr: TExpr, width: int = 78) -> str:
+    """Render a typed expression as multi-line source text."""
+    return format_sexpr(texpr_to_datum(expr), width)

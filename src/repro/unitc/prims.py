@@ -1,0 +1,60 @@
+"""Monomorphic primitive types for the typed core language.
+
+The paper's typed core is monomorphic ("the monomorphic subset of ML",
+Section 4.2.3), so every primitive gets one type.  A few primitives
+exist in typed variants (``display-int`` alongside ``display``) whose
+erasure maps back to the single untyped primitive.
+"""
+
+from __future__ import annotations
+
+from repro.types.types import Arrow, BOOL, INT, STR, Type, VOID
+
+
+def _fn(*types: Type) -> Arrow:
+    return Arrow(tuple(types[:-1]), types[-1])
+
+
+#: Types of the primitives available inside typed units.
+TYPED_PRIMS: dict[str, Type] = {
+    "+": _fn(INT, INT, INT),
+    "-": _fn(INT, INT, INT),
+    "*": _fn(INT, INT, INT),
+    "modulo": _fn(INT, INT, INT),
+    "quotient": _fn(INT, INT, INT),
+    "add1": _fn(INT, INT),
+    "sub1": _fn(INT, INT),
+    "abs": _fn(INT, INT),
+    "max": _fn(INT, INT, INT),
+    "min": _fn(INT, INT, INT),
+    "=": _fn(INT, INT, BOOL),
+    "<": _fn(INT, INT, BOOL),
+    ">": _fn(INT, INT, BOOL),
+    "<=": _fn(INT, INT, BOOL),
+    ">=": _fn(INT, INT, BOOL),
+    "zero?": _fn(INT, BOOL),
+    "not": _fn(BOOL, BOOL),
+    "string-append": _fn(STR, STR, STR),
+    # Arity-specific variants of the variadic untyped primitive (the
+    # typed core is monomorphic, so each arity needs its own name).
+    "string-append3": _fn(STR, STR, STR, STR),
+    "string-append4": _fn(STR, STR, STR, STR, STR),
+    "string-append5": _fn(STR, STR, STR, STR, STR, STR),
+    "string-length": _fn(STR, INT),
+    "string=?": _fn(STR, STR, BOOL),
+    "substring": _fn(STR, INT, INT, STR),
+    "number->string": _fn(INT, STR),
+    "display": _fn(STR, VOID),
+    "display-int": _fn(INT, VOID),
+    "newline": _fn(VOID),
+    "error": _fn(STR, VOID),
+    "void": _fn(VOID),
+}
+
+#: Typed primitive names whose untyped runtime primitive differs.
+PRIM_ERASURE: dict[str, str] = {
+    "display-int": "display",
+    "string-append3": "string-append",
+    "string-append4": "string-append",
+    "string-append5": "string-append",
+}

@@ -1,0 +1,26 @@
+"""UNITe: units with type dependencies and equations (Section 4.3).
+
+* :mod:`repro.unite.depends` — the depends-on relation and cycle checks,
+* :mod:`repro.unite.expand` — Figure 18 abbreviation expansion,
+* :mod:`repro.unite.check` — entry points for checking equation-bearing
+  programs (the unified checker lives in :mod:`repro.unitc.check`;
+  UNITc programs are the equation-free special case).
+"""
+
+from repro.unite.depends import (
+    check_equations_acyclic,
+    compound_link_cycle_check,
+    compute_compound_depends,
+    compute_unit_depends,
+    type_depends_on,
+)
+from repro.unite.expand import expand_type
+
+__all__ = [
+    "check_equations_acyclic",
+    "compound_link_cycle_check",
+    "compute_compound_depends",
+    "compute_unit_depends",
+    "expand_type",
+    "type_depends_on",
+]

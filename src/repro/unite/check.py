@@ -1,0 +1,76 @@
+"""Checking entry points for UNITe programs.
+
+The unified checker in :mod:`repro.unitc.check` implements the
+Figure 19 rules directly; this module provides UNITe-named entry
+points plus a guard that *rejects* equations for callers who want
+strictly-UNITc checking (useful for differential tests between the two
+calculi).
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import TypeCheckError
+from repro.types.tyenv import TyEnv
+from repro.types.types import Type
+from repro.unitc.ast import (
+    TExpr,
+    TypedCompoundExpr,
+    TypedInvokeExpr,
+    TypedUnitExpr,
+)
+from repro.unitc.check import base_tyenv, check_texpr
+
+__all__ = [
+    "check_unite_program",
+    "assert_equation_free",
+]
+
+
+def check_unite_program(expr: TExpr, env: TyEnv | None = None,
+                        strict_valuable: bool = True) -> Type:
+    """Type-check a UNITe program (equations and depends permitted)."""
+    return check_texpr(expr, env if env is not None else base_tyenv(),
+                       strict_valuable)
+
+
+def _walk(expr: TExpr):
+    yield expr
+    if isinstance(expr, TypedUnitExpr):
+        for _, _, rhs in expr.defns:
+            yield from _walk(rhs)
+        yield from _walk(expr.init)
+    elif isinstance(expr, TypedCompoundExpr):
+        yield from _walk(expr.first.expr)
+        yield from _walk(expr.second.expr)
+    elif isinstance(expr, TypedInvokeExpr):
+        yield from _walk(expr.expr)
+        for _, rhs in expr.vlinks:
+            yield from _walk(rhs)
+    else:
+        for attr in ("fn", "body", "test", "then", "orelse", "expr", "box"):
+            sub = getattr(expr, attr, None)
+            if isinstance(sub, TExpr):
+                yield from _walk(sub)
+        for attr in ("args", "exprs"):
+            subs = getattr(expr, attr, None)
+            if subs:
+                for sub in subs:
+                    yield from _walk(sub)
+        bindings = getattr(expr, "bindings", None)
+        if bindings:
+            for binding in bindings:
+                yield from _walk(binding[-1])
+
+
+def assert_equation_free(expr: TExpr) -> None:
+    """Reject programs that use UNITe features (for strict-UNITc mode).
+
+    Raises :class:`TypeCheckError` if any unit in the program contains
+    a type equation or any signature would need a ``depends`` clause.
+    """
+    for node in _walk(expr):
+        if isinstance(node, TypedUnitExpr) and node.equations:
+            names = ", ".join(eq.name for eq in node.equations)
+            raise TypeCheckError(
+                f"UNITc does not support type equations (found: {names}); "
+                f"use the UNITe checker")

@@ -1,0 +1,153 @@
+"""The depends-on relation and dependency/cycle computations (Sec 4.3).
+
+"Naively mixing units with type dependencies and equations leads to
+problems.  Since two units can contain mutually recursive definitions,
+linking units with type dependencies may result in cyclic definitions
+... To prevent these cycles, signatures must include information about
+dependencies between imported and exported types."
+
+The relation of Figure 19:
+
+.. code-block:: text
+
+   tau prop_D t   iff   t in FTV(tau)
+                   or   exists (t' = tau') in D:
+                            t' in FTV(tau) and tau' prop_D t
+
+A dependency declaration ``te ~> ti`` in a signature means *exported
+type te depends on imported type ti*.  When two units are linked, each
+import is tied by name to the other unit's export; tracing declared
+dependencies through those ties must not produce a cycle, or a type
+abbreviation would expand forever.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import TypeCheckError
+from repro.types.types import Type, free_type_vars
+
+
+def type_depends_on(ty: Type, target: str,
+                    equations: dict[str, Type]) -> bool:
+    """Decide ``ty prop_D target`` for the equation set ``equations``."""
+    seen: set[str] = set()
+
+    def walk(current: Type) -> bool:
+        ftv = free_type_vars(current)
+        if target in ftv:
+            return True
+        for name in ftv:
+            if name in equations and name not in seen:
+                seen.add(name)
+                if walk(equations[name]):
+                    return True
+        return False
+
+    return walk(ty)
+
+
+def check_equations_acyclic(equations: dict[str, Type]) -> None:
+    """Reject an equation set containing a dependency cycle.
+
+    This is the premise of Figure 19's unit rule
+    (``tau_a prop_D t_i  implies  tau_i not-prop_D t_a``): the
+    abbreviation graph must be acyclic so expansion terminates.
+    """
+    # Depth-first search over the graph name -> FTV(rhs) restricted to
+    # equation names.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in equations}
+
+    def visit(name: str, trail: list[str]) -> None:
+        color[name] = GRAY
+        trail.append(name)
+        for dep in sorted(free_type_vars(equations[name])):
+            if dep not in equations:
+                continue
+            if color[dep] == GRAY:
+                cycle = " -> ".join(trail[trail.index(dep):] + [dep])
+                raise TypeCheckError(
+                    f"cyclic type equations: {cycle}")
+            if color[dep] == WHITE:
+                visit(dep, trail)
+        trail.pop()
+        color[name] = BLACK
+
+    for name in sorted(equations):
+        if color[name] == WHITE:
+            visit(name, [])
+
+
+def compute_unit_depends(
+        texports: tuple[tuple[str, object], ...],
+        timports: tuple[tuple[str, object], ...],
+        equations: dict[str, Type]) -> tuple[tuple[str, str], ...]:
+    """Figure 19: the ``depends`` clause a unit's signature declares.
+
+    ``te ~> ti`` is declared when ``te`` is an exported equation whose
+    right-hand side depends (through other equations) on the imported
+    type ``ti``.  Datatypes never create dependencies: each constructed
+    type "is associated with a distinct and independent constructor"
+    and recursion through constructors is harmless.
+    """
+    deps: list[tuple[str, str]] = []
+    import_names = [name for name, _ in timports]
+    for te, _ in texports:
+        rhs = equations.get(te)
+        if rhs is None:
+            continue
+        for ti in import_names:
+            if type_depends_on(rhs, ti, equations):
+                deps.append((te, ti))
+    return tuple(deps)
+
+
+def _closure(edges: set[tuple[str, str]]) -> set[tuple[str, str]]:
+    """Transitive closure of a small edge set."""
+    closed = set(edges)
+    changed = True
+    while changed:
+        changed = False
+        for a, b in list(closed):
+            for c, d in list(closed):
+                if b == c and (a, d) not in closed:
+                    closed.add((a, d))
+                    changed = True
+    return closed
+
+
+def compound_link_cycle_check(
+        deps1: tuple[tuple[str, str], ...],
+        deps2: tuple[tuple[str, str], ...]) -> None:
+    """Reject a compound whose linking would create a cyclic type.
+
+    Both constituents' declared dependencies are edges over the shared
+    name space (linking ties an import to the like-named export of the
+    other constituent).  A cycle in the combined relation means some
+    abbreviation would, after linking, expand through itself.
+    """
+    combined = _closure(set(deps1) | set(deps2))
+    for a, b in combined:
+        if a == b:
+            raise TypeCheckError(
+                f"compound: linking creates a cyclic type definition "
+                f"through '{a}'")
+
+
+def compute_compound_depends(
+        timports: tuple[tuple[str, object], ...],
+        texports: tuple[tuple[str, object], ...],
+        deps1: tuple[tuple[str, str], ...],
+        deps2: tuple[tuple[str, str], ...]) -> tuple[tuple[str, str], ...]:
+    """Figure 19: the dependency clause of a compound's signature.
+
+    The compound declares ``te ~> ti`` for each of its exported types
+    ``te`` and imported types ``ti`` connected by a chain of the
+    constituents' declared dependencies.
+    """
+    closed = _closure(set(deps1) | set(deps2))
+    import_names = {name for name, _ in timports}
+    export_names = {name for name, _ in texports}
+    return tuple(sorted(
+        (te, ti) for te, ti in closed
+        if te in export_names and ti in import_names))

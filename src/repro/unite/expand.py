@@ -1,0 +1,223 @@
+"""Abbreviation expansion — the ``|tau|_D`` operator of Figure 18.
+
+"Given a type equation of the form ``type t = tau``, the variable ``t``
+can be replaced everywhere with ``tau`` once the complete program is
+known.  Since the type system disallows cyclic type definitions, this
+expansion of types as abbreviations is guaranteed to terminate."
+
+Expansion descends structurally; under a ``sig`` type, equations whose
+names are re-bound by the signature's import or export clause are
+dropped from ``D`` (Figure 18's side condition), since those
+occurrences refer to the signature's own type variables.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import TypeCheckError
+from repro.types.types import (
+    Arrow,
+    BaseType,
+    BoxType,
+    Product,
+    Sig,
+    TyVar,
+    Type,
+)
+
+# Fuel counts only abbreviation unfoldings (TyVar expansions), not
+# structural descent, so arbitrarily deep types expand fine while a
+# cyclic equation set fails after this many unfoldings along one path.
+_EXPANSION_FUEL = 200
+
+
+def expand_type(ty: Type, equations: dict[str, Type]) -> Type:
+    """Expand every abbreviation in ``ty`` away.
+
+    ``equations`` maps equation names to their right-hand sides.  The
+    function assumes the set is acyclic
+    (:func:`repro.unite.depends.check_equations_acyclic`); a fuel
+    counter turns an unexpected cycle into an error rather than
+    divergence.
+    """
+    return _expand(ty, equations, _EXPANSION_FUEL)
+
+
+def _expand(ty: Type, equations: dict[str, Type], fuel: int) -> Type:
+    if fuel <= 0:
+        raise TypeCheckError(
+            "type expansion did not terminate (cyclic abbreviations?)")
+    if isinstance(ty, BaseType):
+        return ty
+    if isinstance(ty, TyVar):
+        rhs = equations.get(ty.name)
+        if rhs is None:
+            return ty
+        return _expand(rhs, equations, fuel - 1)
+    if isinstance(ty, Arrow):
+        return Arrow(
+            tuple(_expand(d, equations, fuel) for d in ty.domains),
+            _expand(ty.result, equations, fuel))
+    if isinstance(ty, Product):
+        return Product(
+            tuple(_expand(c, equations, fuel) for c in ty.components))
+    if isinstance(ty, BoxType):
+        return BoxType(_expand(ty.content, equations, fuel))
+    if isinstance(ty, Sig):
+        bound = ty.bound_type_names()
+        inner = {name: rhs for name, rhs in equations.items()
+                 if name not in bound}
+        if not inner:
+            return ty
+        return Sig(
+            ty.timports,
+            tuple((n, _expand(t, inner, fuel)) for n, t in ty.vimports),
+            ty.texports,
+            tuple((n, _expand(t, inner, fuel)) for n, t in ty.vexports),
+            _expand(ty.init, inner, fuel),
+            ty.depends,
+        )
+    raise TypeError(f"expand_type: unknown type {ty!r}")
+
+
+def expand_texpr(expr, equations: dict[str, Type]):
+    """Expand abbreviations inside a typed expression's annotations.
+
+    This extends Figure 18's ``|e|_D`` to the typed expression
+    language: lambda parameter types, letrec annotations, and the
+    interface/definition types of nested unit forms are expanded.  A
+    nested unit re-binding an equation name (through an import, a
+    datatype, or its own equation) shadows the outer equation, per the
+    figure's side condition on ``D``.
+    """
+    from repro.unitc.ast import (
+        DatatypeDefn,
+        TApp,
+        TBox,
+        TIf,
+        TLambda,
+        TLet,
+        TLetrec,
+        TLit,
+        TProj,
+        TSeq,
+        TSet,
+        TSetBox,
+        TTuple,
+        TUnbox,
+        TVar,
+        TypeEqn,
+        TypedCompoundExpr,
+        TypedInvokeExpr,
+        TypedLinkClause,
+        TypedUnitExpr,
+    )
+
+    if not equations:
+        return expr
+
+    def ex(ty: Type) -> Type:
+        return expand_type(ty, equations)
+
+    def walk(e):
+        return expand_texpr(e, equations)
+
+    if isinstance(expr, (TLit, TVar)):
+        return expr
+    if isinstance(expr, TLambda):
+        return TLambda(tuple((n, ex(t)) for n, t in expr.params),
+                       walk(expr.body), expr.loc)
+    if isinstance(expr, TApp):
+        return TApp(walk(expr.fn), tuple(walk(a) for a in expr.args),
+                    expr.loc)
+    if isinstance(expr, TIf):
+        return TIf(walk(expr.test), walk(expr.then), walk(expr.orelse),
+                   expr.loc)
+    if isinstance(expr, TLet):
+        return TLet(tuple((n, walk(rhs)) for n, rhs in expr.bindings),
+                    walk(expr.body), expr.loc)
+    if isinstance(expr, TLetrec):
+        return TLetrec(
+            tuple((n, ex(t), walk(rhs)) for n, t, rhs in expr.bindings),
+            walk(expr.body), expr.loc)
+    if isinstance(expr, TSeq):
+        return TSeq(tuple(walk(e) for e in expr.exprs), expr.loc)
+    if isinstance(expr, TSet):
+        return TSet(expr.name, walk(expr.expr), expr.loc)
+    if isinstance(expr, TTuple):
+        return TTuple(tuple(walk(e) for e in expr.exprs), expr.loc)
+    if isinstance(expr, TProj):
+        return TProj(expr.index, walk(expr.expr), expr.loc)
+    if isinstance(expr, TBox):
+        return TBox(walk(expr.expr), expr.loc)
+    if isinstance(expr, TUnbox):
+        return TUnbox(walk(expr.expr), expr.loc)
+    if isinstance(expr, TSetBox):
+        return TSetBox(walk(expr.box), walk(expr.expr), expr.loc)
+    if isinstance(expr, TypedUnitExpr):
+        bound = (set(n for n, _ in expr.timports)
+                 | set(expr.defined_types))
+        inner = {n: t for n, t in equations.items() if n not in bound}
+        if not inner:
+            return expr
+
+        def exi(ty: Type) -> Type:
+            return expand_type(ty, inner)
+
+        return TypedUnitExpr(
+            expr.timports,
+            tuple((n, exi(t)) for n, t in expr.vimports),
+            expr.texports,
+            tuple((n, exi(t)) for n, t in expr.vexports),
+            tuple(DatatypeDefn(d.name, d.ctor1, d.dtor1, exi(d.ty1),
+                               d.ctor2, d.dtor2, exi(d.ty2), d.pred, d.loc)
+                  for d in expr.datatypes),
+            tuple(TypeEqn(q.name, q.kind, exi(q.rhs), q.loc)
+                  for q in expr.equations),
+            tuple((n, exi(t), expand_texpr(rhs, inner))
+                  for n, t, rhs in expr.defns),
+            expand_texpr(expr.init, inner),
+            expr.loc)
+    if isinstance(expr, TypedCompoundExpr):
+        # The compound's namespace (its type imports plus both provides
+        # clauses) shadows outer equations, like a unit's interface.
+        cbound = ({n for n, _ in expr.timports}
+                  | {n for n, _ in expr.first.prov_types}
+                  | {n for n, _ in expr.second.prov_types})
+        cinner = {n: t for n, t in equations.items() if n not in cbound}
+
+        def exc(ty: Type) -> Type:
+            return expand_type(ty, cinner)
+
+        def clause(c: TypedLinkClause) -> TypedLinkClause:
+            return TypedLinkClause(
+                walk(c.expr),
+                tuple(c.with_types),
+                tuple((n, exc(t)) for n, t in c.with_values),
+                tuple(c.prov_types),
+                tuple((n, exc(t)) for n, t in c.prov_values),
+                c.loc)
+
+        return TypedCompoundExpr(
+            expr.timports,
+            tuple((n, exc(t)) for n, t in expr.vimports),
+            expr.texports,
+            tuple((n, exc(t)) for n, t in expr.vexports),
+            clause(expr.first), clause(expr.second), expr.loc)
+    if isinstance(expr, TypedInvokeExpr):
+        return TypedInvokeExpr(
+            walk(expr.expr),
+            tuple((n, ex(t)) for n, t in expr.tlinks),
+            tuple((n, walk(rhs)) for n, rhs in expr.vlinks),
+            expr.loc)
+    raise TypeError(f"expand_texpr: unknown expression {expr!r}")
+
+
+def normalize_equations(
+        equations: dict[str, Type]) -> dict[str, Type]:
+    """Fully expand each equation's right-hand side.
+
+    After normalization no right-hand side mentions another equation
+    name, so a single substitution pass expands any type.
+    """
+    return {name: expand_type(rhs, equations)
+            for name, rhs in equations.items()}

@@ -1,0 +1,13 @@
+"""UNITd: the dynamically typed unit calculus of Section 4.1.
+
+* :mod:`repro.units.ast` — the ``unit`` / ``compound`` / ``invoke`` forms,
+* :mod:`repro.units.check` — Figure 10 context-sensitive checks,
+* :mod:`repro.units.valuable` — the Harper–Stone valuability restriction,
+* :mod:`repro.units.reduce` — Figure 11 reduction rules,
+* :mod:`repro.units.compile` — the Figure 12 compilation to closures over
+  import/export cells (Section 4.1.6).
+"""
+
+from repro.units.ast import UnitExpr, CompoundExpr, InvokeExpr
+
+__all__ = ["UnitExpr", "CompoundExpr", "InvokeExpr"]

@@ -1,0 +1,106 @@
+"""The Harper–Stone valuability restriction on unit definitions.
+
+Section 4.1.1: in each definition ``val x = e``, the expression ``e``
+must be *valuable* — "evaluating the expression terminates, does not
+incur any computational effects (divergence, printing, etc.), and does
+not refer to variables whose values may still be undetermined (due to
+an ordering of the mutually recursive definitions)" — with the
+restriction that imported and defined variable names are not considered
+valuable.
+
+The predicate here is a sound syntactic approximation, as in Harper and
+Stone's ML semantics: literals, procedures, and unit expressions are
+valuable; variables are valuable unless they might still be undefined;
+conditionals, sequences, and blocks of valuable parts are valuable;
+applications are conservatively rejected (they may diverge or have
+effects).
+
+MzScheme itself lifts this restriction and signals a run-time error on
+premature variable references instead (footnote 7); the interpreter in
+:mod:`repro.lang.interp` implements that lenient behaviour, while
+:func:`repro.units.check.check_expr` enforces the strict calculus rule
+unless asked not to.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    App,
+    Expr,
+    If,
+    Lambda,
+    Let,
+    Letrec,
+    Lit,
+    Seq,
+    SetBang,
+    Var,
+)
+from repro.units.ast import CompoundExpr, InvokeExpr, UnitExpr
+
+#: Primitives whose application to valuable arguments is valuable:
+#: they terminate and have no observable effects (allocation included,
+#: following Harper–Stone's treatment of constructors and ref cells).
+BENIGN_PRIMS = frozenset({
+    "+", "-", "*", "modulo", "quotient", "min", "max", "abs",
+    "add1", "sub1", "=", "<", ">", "<=", ">=", "zero?", "number?",
+    "not", "boolean?", "eq?", "equal?",
+    "string?", "string-append", "string-length", "string=?",
+    "substring", "number->string", "string->number",
+    "cons", "car", "cdr", "pair?", "null?", "list", "length",
+    "reverse", "append", "list-ref",
+    "box", "box?", "makeStringHashTable",
+    "make-variant", "variant-first?",
+    "void", "void?",
+})
+
+
+def is_valuable(expr: Expr, unstable: frozenset[str]) -> bool:
+    """Decide whether ``expr`` is valuable.
+
+    ``unstable`` is the set of variable names that may still be
+    undetermined at evaluation time — for a unit definition, the unit's
+    imported and defined variables.
+    """
+    if isinstance(expr, Lit):
+        return True
+    if isinstance(expr, Var):
+        return expr.name not in unstable
+    if isinstance(expr, Lambda):
+        # A procedure is a value regardless of its body.
+        return True
+    if isinstance(expr, UnitExpr):
+        # A unit expression is a value (Section 4.1.1).
+        return True
+    if isinstance(expr, If):
+        return (is_valuable(expr.test, unstable)
+                and is_valuable(expr.then, unstable)
+                and is_valuable(expr.orelse, unstable))
+    if isinstance(expr, Seq):
+        return all(is_valuable(e, unstable) for e in expr.exprs)
+    if isinstance(expr, Let):
+        inner = unstable - {name for name, _ in expr.bindings}
+        return (all(is_valuable(rhs, unstable) for _, rhs in expr.bindings)
+                and is_valuable(expr.body, inner))
+    if isinstance(expr, Letrec):
+        # The letrec's own bindings are settled once its body runs.
+        inner = unstable - {name for name, _ in expr.bindings}
+        return (all(is_valuable(rhs, inner) for _, rhs in expr.bindings)
+                and is_valuable(expr.body, inner))
+    if isinstance(expr, App):
+        # Applications of benign primitives to valuable arguments are
+        # valuable (terminating, effect-free); anything else may
+        # diverge or have effects.
+        if isinstance(expr.fn, Var) and expr.fn.name in BENIGN_PRIMS \
+                and expr.fn.name not in unstable:
+            return all(is_valuable(a, unstable) for a in expr.args)
+        return False
+    if isinstance(expr, (SetBang, InvokeExpr)):
+        # Assignment is an effect; invocation runs arbitrary
+        # initialization code.
+        return False
+    if isinstance(expr, CompoundExpr):
+        # compound only evaluates its constituent expressions.
+        return (is_valuable(expr.first.expr, unstable)
+                and is_valuable(expr.second.expr, unstable))
+    return False

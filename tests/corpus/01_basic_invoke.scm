@@ -1,0 +1,5 @@
+;; expect-value: 42
+(invoke (unit (import) (export)
+  (define six 6)
+  (define seven 7)
+  (* six seven)))

@@ -1,0 +1,8 @@
+;; expect-value: 30
+(invoke
+  (compound (import) (export)
+    (link ((unit (import) (export ten) (define ten 10) (void))
+           (with) (provides ten))
+          ((unit (import ten) (export) (* ten 3))
+           (with ten) (provides))))
+)

@@ -1,0 +1,12 @@
+;; expect-value: #t
+;; The signature example of Section 1: even?/odd? split across units.
+(invoke
+  (compound (import) (export)
+    (link ((unit (import odd?) (export even?)
+             (define even? (lambda (n) (if (zero? n) #t (odd? (- n 1)))))
+             (void))
+           (with odd?) (provides even?))
+          ((unit (import even?) (export odd?)
+             (define odd? (lambda (n) (if (zero? n) #f (even? (- n 1)))))
+             (odd? 101))
+           (with even?) (provides odd?)))))

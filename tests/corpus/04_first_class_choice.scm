@@ -1,0 +1,5 @@
+;; expect-value: "loud"
+;; Units are values: the linking decision is ordinary core code.
+(let ((a (unit (import) (export) "loud"))
+      (b (unit (import) (export) "quiet")))
+  (invoke (if (> 3 2) a b)))

@@ -1,0 +1,11 @@
+;; expect-value: 99
+;; A hidden export is reachable only through the provided accessor.
+(invoke
+  (compound (import) (export)
+    (link ((unit (import) (export secret get)
+             (define secret 99)
+             (define get (lambda () secret))
+             (void))
+           (with) (provides get))
+          ((unit (import get) (export) (get))
+           (with get) (provides)))))

@@ -1,0 +1,13 @@
+;; expect-value: 3
+;; expect-output: abc
+;; Initialization expressions run in linking order.
+(invoke
+  (compound (import) (export)
+    (link ((compound (import) (export)
+             (link ((unit (import) (export) (display "a") 1)
+                    (with) (provides))
+                   ((unit (import) (export) (display "b") 2)
+                    (with) (provides))))
+           (with) (provides))
+          ((unit (import) (export) (display "c") 3)
+           (with) (provides)))))

@@ -1,0 +1,5 @@
+;; expect-value: 9
+;; An invoke inside a unit's initialization expression.
+(invoke (unit (import) (export)
+  (define inner (unit (import k) (export) (+ k 1)))
+  (+ (invoke inner (k 4)) (invoke inner (k 3)))))

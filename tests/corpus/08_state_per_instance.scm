@@ -1,0 +1,10 @@
+;; expect-value: (1 1 2)
+;; lenient
+;; Each invocation creates a fresh instance with fresh state.
+(let ((counter (unit (import) (export)
+                 (define cell (box 0))
+                 (set-box! cell (+ (unbox cell) 1))
+                 (unbox cell))))
+  (list (invoke counter)
+        (invoke counter)
+        (begin (invoke counter) (invoke counter) 2)))

@@ -1,0 +1,7 @@
+;; expect-value: 25
+;; A unit definition shadows an enclosing binding of the same name.
+(let ((n 3))
+  (invoke (unit (import) (export)
+    (define n 5)
+    (define square (lambda () (* n n)))
+    (square))))

@@ -1,0 +1,13 @@
+;; expect-value: 8
+;; Both units define a private `helper`; merging must keep them apart.
+(invoke
+  (compound (import) (export)
+    (link ((unit (import) (export three)
+             (define helper 3)
+             (define three (lambda () helper))
+             (void))
+           (with) (provides three))
+          ((unit (import three) (export)
+             (define helper 5)
+             (+ (three) helper))
+           (with three) (provides)))))

@@ -1,0 +1,18 @@
+;; expect-value: 60
+;; Hierarchical structuring: compound of compound of compound.
+(invoke
+  (compound (import) (export)
+    (link ((compound (import) (export a b)
+             (link ((unit (import) (export a) (define a 10) (void))
+                    (with) (provides a))
+                   ((unit (import a) (export b)
+                      (define b (lambda () (* a 2))) (void))
+                    (with a) (provides b))))
+           (with) (provides a b))
+          ((compound (import a b) (export)
+             (link ((unit (import a b) (export c)
+                      (define c (lambda () (* (b) 3))) (void))
+                    (with a b) (provides c))
+                   ((unit (import c) (export) (c))
+                    (with c) (provides))))
+           (with a b) (provides)))))

@@ -1,0 +1,8 @@
+;; expect-value: 285
+;; skip-machine: the prelude lives in the interpreter's global
+;; environment, not in the machine's delta rules.
+;; skip-compile
+(invoke (unit (import) (export)
+  (define sum-squares
+    (lambda (n) (foldl + 0 (map (lambda (x) (* x x)) (iota n)))))
+  (sum-squares 10)))

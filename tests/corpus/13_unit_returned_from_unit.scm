@@ -1,0 +1,6 @@
+;; expect-value: 14
+;; A unit whose initialization value is another unit (staged linking).
+(invoke
+  (invoke (unit (import base) (export)
+            (unit (import) (export) (* base 2)))
+          (base 7)))

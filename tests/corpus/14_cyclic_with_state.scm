@@ -1,0 +1,17 @@
+;; expect-value: (3 "pong")
+;; lenient
+;; Mutual recursion across the boundary with shared mutable state.
+(invoke
+  (compound (import) (export)
+    (link ((unit (import pong!) (export ping! hits)
+             (define hits (box 0))
+             (define ping! (lambda (n)
+               (begin (set-box! hits (+ (unbox hits) 1))
+                      (if (zero? n) "ping" (pong! (- n 1))))))
+             (void))
+           (with pong!) (provides ping! hits))
+          ((unit (import ping! hits) (export pong!)
+             (define pong! (lambda (n)
+               (if (zero? n) "pong" (ping! (- n 1)))))
+             (list (begin (ping! 4) (unbox hits)) (ping! 1)))
+           (with ping! hits) (provides pong!)))))

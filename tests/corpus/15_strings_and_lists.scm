@@ -1,0 +1,15 @@
+;; expect-value: "a-b-c"
+(invoke
+  (compound (import) (export)
+    (link ((unit (import) (export join)
+             (define join (lambda (sep l)
+               (if (null? l)
+                   ""
+                   (if (null? (cdr l))
+                       (car l)
+                       (string-append (car l) sep (join sep (cdr l)))))))
+             (void))
+           (with) (provides join))
+          ((unit (import join) (export)
+             (join "-" (list "a" "b" "c")))
+           (with join) (provides)))))

@@ -1,0 +1,18 @@
+;; expect-value: 7
+;; An association list implemented and consumed across a boundary.
+(invoke
+  (compound (import) (export)
+    (link ((unit (import) (export put get)
+             (define put (lambda (al k v) (cons (cons k v) al)))
+             (define get (lambda (al k d)
+               (if (null? al)
+                   d
+                   (if (string=? (car (car al)) k)
+                       (cdr (car al))
+                       (get (cdr al) k d)))))
+             (void))
+           (with) (provides put get))
+          ((unit (import put get) (export)
+             (let ((al (put (put (list) "x" 3) "y" 4)))
+               (+ (get al "x" 0) (get al "y" 0))))
+           (with put get) (provides)))))

@@ -1,0 +1,13 @@
+;; expect-value: "premium"
+;; The linking decision is run-time core code (Section 3.3).
+(letrec ((pick (lambda (premium?)
+                 (if premium?
+                     (unit (import) (export tier)
+                       (define tier "premium") (void))
+                     (unit (import) (export tier)
+                       (define tier "basic") (void))))))
+  (invoke
+    (compound (import) (export)
+      (link ((pick #t) (with) (provides tier))
+            ((unit (import tier) (export) tier)
+             (with tier) (provides))))))

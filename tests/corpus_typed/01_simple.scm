@@ -1,0 +1,5 @@
+;; expect-value: 42
+;; expect-type: int
+(invoke/t (unit/t (import) (export)
+  (define f (-> int int) (lambda ((x int)) (* x 6)))
+  (f 7)))

@@ -1,0 +1,8 @@
+;; expect-value: "got: 9"
+;; expect-type: str
+(invoke/t
+  (unit/t (import (type t) (val show (-> t str)) (val v t)) (export)
+    (string-append "got: " (show v)))
+  (type t int)
+  (val show (lambda ((n int)) (number->string n)))
+  (val v 9))

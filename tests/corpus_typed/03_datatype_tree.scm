@@ -1,0 +1,16 @@
+;; expect-value: 15
+;; expect-type: int
+;; A binary tree datatype: sum the leaves.
+(invoke/t (unit/t (import) (export)
+  (datatype tree
+    (leaf un-leaf int)
+    (node un-node (* tree tree))
+    leaf?)
+  (define sum (-> tree int)
+    (lambda ((t tree))
+      (if (leaf? t)
+          (un-leaf t)
+          (+ (sum (proj 0 (un-node t)))
+             (sum (proj 1 (un-node t)))))))
+  (sum (node (tuple (node (tuple (leaf 1) (leaf 2)))
+                    (node (tuple (leaf 4) (leaf 8))))))))

@@ -1,0 +1,10 @@
+;; expect-value: 6
+;; expect-type: int
+;; UNITe equations as internal abbreviations.
+(invoke/t (unit/t (import) (export)
+  (type binop (-> int int int))
+  (type combine (-> binop int))
+  (define use combine
+    (lambda ((f binop)) (f 2 4)))
+  (define plus binop (lambda ((a int) (b int)) (+ a b)))
+  (use plus)))

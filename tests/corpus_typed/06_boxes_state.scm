@@ -1,0 +1,7 @@
+;; expect-value: 3
+;; expect-type: int
+(invoke/t (unit/t (import) (export)
+  (define counter (box int) (box 0))
+  (define bump! (-> void)
+    (lambda () (set-box! counter (+ (unbox counter) 1))))
+  (begin (bump!) (bump!) (bump!) (unbox counter))))

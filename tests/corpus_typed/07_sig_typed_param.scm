@@ -1,0 +1,6 @@
+;; expect-value: 49
+;; expect-type: int
+;; A function over units: the parameter has a signature type.
+((lambda ((u (sig (import (val n int)) (export) int)))
+   (invoke/t u (val n 7)))
+ (unit/t (import (val n int)) (export) (* n n)))

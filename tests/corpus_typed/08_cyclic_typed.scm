@@ -1,0 +1,18 @@
+;; expect-value: #t
+;; expect-type: bool
+(invoke/t
+  (compound/t (import) (export)
+    (link ((unit/t (import (val odd? (-> int bool)))
+                   (export (val even? (-> int bool)))
+             (define even? (-> int bool)
+               (lambda ((n int)) (if (zero? n) #t (odd? (- n 1)))))
+             (void))
+           (with (val odd? (-> int bool)))
+           (provides (val even? (-> int bool))))
+          ((unit/t (import (val even? (-> int bool)))
+                   (export (val odd? (-> int bool)))
+             (define odd? (-> int bool)
+               (lambda ((n int)) (if (zero? n) #f (even? (- n 1)))))
+             (odd? 33))
+           (with (val even? (-> int bool)))
+           (provides (val odd? (-> int bool)))))))

@@ -1,0 +1,10 @@
+;; expect-value: "sum=9"
+;; expect-type: str
+(invoke/t (unit/t (import) (export)
+  (type point (* int int))
+  (define add (-> point int)
+    (lambda ((p point)) (+ (proj 0 p) (proj 1 p))))
+  (define label (-> point str)
+    (lambda ((p point))
+      (string-append "sum=" (number->string (add p)))))
+  (label (tuple 4 5))))

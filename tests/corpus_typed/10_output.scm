@@ -1,0 +1,11 @@
+;; expect-value: #<void>
+;; expect-type: void
+;; expect-output: step1|step2|
+(invoke/t
+  (compound/t (import) (export)
+    (link ((unit/t (import) (export)
+             (begin (display "step1") (display "|")))
+           (with) (provides))
+          ((unit/t (import) (export)
+             (begin (display "step2") (display "|")))
+           (with) (provides)))))

@@ -1,0 +1,8 @@
+;; expect-value: 64
+;; expect-type: int
+;; Units as data inside units: staged computation.
+(invoke/t (unit/t (import) (export)
+  (define stage (sig (import (val base int)) (export) int)
+    (unit/t (import (val base int)) (export)
+      (* base base)))
+  (invoke/t stage (val base 8))))

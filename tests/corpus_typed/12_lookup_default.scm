@@ -1,0 +1,19 @@
+;; expect-value: "marion: 5550001 / nobody: <none>"
+;; expect-type: str
+;; A miniature of the phone book's lookup-with-default pattern.
+(invoke/t (unit/t (import) (export)
+  (datatype entries
+    (none un-none void)
+    (entry un-entry (* str int entries))
+    none?)
+  (define find (-> entries str str str)
+    (lambda ((e entries) (key str) (default str))
+      (if (none? e)
+          default
+          (if (string=? (proj 0 (un-entry e)) key)
+              (number->string (proj 1 (un-entry e)))
+              (find (proj 2 (un-entry e)) key default)))))
+  (let ((book (entry (tuple "marion" 5550001 (none (void))))))
+    (string-append5 "marion: " (find book "marion" "<none>")
+                    " / nobody: " (find book "nobody" "<none>")
+                    ""))))

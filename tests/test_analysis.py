@@ -1,0 +1,177 @@
+"""Tests for the unit-linkage linter and analysis helpers."""
+
+from repro.lang.parser import parse_program
+from repro.units.analysis import (
+    Diagnostic,
+    dead_provides,
+    lint,
+    linkage_summary,
+    unexported_definitions,
+    unused_imports,
+    used_imports,
+)
+
+
+def unit(text: str):
+    return parse_program(text)
+
+
+class TestImportUse:
+    def test_all_used(self):
+        u = unit("""
+            (unit (import a b) (export f)
+              (define f (lambda () (a b)))
+              (f))
+        """)
+        assert used_imports(u) == {"a", "b"}
+        assert unused_imports(u) == ()
+
+    def test_unused_detected(self):
+        u = unit("""
+            (unit (import a ghost) (export f)
+              (define f (lambda () a))
+              (void))
+        """)
+        assert unused_imports(u) == ("ghost",)
+
+    def test_shadowed_import_is_unused(self):
+        u = unit("""
+            (unit (import x) (export f)
+              (define f (lambda (x) x))
+              (void))
+        """)
+        assert unused_imports(u) == ("x",)
+
+    def test_import_used_only_in_init(self):
+        u = unit("(unit (import n) (export) (+ n 1))")
+        assert used_imports(u) == {"n"}
+
+
+class TestDefinitionUse:
+    def test_exported_definition_is_live(self):
+        u = unit("(unit (import) (export x) (define x 1) (void))")
+        assert unexported_definitions(u) == ()
+
+    def test_referenced_definition_is_live(self):
+        u = unit("""
+            (unit (import) (export)
+              (define helper 1)
+              (define f (lambda () helper))
+              (f))
+        """)
+        # f is used by init; helper by f; nothing dead.
+        assert unexported_definitions(u) == ()
+
+    def test_dead_definition_detected(self):
+        u = unit("""
+            (unit (import) (export)
+              (define orphan 1)
+              (void))
+        """)
+        assert unexported_definitions(u) == ("orphan",)
+
+
+class TestDeadProvides:
+    def test_consumed_provides_live(self):
+        c = unit("""
+            (compound (import) (export)
+              (link ((unit (import) (export v) (define v 1) (void))
+                     (with) (provides v))
+                    ((unit (import v) (export) v)
+                     (with v) (provides))))
+        """)
+        assert dead_provides(c) == ()
+
+    def test_exported_provides_live(self):
+        c = unit("""
+            (compound (import) (export v)
+              (link ((unit (import) (export v) (define v 1) (void))
+                     (with) (provides v))
+                    ((unit (import) (export) 2)
+                     (with) (provides))))
+        """)
+        assert dead_provides(c) == ()
+
+    def test_dead_provide_detected(self):
+        c = unit("""
+            (compound (import) (export)
+              (link ((unit (import) (export v) (define v 1) (void))
+                     (with) (provides v))
+                    ((unit (import) (export) 2)
+                     (with) (provides))))
+        """)
+        assert dead_provides(c) == ("v",)
+
+
+class TestLint:
+    def test_clean_program_has_no_warnings(self):
+        program = unit("""
+            (invoke
+              (compound (import) (export)
+                (link ((unit (import) (export v) (define v 1) (void))
+                       (with) (provides v))
+                      ((unit (import v) (export) v)
+                       (with v) (provides)))))
+        """)
+        warnings = [d for d in lint(program) if d.severity == "warning"]
+        assert warnings == []
+
+    def test_findings_are_located(self):
+        program = unit("""
+            (invoke
+              (compound (import) (export)
+                (link ((unit (import) (export v) (define v 1) (void))
+                       (with) (provides v))
+                      ((unit (import v ghost) (export) v)
+                       (with v ghost) (provides)))))
+        """)
+        # `ghost` is imported but has no source; that is a *check*
+        # error.  Adjust: ghost wired from nothing is illegal, so use a
+        # legal-but-sloppy variant instead: an unused import.
+        program = unit("""
+            (invoke
+              (compound (import) (export)
+                (link ((unit (import) (export v w)
+                         (define v 1) (define w 2) (void))
+                       (with) (provides v w))
+                      ((unit (import v w) (export) v)
+                       (with v w) (provides)))))
+        """)
+        findings = lint(program)
+        messages = [d.message for d in findings]
+        assert any("'w' is never referenced" in m for m in messages)
+        assert all(isinstance(d, Diagnostic) for d in findings)
+
+    def test_invoke_extra_link_noted(self):
+        program = unit("(invoke (unit (import) (export) 1) (extra 5))")
+        infos = [d for d in lint(program) if d.severity == "info"]
+        assert any("'extra'" in d.message for d in infos)
+
+    def test_with_not_imported_noted(self):
+        program = unit("""
+            (compound (import x) (export)
+              (link ((unit (import) (export) 1)
+                     (with x) (provides))
+                    ((unit (import) (export) 2)
+                     (with) (provides))))
+        """)
+        infos = [d for d in lint(program) if d.severity == "info"]
+        assert any("not imported by the constituent" in d.message
+                   for d in infos)
+
+
+class TestLinkageSummary:
+    def test_summary_renders_tree(self):
+        program = unit("""
+            (invoke
+              (compound (import) (export)
+                (link ((unit (import) (export v) (define v 1) (void))
+                       (with) (provides v))
+                      ((unit (import v) (export) v)
+                       (with v) (provides)))))
+        """)
+        text = linkage_summary(program)
+        assert "invoke" in text
+        assert "compound" in text
+        assert "provides(v)" in text
+        assert text.count("unit imports") == 2

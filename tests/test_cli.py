@@ -1,0 +1,114 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "prog.scm"
+    path.write_text("""
+        (invoke
+          (unit (import n) (export)
+            (define square (lambda (x) (* x x)))
+            (square n))
+          (n 7))
+    """)
+    return str(path)
+
+
+@pytest.fixture()
+def typed_file(tmp_path):
+    path = tmp_path / "prog-t.scm"
+    path.write_text("""
+        (invoke/t (unit/t (import) (export)
+          (define f (-> int int) (lambda ((x int)) (+ x 1)))
+          (f 41)))
+    """)
+    return str(path)
+
+
+class TestRun:
+    def test_run(self, program_file, capsys):
+        assert main(["run", program_file]) == 0
+        assert "=> 49" in capsys.readouterr().out
+
+    def test_run_with_output(self, tmp_path, capsys):
+        path = tmp_path / "p.scm"
+        path.write_text('(begin (display "hello") 1)')
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "hello" in out
+        assert "=> 1" in out
+
+    def test_run_check_failure(self, tmp_path, capsys):
+        path = tmp_path / "bad.scm"
+        path.write_text("(unit (import) (export ghost) 1)")
+        assert main(["run", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_lenient_flag(self, tmp_path, capsys):
+        path = tmp_path / "p.scm"
+        path.write_text(
+            '(invoke (unit (import) (export x) (define x (begin (display "") 3)) x))')
+        assert main(["run", str(path)]) == 1  # strict: not valuable
+        assert main(["run", "--lenient", str(path)]) == 0
+        assert "=> 3" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent/prog.scm"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_check_ok(self, program_file, capsys):
+        assert main(["check", program_file]) == 0
+        assert "ok" in capsys.readouterr().out
+
+
+class TestTyped:
+    def test_typecheck(self, typed_file, capsys):
+        assert main(["typecheck", typed_file]) == 0
+        assert "int" in capsys.readouterr().out
+
+    def test_run_typed(self, typed_file, capsys):
+        assert main(["run-typed", typed_file]) == 0
+        assert "=> 42 : int" in capsys.readouterr().out
+
+    def test_typecheck_failure(self, tmp_path, capsys):
+        path = tmp_path / "bad.scm"
+        path.write_text('(+ 1 "two")')
+        assert main(["typecheck", str(path)]) == 1
+
+
+class TestTraceCompileFigures:
+    def test_trace(self, program_file, capsys):
+        assert main(["trace", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "[0]" in out
+        assert "=> 49" not in out  # trace shows terms, not results
+
+    def test_compile(self, program_file, capsys):
+        assert main(["compile", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "hash-get" in out  # the cell-table protocol
+        assert "unit" not in out.split("(")[1]  # no unit forms survive
+
+    def test_figures_single(self, capsys):
+        assert main(["figures", "10"]) == 0
+        assert "Figure 10" in capsys.readouterr().out
+
+    def test_link(self, tmp_path, capsys):
+        path = tmp_path / "p.scm"
+        path.write_text("""
+            (invoke (compound (import) (export)
+              (link ((unit (import) (export v) (define v (* 6 7)) (void))
+                     (with) (provides v))
+                    ((unit (import v) (export) v)
+                     (with v) (provides)))))
+        """)
+        assert main(["link", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 compound(s) statically linked" in out
+        assert "compound" not in out.split("\n", 1)[1]  # flattened away

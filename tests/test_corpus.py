@@ -1,0 +1,143 @@
+"""The conformance corpus: golden programs through all three semantics.
+
+Each ``tests/corpus/*.scm`` file carries header directives:
+
+* ``;; expect-value: <datum>`` — the program's value (written syntax),
+* ``;; expect-output: <text>`` — what the program displays (optional),
+* ``;; lenient`` — skip the strict valuability check,
+* ``;; skip-machine`` / ``;; skip-compile`` — strategy opt-outs with a
+  stated reason (e.g. the prelude lives outside the machine's deltas).
+
+Every program runs on the big-step interpreter; unless opted out it
+also runs on the rewriting machine and through Figure 12 compilation,
+and all results must agree with the golden value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.lang.interp import Interpreter
+from repro.lang.machine import Machine
+from repro.lang.parser import parse_program
+from repro.lang.prims import OutputPort
+from repro.lang.sexpr import read_sexpr
+from repro.lang.values import to_write_string
+from repro.units.check import check_program
+from repro.units.compile import compile_expr
+
+CORPUS_DIR = Path(__file__).resolve().parent / "corpus"
+
+
+@dataclass
+class Case:
+    """One parsed corpus file."""
+
+    name: str
+    source: str
+    expect_value: str
+    expect_output: str | None
+    lenient: bool
+    skip_machine: bool
+    skip_compile: bool
+
+
+def _load(path: Path) -> Case:
+    expect_value = None
+    expect_output = None
+    lenient = skip_machine = skip_compile = False
+    for line in path.read_text().splitlines():
+        stripped = line.strip()
+        if stripped.startswith(";; expect-value:"):
+            expect_value = stripped.split(":", 1)[1].strip()
+        elif stripped.startswith(";; expect-output:"):
+            expect_output = stripped.split(":", 1)[1].strip()
+        elif stripped.startswith(";; lenient"):
+            lenient = True
+        elif stripped.startswith(";; skip-machine"):
+            skip_machine = True
+        elif stripped.startswith(";; skip-compile"):
+            skip_compile = True
+    assert expect_value is not None, f"{path.name}: missing expect-value"
+    return Case(path.name, path.read_text(), expect_value, expect_output,
+                lenient, skip_machine, skip_compile)
+
+
+CASES = [_load(path) for path in sorted(CORPUS_DIR.glob("*.scm"))]
+
+
+def _matches(value: object, golden: str) -> bool:
+    # Compare in written syntax, via a round-trip normalization of the
+    # golden datum.
+    golden_datum = read_sexpr(golden)
+    from repro.lang.sexpr import write_sexpr
+
+    return to_write_string(value) == write_sexpr(golden_datum)
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+def test_corpus_interpreter(case):
+    expr = parse_program(case.source)
+    check_program(expr, strict_valuable=not case.lenient)
+    port = OutputPort()
+    interp = Interpreter(port=port)
+    value = interp.eval(expr)
+    assert _matches(value, case.expect_value), to_write_string(value)
+    if case.expect_output is not None:
+        assert port.getvalue() == case.expect_output
+
+
+@pytest.mark.parametrize(
+    "case", [c for c in CASES if not c.skip_machine],
+    ids=lambda c: c.name)
+def test_corpus_machine(case):
+    expr = parse_program(case.source)
+    machine = Machine(max_steps=2_000_000)
+    state = machine.load(expr)
+    while machine.step(state):
+        pass
+    from repro.lang.ast import Lit
+
+    final = state.control
+    # Structured values (pairs) come out as Lit-wrapped runtime data.
+    assert isinstance(final, Lit)
+    assert _matches(final.value, case.expect_value)
+    if case.expect_output is not None:
+        assert state.output.getvalue() == case.expect_output
+
+
+@pytest.mark.parametrize(
+    "case", [c for c in CASES if not c.skip_compile],
+    ids=lambda c: c.name)
+def test_corpus_compiled(case):
+    expr = compile_expr(parse_program(case.source))
+    port = OutputPort()
+    interp = Interpreter(port=port)
+    value = interp.eval(expr)
+    assert _matches(value, case.expect_value)
+    if case.expect_output is not None:
+        assert port.getvalue() == case.expect_output
+
+
+@pytest.mark.parametrize(
+    "case", [c for c in CASES if not c.skip_compile],
+    ids=lambda c: c.name)
+def test_corpus_statically_linked(case):
+    """A fourth strategy: flatten + optimize, then interpret."""
+    from repro.units.linker import link_and_optimize
+
+    expr = parse_program(case.source)
+    linked, _stats = link_and_optimize(expr)
+    port = OutputPort()
+    interp = Interpreter(port=port)
+    value = interp.eval(linked)
+    assert _matches(value, case.expect_value)
+    if case.expect_output is not None:
+        assert port.getvalue() == case.expect_output
+
+
+def test_corpus_is_populated():
+    assert len(CASES) >= 12

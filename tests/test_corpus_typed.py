@@ -1,0 +1,75 @@
+"""The typed conformance corpus: golden typed programs.
+
+Directives per file: ``;; expect-value:``, ``;; expect-type:``, and
+optionally ``;; expect-output:``.  Every program must type-check at
+the declared type, run to the golden value, and — as a round-trip
+check — survive printing and re-parsing with the same type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.lang.values import to_write_string
+from repro.types.pretty import show_type
+from repro.unitc.parser import parse_typed_program
+from repro.unitc.pretty import show_texpr
+from repro.unitc.run import run_typed_expr
+
+CORPUS_DIR = Path(__file__).resolve().parent / "corpus_typed"
+
+
+@dataclass
+class Case:
+    """One typed corpus file."""
+
+    name: str
+    source: str
+    expect_value: str
+    expect_type: str
+    expect_output: str | None
+
+
+def _load(path: Path) -> Case:
+    expect_value = expect_type = None
+    expect_output = None
+    for line in path.read_text().splitlines():
+        stripped = line.strip()
+        if stripped.startswith(";; expect-value:"):
+            expect_value = stripped.split(":", 1)[1].strip()
+        elif stripped.startswith(";; expect-type:"):
+            expect_type = stripped.split(":", 1)[1].strip()
+        elif stripped.startswith(";; expect-output:"):
+            expect_output = stripped.split(":", 1)[1].strip()
+    assert expect_value is not None and expect_type is not None, path.name
+    return Case(path.name, path.read_text(), expect_value, expect_type,
+                expect_output)
+
+
+CASES = [_load(path) for path in sorted(CORPUS_DIR.glob("*.scm"))]
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+def test_typed_corpus(case):
+    expr = parse_typed_program(case.source)
+    result, ty, output = run_typed_expr(expr)
+    assert show_type(ty) == case.expect_type
+    assert to_write_string(result) == case.expect_value
+    if case.expect_output is not None:
+        assert output == case.expect_output
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+def test_typed_corpus_roundtrips(case):
+    expr = parse_typed_program(case.source)
+    reparsed = parse_typed_program(show_texpr(expr))
+    _, ty1, _ = run_typed_expr(expr)
+    _, ty2, _ = run_typed_expr(reparsed)
+    assert ty1 == ty2
+
+
+def test_typed_corpus_is_populated():
+    assert len(CASES) >= 8

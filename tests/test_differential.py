@@ -1,0 +1,179 @@
+"""Differential and metatheory-flavoured tests across subsystems.
+
+* the n-ary compound value behaves exactly like the nest of binary
+  compounds it generalizes,
+* typed compound merging preserves signatures (the reduced unit has
+  the signature the compound rule computed),
+* the full phone book survives erasure + Figure 12 compilation with an
+  identical transcript,
+* the rewriting machine agrees with the interpreter on the stdlib
+  corpus.
+"""
+
+import pytest
+
+from repro.lang.interp import Interpreter
+from repro.lang.parser import parse_program
+from repro.linking.compound_n import NClause, NCompoundUnitValue
+from repro.linking.graph import LinkGraph
+
+
+class TestNaryVsBinary:
+    SPECS = [
+        # (box sources, expected result) — names aligned so both the
+        # LinkGraph (binary nesting) and NCompound can express them.
+        ([
+            "(unit (import) (export a) (define a 5) (void))",
+            "(unit (import a) (export b) (define b (lambda () (* a 2))) (void))",
+            "(unit (import b) (export) (b))",
+        ], 10),
+        ([
+            "(unit (import pong) (export ping) (define ping (lambda (n) (if (zero? n) 0 (pong (- n 1))))) (void))",
+            "(unit (import ping) (export pong) (define pong (lambda (n) (if (zero? n) 1 (ping (- n 1))))) (ping 7))",
+        ], 1),
+        ([
+            '(unit (import) (export msg) (define msg "hi") (void))',
+            "(unit (import msg) (export shout) (define shout (lambda () (string-append msg \"!\"))) (void))",
+            "(unit (import shout msg) (export) (string-append (shout) msg))",
+        ], "hi!hi"),
+    ]
+
+    @pytest.mark.parametrize("sources,expected", SPECS)
+    def test_agreement(self, sources, expected):
+        # Binary nesting via the link graph:
+        graph = LinkGraph()
+        for index, source in enumerate(sources):
+            graph.add_box(f"u{index}", source)
+        interp = Interpreter()
+        binary_unit = interp.eval(graph.to_compound_expr())
+        binary_result = interp.invoke(binary_unit)
+
+        # N-ary compound over the same unit values:
+        interp2 = Interpreter()
+        clauses = []
+        for source in sources:
+            unit = interp2.run(source)
+            clauses.append(NClause(
+                unit,
+                {name: name for name in unit.imports},
+                {name: name for name in unit.exports}))
+        nary = NCompoundUnitValue((), {}, clauses)
+        nary_result = interp2.invoke(nary)
+
+        assert binary_result == nary_result == expected
+
+
+class TestTypedMergePreservesSignatures:
+    CASES = [
+        """
+        (compound/t (import (val seed int)) (export (val out (-> int)))
+          (link ((unit/t (import (val seed int)) (export (val mid (-> int)))
+                   (define mid (-> int) (lambda () (* seed 2)))
+                   (void))
+                 (with (val seed int)) (provides (val mid (-> int))))
+                ((unit/t (import (val mid (-> int)))
+                         (export (val out (-> int)))
+                   (define out (-> int) (lambda () (+ (mid) 1)))
+                   (void))
+                 (with (val mid (-> int))) (provides (val out (-> int))))))
+        """,
+        """
+        (compound/t (import) (export (type b))
+          (link ((unit/t (import) (export (type a))
+                   (type a int) (void))
+                 (with) (provides (type a)))
+                ((unit/t (import (type a)) (export (type b))
+                   (type b (-> a a)) (void))
+                 (with (type a)) (provides (type b)))))
+        """,
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_merged_unit_satisfies_compound_signature(self, source):
+        from repro.types.subtype import sig_subtype
+        from repro.unitc.check import base_tyenv, check_texpr, \
+            check_typed_unit
+        from repro.unitc.parser import parse_typed_program
+        from repro.unitc.reduce import merge_typed_compound
+
+        compound = parse_typed_program(source)
+        compound_sig = check_texpr(compound, base_tyenv())
+        merged = merge_typed_compound(
+            compound, compound.first.expr, compound.second.expr)
+        merged_sig = check_typed_unit(merged, base_tyenv())
+        assert sig_subtype(merged_sig, compound_sig)
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_merged_unit_runs_like_the_compound(self, source):
+        from repro.unitc.run import run_typed_expr
+        from repro.unitc.ast import TypedInvokeExpr, TLit
+        from repro.unitc.parser import parse_typed_program
+        from repro.unitc.reduce import merge_typed_compound
+
+        compound = parse_typed_program(source)
+        merged = merge_typed_compound(
+            compound, compound.first.expr, compound.second.expr)
+        vlinks = tuple(
+            (name, TLit(3)) for name, _ in compound.vimports)
+        tlinks = tuple()
+        direct, _, _ = run_typed_expr(
+            TypedInvokeExpr(compound, tlinks, vlinks))
+        reduced, _, _ = run_typed_expr(
+            TypedInvokeExpr(merged, tlinks, vlinks))
+        assert direct == reduced
+
+
+class TestPhonebookThroughCompilation:
+    def test_erased_ipb_compiles_and_matches(self):
+        from repro.phonebook.program import build_ipb, run_ipb
+        from repro.unitc.erase import erase
+        from repro.units.ast import InvokeExpr
+        from repro.units.compile import compile_expr
+
+        direct_result, direct_output = run_ipb()
+
+        erased = InvokeExpr(erase(build_ipb()), ())
+        compiled = compile_expr(erased)
+        interp = Interpreter()
+        compiled_result = interp.eval(compiled)
+        assert compiled_result == direct_result
+        assert interp.port.getvalue() == direct_output
+
+    def test_erased_ipb_on_interpreter_matches(self):
+        from repro.phonebook.program import build_ipb, run_ipb
+        from repro.unitc.erase import erase
+        from repro.units.ast import InvokeExpr
+
+        direct_result, direct_output = run_ipb()
+        interp = Interpreter()
+        result = interp.eval(InvokeExpr(erase(build_ipb()), ()))
+        assert result == direct_result
+        assert interp.port.getvalue() == direct_output
+
+
+class TestMachineOnStdlibCorpus:
+    PROGRAMS = [
+        ("""
+         (invoke
+           (compound (import) (export)
+             (link ((unit (import) (export twice)
+                      (define twice (lambda (x) (* 2 x)))
+                      (void))
+                    (with) (provides twice))
+                   ((unit (import twice) (export)
+                      (twice (twice 5)))
+                    (with twice) (provides)))))
+         """, 20),
+        ("(invoke (unit (import) (export) (+ 1 (invoke (unit (import) (export) 2))))"
+         ")", 3),
+    ]
+
+    @pytest.mark.parametrize("source,expected", PROGRAMS)
+    def test_machine_matches(self, source, expected):
+        from repro.lang.ast import Lit
+        from repro.lang.machine import Machine
+
+        interp_result = Interpreter().eval(parse_program(source))
+        machine_result = Machine().eval(parse_program(source))
+        assert interp_result == expected
+        assert machine_result == Lit(expected)

@@ -1,0 +1,205 @@
+"""Tests for the DrScheme-style environment (Section 7)."""
+
+import pytest
+
+from repro.lang.errors import UnitLinkError
+from repro.drscheme import BUILTIN_TOOLS, DrScheme
+
+
+def make_env_with_tools() -> DrScheme:
+    env = DrScheme()
+    for name, source in BUILTIN_TOOLS.items():
+        env.install_tool(name, source)
+    return env
+
+
+class TestLaunching:
+    def test_client_runs_and_finishes(self):
+        env = DrScheme()
+        record = env.launch("hello", """
+            (unit (import print!) (export)
+              (print! "hello from a client")
+              42)
+        """)
+        assert record.status == "finished"
+        assert record.result == 42
+        assert record.output() == "hello from a client"
+
+    def test_client_with_no_imports(self):
+        env = DrScheme()
+        record = env.launch("pure", "(unit (import) (export) (* 6 7))")
+        assert record.result == 42
+
+    def test_duplicate_client_name_rejected(self):
+        env = DrScheme()
+        env.launch("c", "(unit (import) (export) 1)")
+        with pytest.raises(UnitLinkError, match="already running"):
+            env.launch("c", "(unit (import) (export) 2)")
+
+    def test_unknown_import_rejected(self):
+        env = DrScheme()
+        with pytest.raises(UnitLinkError, match="neither the environment"):
+            env.launch("needy", "(unit (import mystery) (export) 1)")
+
+    def test_non_unit_rejected(self):
+        env = DrScheme()
+        with pytest.raises(UnitLinkError, match="not a unit"):
+            env.launch("n", "42")
+
+
+class TestBoundaries:
+    def test_consoles_are_separate(self):
+        env = DrScheme()
+        env.launch("a", '(unit (import print!) (export) (print! "A"))')
+        env.launch("b", '(unit (import print!) (export) (print! "B"))')
+        assert env.client("a").output() == "A"
+        assert env.client("b").output() == "B"
+
+    def test_kv_store_is_namespaced(self):
+        env = DrScheme()
+        writer = """
+            (unit (import kv-put! kv-get print!) (export)
+              (kv-put! "secret" %d)
+              (print! (number->string (kv-get "secret" 0))))
+        """
+        env.launch("a", writer % 1)
+        env.launch("b", writer % 2)
+        assert env.client("a").output() == "1"
+        assert env.client("b").output() == "2"
+        assert env.store_snapshot() == {"a/secret": 1, "b/secret": 2}
+
+    def test_shared_board_is_shared(self):
+        env = DrScheme()
+        env.launch("producer", """
+            (unit (import shared-put!) (export)
+              (shared-put! "answer" 42))
+        """)
+        record = env.launch("consumer", """
+            (unit (import shared-get) (export)
+              (shared-get "answer" 0))
+        """)
+        assert record.result == 42
+
+    def test_crash_is_isolated(self):
+        env = DrScheme()
+        crashed = env.launch("boom", """
+            (unit (import) (export) (error "client exploded"))
+        """)
+        assert crashed.status == "crashed"
+        assert "client exploded" in crashed.error
+        # The environment keeps serving other clients.
+        survivor = env.launch("after", "(unit (import) (export) 7)")
+        assert survivor.status == "finished"
+        assert survivor.result == 7
+
+    def test_status_report(self):
+        env = make_env_with_tools()
+        env.launch("ok", "(unit (import) (export) 1)")
+        env.launch("bad", '(unit (import) (export) (error "x"))')
+        report = env.status_report()
+        assert "client ok: finished" in report
+        assert "client bad: crashed" in report
+        assert "editor" in report
+
+
+class TestTools:
+    def test_install_and_use_editor(self):
+        env = make_env_with_tools()
+        record = env.launch("writer", """
+            (unit (import open-buffer! append-line! buffer-text print!)
+                  (export)
+              (open-buffer! "draft")
+              (append-line! "draft" "first line")
+              (append-line! "draft" "second line")
+              (print! (buffer-text "draft")))
+        """, tools=("editor",))
+        assert record.output() == "first line\nsecond line\n"
+
+    def test_evaluator_tool(self):
+        env = make_env_with_tools()
+        record = env.launch("calc", """
+            (unit (import reset! apply-op! current) (export)
+              (reset! 10)
+              (apply-op! "+" 5)
+              (apply-op! "*" 2)
+              (current))
+        """, tools=("evaluator",))
+        assert record.result == 30
+        assert "= 30" in record.output()
+
+    def test_syntax_checker_tool(self):
+        env = make_env_with_tools()
+        record = env.launch("checker", """
+            (unit (import check-and-report!) (export)
+              (check-and-report! "(unit (import) (export) 1)")
+              (check-and-report! "(unit (import a a) (export) 1)"))
+        """, tools=("syntax-checker",))
+        assert record.result is False  # second source is ill-formed
+        assert record.output() == "syntax oksyntax error"
+
+    def test_debugger_flags_to_shared_board(self):
+        env = make_env_with_tools()
+        env.launch("observed", """
+            (unit (import observe! flags) (export)
+              (observe! "temp" 20)
+              (observe! "pressure" -3)
+              (flags))
+        """, tools=("debugger",))
+        assert env.shared_board() == {"flag:pressure": -3}
+
+    def test_tool_state_is_per_client(self):
+        env = make_env_with_tools()
+        env.launch("calc1", """
+            (unit (import reset! current) (export) (reset! 100) (current))
+        """, tools=("evaluator",))
+        record = env.launch("calc2", """
+            (unit (import current) (export) (current))
+        """, tools=("evaluator",))
+        # calc2's evaluator instance starts fresh at 0, not at 100.
+        assert record.result == 0
+
+    def test_tool_with_foreign_imports_rejected(self):
+        env = DrScheme()
+        with pytest.raises(UnitLinkError, match="more than the environment"):
+            env.install_tool("rogue", """
+                (unit (import network-socket) (export) (void))
+            """)
+
+    def test_missing_tool_rejected(self):
+        env = DrScheme()
+        with pytest.raises(UnitLinkError, match="no tool"):
+            env.launch("c", "(unit (import) (export) 1)",
+                       tools=("ghost",))
+
+
+class TestDynamicToolInstall:
+    def test_install_from_archive(self):
+        from repro.dynlink.archive import UnitArchive
+
+        archive = UnitArchive()
+        archive.put("greeter", """
+            (unit (import print!) (export greet!)
+              (define greet! (lambda (who)
+                (print! (string-append "hi, " who))))
+              (void))
+        """, typed=False)
+        env = DrScheme()
+        env.install_tool_from_archive(archive, "greeter",
+                                      expected_exports=("greet!",))
+        record = env.launch("user", """
+            (unit (import greet!) (export) (greet! "unit world"))
+        """, tools=("greeter",))
+        assert record.output() == "hi, unit world"
+
+    def test_archive_tool_interface_verified(self):
+        from repro.dynlink.archive import UnitArchive
+        from repro.lang.errors import ArchiveError
+
+        archive = UnitArchive()
+        archive.put("impostor", """
+            (unit (import launch-missiles) (export) (void))
+        """, typed=False)
+        env = DrScheme()
+        with pytest.raises(ArchiveError, match="unexpected imports"):
+            env.install_tool_from_archive(archive, "impostor",
+                                          expected_exports=())

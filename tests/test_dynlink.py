@@ -1,0 +1,188 @@
+"""Tests for dynamic linking: archive retrieval and the plug-in host."""
+
+import pytest
+
+from repro.lang.errors import ArchiveError
+from repro.lang.interp import Interpreter
+from repro.types.parser import parse_sig_text
+from repro.types.types import INT, STR
+from repro.dynlink.archive import UnitArchive
+from repro.dynlink.loader import PluginHost
+
+
+GOOD_PLUGIN = """
+    (unit/t (import (val insert (-> int void)) (val error (-> str void)))
+            (export)
+      (define loader (-> int void)
+        (lambda ((n int)) (insert (* n 2))))
+      loader)
+"""
+
+LOADER_SIG = """
+    (sig (import (val insert (-> int void)) (val error (-> str void)))
+         (export)
+         (-> int void))
+"""
+
+
+class TestArchive:
+    def test_put_and_retrieve(self):
+        archive = UnitArchive()
+        archive.put("plugin", GOOD_PLUGIN)
+        expected = parse_sig_text(LOADER_SIG)
+        expr, actual = archive.retrieve_typed("plugin", expected)
+        assert actual.init == parse_sig_text(LOADER_SIG).init
+
+    def test_missing_entry(self):
+        archive = UnitArchive()
+        with pytest.raises(ArchiveError, match="no archive entry"):
+            archive.retrieve_typed(
+                "ghost", parse_sig_text("(sig (import) (export) void)"))
+
+    def test_garbage_source_rejected(self):
+        archive = UnitArchive()
+        archive.put("bad", "(((")
+        with pytest.raises(ArchiveError, match="parse"):
+            archive.retrieve_typed(
+                "bad", parse_sig_text("(sig (import) (export) void)"))
+
+    def test_non_unit_rejected(self):
+        archive = UnitArchive()
+        archive.put("num", "42")
+        with pytest.raises(ArchiveError, match="not a unit"):
+            archive.retrieve_typed(
+                "num", parse_sig_text("(sig (import) (export) void)"))
+
+    def test_ill_typed_unit_rejected_at_retrieval(self):
+        archive = UnitArchive()
+        archive.put("liar", """
+            (unit/t (import) (export)
+              (define x int "not an int")
+              (void))
+        """)
+        with pytest.raises(ArchiveError, match="type-check"):
+            archive.retrieve_typed(
+                "liar", parse_sig_text("(sig (import) (export) void)"))
+
+    def test_signature_mismatch_rejected(self):
+        # A well-typed unit that does not satisfy the expected
+        # signature: the init value has the wrong type.
+        archive = UnitArchive()
+        archive.put("wrong-shape", """
+            (unit/t (import) (export) 42)
+        """)
+        expected = parse_sig_text(LOADER_SIG)
+        with pytest.raises(ArchiveError, match="does not satisfy"):
+            archive.retrieve_typed("wrong-shape", expected)
+
+    def test_subsumption_accepts_specialized_plugins(self):
+        # A plugin needing fewer imports still satisfies the signature.
+        archive = UnitArchive()
+        archive.put("lean", """
+            (unit/t (import (val insert (-> int void))) (export)
+              (define loader (-> int void)
+                (lambda ((n int)) (insert n)))
+              loader)
+        """)
+        expr, _ = archive.retrieve_typed("lean", parse_sig_text(LOADER_SIG))
+        assert expr is not None
+
+    def test_untyped_roundtrip(self):
+        from repro.lang.parser import parse_program
+
+        archive = UnitArchive()
+        archive.put_unit("u", parse_program(
+            "(unit (import a) (export f) (define f (lambda () a)) (f))"))
+        unit = archive.retrieve_untyped("u", ("a", "b"), ("f",))
+        assert unit.imports == ("a",)
+
+    def test_untyped_excess_imports_rejected(self):
+        archive = UnitArchive()
+        archive.put("needy", "(unit (import surprise) (export) (void))",
+                    typed=False)
+        with pytest.raises(ArchiveError, match="unexpected imports"):
+            archive.retrieve_untyped("needy", (), ())
+
+    def test_untyped_missing_exports_rejected(self):
+        archive = UnitArchive()
+        archive.put("sparse", "(unit (import) (export) (void))",
+                    typed=False)
+        with pytest.raises(ArchiveError, match="lacks expected exports"):
+            archive.retrieve_untyped("sparse", (), ("f",))
+
+    def test_persistence_roundtrip(self, tmp_path):
+        archive = UnitArchive()
+        archive.put("plugin", GOOD_PLUGIN)
+        archive.put("raw", "(unit (import) (export) 1)", typed=False)
+        path = tmp_path / "units.json"
+        archive.save(path)
+        loaded = UnitArchive.load(path)
+        assert set(loaded.names()) == {"plugin", "raw"}
+        expected = parse_sig_text(LOADER_SIG)
+        loaded.retrieve_typed("plugin", expected)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ArchiveError, match="cannot load"):
+            UnitArchive.load(tmp_path / "missing.json")
+
+
+class TestPluginHost:
+    def make_host(self, interp: Interpreter, log: list):
+        expected = parse_sig_text(LOADER_SIG)
+        insert = interp.run("(lambda (n) (display n))")
+
+        def on_install(name, value):
+            log.append(name)
+
+        error = interp.run("(lambda (s) (void))")
+        return PluginHost(interp, expected,
+                          type_imports={},
+                          value_imports={"insert": insert, "error": error},
+                          on_install=on_install)
+
+    def test_load_and_run_plugin(self):
+        interp = Interpreter()
+        log: list = []
+        host = self.make_host(interp, log)
+        archive = UnitArchive()
+        archive.put("doubler", GOOD_PLUGIN)
+        loader = host.load(archive, "doubler")
+        # The installed value is the loader function; apply it.
+        interp.apply(loader, [21])
+        assert interp.port.getvalue() == "42"
+        assert host.loaded_names() == ("doubler",)
+        assert log == ["doubler"]
+
+    def test_bad_plugin_never_linked(self):
+        interp = Interpreter()
+        host = self.make_host(interp, [])
+        archive = UnitArchive()
+        archive.put("trojan", "(unit/t (import) (export) 42)")
+        with pytest.raises(ArchiveError):
+            host.load(archive, "trojan")
+        assert host.loaded_names() == ()
+
+    def test_host_must_cover_signature_imports(self):
+        interp = Interpreter()
+        expected = parse_sig_text(LOADER_SIG)
+        with pytest.raises(ArchiveError, match="does not supply"):
+            PluginHost(interp, expected, {}, {"insert": None})
+
+    def test_multiple_plugins(self):
+        interp = Interpreter()
+        host = self.make_host(interp, [])
+        archive = UnitArchive()
+        archive.put("a", GOOD_PLUGIN)
+        archive.put("b", """
+            (unit/t (import (val insert (-> int void))
+                            (val error (-> str void)))
+                    (export)
+              (define loader (-> int void)
+                (lambda ((n int)) (insert (+ n 1))))
+              loader)
+        """)
+        la = host.load(archive, "a")
+        lb = host.load(archive, "b")
+        interp.apply(la, [5])   # displays 10
+        interp.apply(lb, [5])   # displays 6
+        assert interp.port.getvalue() == "106"

@@ -1,0 +1,134 @@
+"""Tests for type erasure (typed AST -> untyped core)."""
+
+import pytest
+
+from repro.lang import ast as core
+from repro.lang.interp import Interpreter
+from repro.unitc.erase import datatype_defns, erase, erase_unit
+from repro.unitc.parser import parse_typed_program
+from repro.units.ast import CompoundExpr, InvokeExpr, UnitExpr
+
+
+def er(source: str):
+    return erase(parse_typed_program(source))
+
+
+class TestExpressionErasure:
+    def test_literal(self):
+        assert er("42") == core.Lit(42)
+
+    def test_lambda_drops_annotations(self):
+        out = er("(lambda ((x int) (y str)) x)")
+        assert out == core.Lambda(("x", "y"), core.Var("x"))
+
+    def test_letrec_drops_annotations(self):
+        out = er("(letrec ((f (-> int int) (lambda ((n int)) n))) f)")
+        assert isinstance(out, core.Letrec)
+        assert out.bindings[0][0] == "f"
+
+    def test_tuple_becomes_list(self):
+        out = er("(tuple 1 2)")
+        assert out == core.App(core.Var("list"),
+                               (core.Lit(1), core.Lit(2)))
+
+    def test_proj_becomes_list_ref(self):
+        out = er("(proj 1 (tuple 1 2))")
+        assert isinstance(out, core.App)
+        assert out.fn == core.Var("list-ref")
+
+    def test_box_ops(self):
+        out = er("(set-box! (box 1) 2)")
+        assert out.fn == core.Var("set-box!")
+
+    def test_prim_renaming(self):
+        out = er("(display-int 5)")
+        assert out.fn == core.Var("display")
+
+    def test_string_append_variants(self):
+        out = er('(string-append3 "a" "b" "c")')
+        assert out.fn == core.Var("string-append")
+        assert Interpreter().eval(out) == "abc"
+
+
+class TestUnitErasure:
+    def test_interface_keeps_value_names_only(self):
+        unit = erase_unit(parse_typed_program("""
+            (unit/t (import (type t) (val x t))
+                    (export (type u) (val f (-> t u)))
+              (datatype u (mk un t) (mk2 un2 void) u?)
+              (define f (-> t u) mk)
+              (void))
+        """))
+        assert isinstance(unit, UnitExpr)
+        assert unit.imports == ("x",)
+        assert unit.exports == ("f",)
+
+    def test_datatype_becomes_five_definitions(self):
+        unit = erase_unit(parse_typed_program("""
+            (unit/t (import) (export)
+              (datatype t (a ua int) (b ub str) a?)
+              (void))
+        """))
+        assert unit.defined == ("a", "ua", "b", "ub", "a?")
+
+    def test_equations_vanish(self):
+        unit = erase_unit(parse_typed_program("""
+            (unit/t (import) (export)
+              (type alias int)
+              (define x alias 1)
+              x)
+        """))
+        assert unit.defined == ("x",)
+
+    def test_datatype_ops_precede_value_definitions(self):
+        unit = erase_unit(parse_typed_program("""
+            (unit/t (import) (export)
+              (datatype t (a ua int) (b ub str) a?)
+              (define v t (a 1))
+              (ua v))
+        """))
+        assert unit.defined.index("a") < unit.defined.index("v")
+        # and the erased unit actually runs:
+        assert Interpreter().eval(InvokeExpr(unit, ())) == 1
+
+    def test_compound_erasure(self):
+        out = er("""
+            (compound/t (import (val e int)) (export (val v int))
+              (link ((unit/t (import (val e int)) (export (val v int))
+                       (define v int 1) (void))
+                     (with (val e int)) (provides (val v int)))
+                    ((unit/t (import) (export) (void))
+                     (with) (provides))))
+        """)
+        assert isinstance(out, CompoundExpr)
+        assert out.imports == ("e",)
+        assert out.first.provides == ("v",)
+
+    def test_invoke_erasure_drops_type_links(self):
+        out = er("""
+            (invoke/t (unit/t (import (type t) (val v t)) (export) v)
+              (type t int) (val v 5))
+        """)
+        assert isinstance(out, InvokeExpr)
+        assert [n for n, _ in out.links] == ["v"]
+        assert Interpreter().eval(out) == 5
+
+
+class TestDatatypeDefns:
+    def test_five_operations(self):
+        from repro.unitc.ast import DatatypeDefn
+        from repro.types.types import INT, STR
+
+        dt = DatatypeDefn("t", "a", "ua", INT, "b", "ub", STR, "a?")
+        defns = datatype_defns(dt)
+        assert [name for name, _ in defns] == ["a", "ua", "b", "ub", "a?"]
+
+    def test_operations_work_at_runtime(self):
+        result = Interpreter().eval(er("""
+            (invoke/t (unit/t (import) (export)
+              (datatype t (a ua int) (b ub str) a?)
+              (tuple (a? (a 1)) (ua (a 41)))))
+        """))
+        from repro.lang.values import pairs_to_list
+
+        assert pairs_to_list(result) == [True, 41]

@@ -1,0 +1,101 @@
+"""Interplay between UNITe dependencies and the Section 5 extensions."""
+
+import pytest
+
+from repro.extensions.hiding import hide_types, subtype_with_hiding
+from repro.extensions.translucent import (
+    TranslucentSig,
+    expose_unit_type,
+    translucent_subtype,
+)
+from repro.lang.errors import TypeCheckError
+from repro.types.parser import parse_sig_text, parse_type_text
+from repro.types.subtype import sig_subtype
+from repro.unitc.check import base_tyenv, check_typed_unit
+from repro.unitc.parser import parse_typed_program
+
+
+class TestExposingDependentEquations:
+    UNIT = """
+        (unit/t (import (type base)) (export (type wrapped))
+          (type wrapped (-> base base))
+          (void))
+    """
+
+    def test_exported_equation_with_dependency(self):
+        unit = parse_typed_program(self.UNIT)
+        sig = check_typed_unit(unit, base_tyenv())
+        assert sig.depends == (("wrapped", "base"),)
+
+    def test_exposure_reveals_the_abbreviation(self):
+        unit = parse_typed_program(self.UNIT)
+        sig = check_typed_unit(unit, base_tyenv())
+        tsig = expose_unit_type(unit, sig, "wrapped")
+        name, revealed = tsig.abbrevs[0]
+        assert name == "wrapped"
+        assert revealed == parse_type_text("(-> base base)")
+        # The exposed signature no longer exports wrapped opaquely, and
+        # drops the now-redundant dependency declaration.
+        assert "wrapped" not in tsig.sig.texport_names
+        assert tsig.sig.depends == ()
+
+    def test_rehiding_recovers_an_opaque_view(self):
+        unit = parse_typed_program(self.UNIT)
+        sig = check_typed_unit(unit, base_tyenv())
+        tsig = expose_unit_type(unit, sig, "wrapped")
+        opaque = hide_types(tsig, ("wrapped",))
+        assert "wrapped" in opaque.texport_names
+        assert subtype_with_hiding(tsig, opaque)
+
+
+class TestTranslucencyAndSubtyping:
+    def test_translucent_client_can_demand_more(self):
+        # A client that only needs `extend` accepts the richer
+        # translucent signature through expansion.
+        rich = TranslucentSig(
+            parse_sig_text("""
+                (sig (import)
+                     (export (val extend (-> env name value env))
+                             (val empty env))
+                     void)
+            """),
+            (("env", parse_type_text("(-> name value)")),))
+        demand = parse_sig_text("""
+            (sig (import)
+                 (export (val extend (-> (-> name value) name value
+                                         (-> name value))))
+                 void)
+        """)
+        assert translucent_subtype(rich, demand)
+
+    def test_opaque_view_blocks_representation_use(self):
+        rich = TranslucentSig(
+            parse_sig_text("""
+                (sig (import) (export (val empty env)) void)
+            """),
+            (("env", parse_type_text("(-> name value)")),))
+        opaque = hide_types(rich, ("env",))
+        representation_demand = parse_sig_text("""
+            (sig (import) (export (val empty (-> name value))) void)
+        """)
+        # Through the translucent view: fine.
+        assert translucent_subtype(rich, representation_demand)
+        # Through the opaque view: the representation is hidden.
+        assert not sig_subtype(opaque, representation_demand)
+
+    def test_partial_hiding(self):
+        # Two abbreviations; hide only one.
+        tsig = TranslucentSig(
+            parse_sig_text("""
+                (sig (import) (export (val f (-> env store env))) void)
+            """),
+            (("env", parse_type_text("(-> name value)")),
+             ("store", parse_type_text("(* int int)"))))
+        opaque = hide_types(tsig, ("env",))
+        assert "env" in opaque.texport_names
+        # store stayed translucent: it was expanded away.
+        assert "store" not in opaque.texport_names
+        f_type = opaque.vexport_type("f")
+        assert "store" not in str(f_type)
+        assert "env" in str(f_type)
+        assert subtype_with_hiding(tsig, opaque)

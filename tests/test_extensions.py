@@ -1,0 +1,160 @@
+"""Tests for the Section 5 extensions: translucency, hiding, sharing."""
+
+import pytest
+
+from repro.lang.errors import TypeCheckError
+from repro.types.parser import parse_sig_text, parse_type_text
+from repro.types.subtype import sig_subtype
+from repro.types.types import Arrow, NAME, Sig, TyVar, VALUE, VOID
+from repro.extensions.hiding import hide_types, subtype_with_hiding
+from repro.extensions.sharing import (
+    diamond_duplicated,
+    diamond_linked_at_once,
+)
+from repro.extensions.translucent import (
+    TranslucentSig,
+    expose_unit_type,
+    translucent_subtype,
+)
+from repro.unitc.parser import parse_typed_program
+from repro.unitc.run import typecheck
+
+
+ENV = Arrow((NAME,), VALUE)  # env = name -> value (Figure 20)
+
+
+def environment_sig() -> Sig:
+    # extend : env x name x value -> env, with env translucent.
+    return parse_sig_text("""
+        (sig (import)
+             (export (val extend (-> env name value env))
+                     (val empty env))
+             void)
+    """)
+
+
+class TestTranslucent:
+    def test_expand_reveals_abbreviation(self):
+        tsig = TranslucentSig(environment_sig(), (("env", ENV),))
+        expanded = tsig.expand()
+        assert expanded.vexport_type("empty") == ENV
+        assert expanded.vexport_type("extend") == \
+            Arrow((ENV, NAME, VALUE), ENV)
+
+    def test_equivalent_to_expansion(self):
+        # Figure 20: the translucent signature is equivalent to the one
+        # that expands env in all type expressions.
+        tsig = TranslucentSig(environment_sig(), (("env", ENV),))
+        plain = tsig.expand()
+        assert translucent_subtype(tsig, plain)
+        assert translucent_subtype(plain, tsig)
+
+    def test_chained_abbreviations(self):
+        sig = parse_sig_text(
+            "(sig (import) (export (val f pairenv)) void)")
+        tsig = TranslucentSig(
+            sig, (("env", ENV), ("pairenv", parse_type_text("(* env env)"))))
+        expanded = tsig.expand()
+        assert expanded.vexport_type("f") == \
+            parse_type_text("(* (-> name value) (-> name value))")
+
+    def test_cyclic_abbreviations_rejected(self):
+        sig = parse_sig_text("(sig (import) (export) void)")
+        with pytest.raises(TypeCheckError, match="cyclic"):
+            TranslucentSig(sig, (("a", TyVar("b")), ("b", TyVar("a"))))
+
+    def test_abbreviation_shadowing_interface_rejected(self):
+        sig = parse_sig_text("(sig (import (type env)) (export) void)")
+        with pytest.raises(TypeCheckError, match="shadows"):
+            TranslucentSig(sig, (("env", ENV),))
+
+    def test_expose_unit_type(self):
+        # The Figure 20 Environment unit: env is an internal equation,
+        # and the exposure machinery reveals it as an abbreviation.
+        unit = parse_typed_program("""
+            (unit/t (import (val default value))
+                    (export (val empty env)
+                            (val extend (-> env name value env)))
+              (type env (-> name value))
+              (define empty env
+                (lambda ((n name)) default))
+              (define extend (-> env name value env)
+                (lambda ((e env) (n name) (v value))
+                  (lambda ((m name)) v)))
+              (void))
+        """)
+        from repro.unitc.check import base_tyenv, check_typed_unit
+
+        sig = check_typed_unit(unit, base_tyenv())
+        # In the checked signature the equation is already expanded:
+        assert sig.vexport_type("empty") == ENV
+        tsig = expose_unit_type(unit, sig, "env")
+        assert tsig.abbrevs == (("env", ENV),)
+        assert translucent_subtype(tsig, sig)
+
+    def test_expose_requires_equation(self):
+        unit = parse_typed_program("(unit/t (import) (export) (void))")
+        sig = typecheck("(unit/t (import) (export) (void))")
+        with pytest.raises(TypeCheckError, match="not a type equation"):
+            expose_unit_type(unit, sig, "env")
+
+
+class TestHiding:
+    def make_translucent(self) -> TranslucentSig:
+        return TranslucentSig(environment_sig(), (("env", ENV),))
+
+    def test_hide_makes_opaque_export(self):
+        opaque = hide_types(self.make_translucent(), ("env",))
+        assert "env" in opaque.texport_names
+        # The value types still mention env — now referring to the
+        # opaque exported variable.
+        assert opaque.vexport_type("empty") == TyVar("env")
+
+    def test_translucent_is_subtype_of_opaque(self):
+        tsig = self.make_translucent()
+        opaque = hide_types(tsig, ("env",))
+        assert subtype_with_hiding(tsig, opaque)
+
+    def test_opaque_signature_hides_information(self):
+        # Ordinary subtyping (without the extension) cannot relate the
+        # expanded signature to the opaque one: the opaque one exports
+        # a type the expansion does not.
+        tsig = self.make_translucent()
+        opaque = hide_types(tsig, ("env",))
+        assert not sig_subtype(tsig.expand(), opaque)
+
+    def test_hiding_wrong_name_rejected(self):
+        with pytest.raises(TypeCheckError, match="not an abbreviation"):
+            hide_types(self.make_translucent(), ("ghost",))
+
+    def test_hiding_respects_value_types(self):
+        # A signature promising an export at the *wrong* type does not
+        # validate even with hiding.
+        tsig = self.make_translucent()
+        bad = parse_sig_text("""
+            (sig (import)
+                 (export (type env) (val extend (-> env env))
+                         (val empty env))
+                 void)
+        """)
+        assert not subtype_with_hiding(tsig, bad)
+
+    def test_trusted_vs_untrusted_views(self):
+        # Figure 21's RecEnv scenario: the trusted client (Letrec) sees
+        # the translucent signature; untrusted clients see the opaque
+        # ascription.  Both views accept the same unit.
+        tsig = self.make_translucent()
+        trusted_view = tsig.expand()
+        untrusted_view = hide_types(tsig, ("env",))
+        assert translucent_subtype(tsig, trusted_view)
+        assert subtype_with_hiding(tsig, untrusted_view)
+
+
+class TestSharing:
+    def test_diamond_linked_at_once_works(self):
+        result, ty, _ = diamond_linked_at_once()
+        assert ty == VOID or ty is not None  # runs to completion
+
+    def test_duplicated_symbol_rejected(self):
+        with pytest.raises(TypeCheckError, match="duplicate"):
+            diamond_duplicated()

@@ -1,0 +1,146 @@
+"""Tests for the second-wave features: REPL, DOT output, declared sigs."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRepl:
+    def _run_repl(self, monkeypatch, capsys, inputs):
+        lines = iter(inputs)
+
+        def fake_input(prompt=""):
+            try:
+                return next(lines)
+            except StopIteration:
+                raise EOFError
+
+        monkeypatch.setattr("builtins.input", fake_input)
+        assert main(["repl"]) == 0
+        return capsys.readouterr().out
+
+    def test_evaluate_expression(self, monkeypatch, capsys):
+        out = self._run_repl(monkeypatch, capsys, ["(+ 1 2)"])
+        assert "=> 3" in out
+
+    def test_definitions_persist(self, monkeypatch, capsys):
+        out = self._run_repl(monkeypatch, capsys, [
+            "(define u (unit (import n) (export) (* n n)))",
+            "(invoke u (n 9))",
+        ])
+        assert "defined u" in out
+        assert "=> 81" in out
+
+    def test_units_linked_across_inputs(self, monkeypatch, capsys):
+        out = self._run_repl(monkeypatch, capsys, [
+            "(define lib (unit (import) (export v) (define v 6) (void)))",
+            "(define app (unit (import v) (export) (* v 7)))",
+            """(invoke (compound (import) (export)
+                 (link (lib (with) (provides v))
+                       (app (with v) (provides)))))""",
+        ])
+        assert "=> 42" in out
+
+    def test_errors_do_not_kill_the_session(self, monkeypatch, capsys):
+        out = self._run_repl(monkeypatch, capsys, [
+            "(car 5)",
+            "(+ 1 1)",
+        ])
+        assert "error:" in out
+        assert "=> 2" in out
+
+    def test_display_output_flushed(self, monkeypatch, capsys):
+        out = self._run_repl(monkeypatch, capsys, [
+            '(begin (display "side") 1)',
+        ])
+        assert "side" in out
+        assert "=> 1" in out
+
+
+class TestDotOutput:
+    def test_dot_renders_boxes_and_arrows(self):
+        from repro.linking.graph import LinkGraph
+
+        graph = LinkGraph(imports=("err",), exports=("go",))
+        graph.add_box("Lib", """
+            (unit (import err) (export go)
+              (define go (lambda () 1)) (void))
+        """)
+        dot = graph.to_dot("demo")
+        assert dot.startswith("digraph demo {")
+        assert '"Lib"' in dot
+        assert 'label="err"' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_dot_for_phonebook_shape(self):
+        from repro.linking.graph import LinkGraph
+
+        graph = LinkGraph(imports=("error",))
+        graph.add_box("Database", """
+            (unit (import error info) (export new) (define new 1) (void))
+        """, withs=("error", "info"), provides=("new",))
+        graph.add_box("NumberInfo", """
+            (unit (import) (export info) (define info 1) (void))
+        """)
+        dot = graph.to_dot()
+        assert '"NumberInfo" -> "Database" [label="info"];' in dot
+        assert '"<imports>" -> "Database" [label="error"];' in dot
+
+
+class TestDeclaredSignatures:
+    SIG = "(sig (import) (export) int)"
+
+    def test_declared_signature_browsable(self):
+        from repro.dynlink.archive import UnitArchive
+
+        archive = UnitArchive()
+        archive.put("u", "(unit/t (import) (export) 1)",
+                    declared_sig=self.SIG)
+        sig = archive.declared_signature("u")
+        assert sig is not None
+        from repro.types.types import INT
+
+        assert sig.init == INT
+
+    def test_missing_claim_is_none(self):
+        from repro.dynlink.archive import UnitArchive
+
+        archive = UnitArchive()
+        archive.put("u", "(unit/t (import) (export) 1)")
+        assert archive.declared_signature("u") is None
+
+    def test_lying_claim_has_no_authority(self):
+        from repro.dynlink.archive import UnitArchive
+        from repro.lang.errors import ArchiveError
+        from repro.types.parser import parse_sig_text
+
+        archive = UnitArchive()
+        # The publisher claims a void-producing unit; the source
+        # actually produces a string.  The receiver's expectation of
+        # int must still be judged against the SOURCE.
+        archive.put("liar", '(unit/t (import) (export) "gotcha")',
+                    declared_sig="(sig (import) (export) int)")
+        expected = parse_sig_text("(sig (import) (export) int)")
+        with pytest.raises(ArchiveError, match="does not satisfy"):
+            archive.retrieve_typed("liar", expected)
+
+    def test_unparseable_claim_reported(self):
+        from repro.dynlink.archive import UnitArchive
+        from repro.lang.errors import ArchiveError
+
+        archive = UnitArchive()
+        archive.put("u", "(unit/t (import) (export) 1)",
+                    declared_sig="(((")
+        with pytest.raises(ArchiveError, match="unparseable"):
+            archive.declared_signature("u")
+
+    def test_claim_survives_persistence(self, tmp_path):
+        from repro.dynlink.archive import UnitArchive
+
+        archive = UnitArchive()
+        archive.put("u", "(unit/t (import) (export) 1)",
+                    declared_sig=self.SIG)
+        path = tmp_path / "a.json"
+        archive.save(path)
+        loaded = UnitArchive.load(path)
+        assert loaded.declared_signature("u") is not None

@@ -1,0 +1,27 @@
+"""Every paper figure's reproduction runs and validates its claim."""
+
+import pytest
+
+from repro.figures import FIGURES, get_figure, run_all
+
+
+@pytest.mark.parametrize("figure", FIGURES, ids=lambda f: f"fig{f.number:02d}")
+def test_figure_reproduction(figure):
+    report = figure.run()
+    assert isinstance(report, str)
+    assert report
+
+
+def test_all_21_figures_covered():
+    assert [f.number for f in FIGURES] == list(range(1, 22))
+
+
+def test_get_figure():
+    assert get_figure(12).title.startswith("An example")
+    with pytest.raises(KeyError):
+        get_figure(99)
+
+
+def test_run_all_returns_reports():
+    reports = run_all()
+    assert set(reports) == set(range(1, 22))

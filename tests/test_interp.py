@@ -1,0 +1,342 @@
+"""Tests for the big-step interpreter: core language and unit semantics."""
+
+import pytest
+
+from repro.lang.errors import RunTimeError, UnitLinkError
+from repro.lang.interp import Interpreter, run_program
+from repro.lang.values import AtomicUnitValue, CompoundUnitValue, UnitValue
+
+
+def ev(text: str):
+    result, _ = run_program(text)
+    return result
+
+
+class TestCoreEvaluation:
+    def test_arith(self):
+        assert ev("(+ 1 2 3)") == 6
+
+    def test_nested_arith(self):
+        assert ev("(* (+ 1 2) (- 10 4))") == 18
+
+    def test_division_by_zero(self):
+        with pytest.raises(RunTimeError):
+            ev("(/ 1 0)")
+
+    def test_if_true_branch(self):
+        assert ev("(if (< 1 2) 10 20)") == 10
+
+    def test_if_truthiness_non_boolean(self):
+        assert ev("(if 0 1 2)") == 1  # only #f is false
+
+    def test_lambda_application(self):
+        assert ev("((lambda (x y) (+ x y)) 3 4)") == 7
+
+    def test_closure_captures_environment(self):
+        assert ev("""
+            (let ((make-adder (lambda (n) (lambda (x) (+ x n)))))
+              ((make-adder 10) 5))
+        """) == 15
+
+    def test_let_is_parallel(self):
+        assert ev("(let ((x 1)) (let ((x 2) (y x)) (+ x y)))") == 3
+
+    def test_letrec_recursion(self):
+        assert ev("""
+            (letrec ((fact (lambda (n)
+                             (if (zero? n) 1 (* n (fact (- n 1)))))))
+              (fact 10))
+        """) == 3628800
+
+    def test_letrec_mutual_recursion(self):
+        assert ev("""
+            (letrec ((even? (lambda (n) (if (zero? n) #t (odd? (- n 1)))))
+                     (odd?  (lambda (n) (if (zero? n) #f (even? (- n 1))))))
+              (even? 100))
+        """) is True
+
+    def test_letrec_premature_reference_errors(self):
+        with pytest.raises(RunTimeError):
+            ev("(letrec ((x y) (y 1)) x)")
+
+    def test_set_bang(self):
+        assert ev("(let ((x 1)) (begin (set! x 42) x))") == 42
+
+    def test_begin_sequences(self):
+        assert ev("(let ((x 0)) (begin (set! x 1) (set! x (+ x 1)) x))") == 2
+
+    def test_tail_calls_do_not_overflow(self):
+        assert ev("""
+            (letrec ((loop (lambda (n acc)
+                             (if (zero? n) acc (loop (- n 1) (+ acc 1))))))
+              (loop 100000 0))
+        """) == 100000
+
+    def test_display_output_captured(self):
+        result, output = run_program('(begin (display "hi") (newline) 7)')
+        assert result == 7
+        assert output == "hi\n"
+
+    def test_strings(self):
+        assert ev('(string-append "a" "b" "c")') == "abc"
+
+    def test_lists(self):
+        assert ev("(car (cdr (list 1 2 3)))") == 2
+
+    def test_boxes(self):
+        assert ev("(let ((b (box 1))) (begin (set-box! b 9) (unbox b)))") == 9
+
+    def test_hash_tables(self):
+        assert ev("""
+            (let ((h (makeStringHashTable)))
+              (begin (hash-put! h "k" 11)
+                     (hash-get h "k")))
+        """) == 11
+
+    def test_unbound_variable(self):
+        with pytest.raises(RunTimeError):
+            ev("nope")
+
+    def test_apply_non_procedure(self):
+        with pytest.raises(RunTimeError):
+            ev("(1 2)")
+
+    def test_error_primitive(self):
+        with pytest.raises(RunTimeError, match="boom"):
+            ev('(error "boom")')
+
+
+class TestUnitValues:
+    def test_unit_evaluates_to_value(self):
+        value = ev("(unit (import a) (export b) (define b 1) b)")
+        assert isinstance(value, AtomicUnitValue)
+        assert value.imports == ("a",)
+        assert value.exports == ("b",)
+
+    def test_units_are_first_class(self):
+        # A unit can be passed to and returned from procedures.
+        value = ev("""
+            ((lambda (u) u) (unit (import) (export) 5))
+        """)
+        assert isinstance(value, UnitValue)
+
+    def test_compound_evaluates_to_unit_value(self):
+        value = ev("""
+            (compound (import) (export)
+              (link ((unit (import) (export) 1) (with) (provides))
+                    ((unit (import) (export) 2) (with) (provides))))
+        """)
+        assert isinstance(value, CompoundUnitValue)
+
+
+class TestInvoke:
+    def test_invoke_returns_init_value(self):
+        assert ev("(invoke (unit (import) (export) 42))") == 42
+
+    def test_invoke_runs_definitions(self):
+        assert ev("""
+            (invoke (unit (import) (export)
+              (define f (lambda (x) (* x x)))
+              (f 9)))
+        """) == 81
+
+    def test_invoke_supplies_imports(self):
+        assert ev("""
+            (invoke (unit (import n) (export) (* n 2)) (n 21))
+        """) == 42
+
+    def test_invoke_missing_import_is_runtime_error(self):
+        with pytest.raises(UnitLinkError):
+            ev("(invoke (unit (import n) (export) n))")
+
+    def test_invoke_extra_imports_allowed(self):
+        assert ev("(invoke (unit (import) (export) 1) (extra 99))") == 1
+
+    def test_invoke_non_unit_rejected(self):
+        with pytest.raises(RunTimeError):
+            ev("(invoke 5)")
+
+    def test_mutually_recursive_definitions_within_unit(self):
+        assert ev("""
+            (invoke (unit (import) (export)
+              (define even? (lambda (n) (if (zero? n) #t (odd? (- n 1)))))
+              (define odd?  (lambda (n) (if (zero? n) #f (even? (- n 1)))))
+              (odd? 19)))
+        """) is True
+
+    def test_unit_captures_lexical_environment(self):
+        assert ev("""
+            (let ((secret 7))
+              (invoke (unit (import) (export) (* secret 6))))
+        """) == 42
+
+    def test_each_invocation_is_a_fresh_instance(self):
+        # State initialized in the unit body is per-invocation.
+        assert ev("""
+            (let ((u (unit (import) (export)
+                       (define counter (box 0))
+                       (begin (set-box! counter (+ (unbox counter) 1))
+                              (unbox counter)))))
+              (+ (invoke u) (invoke u)))
+        """) == 2
+
+    def test_initialization_expression_effects_ordered(self):
+        _, output = run_program("""
+            (invoke (unit (import) (export)
+              (begin (display "a") (display "b"))))
+        """)
+        assert output == "ab"
+
+
+class TestCompoundLinking:
+    def test_linked_units_see_each_other(self):
+        assert ev("""
+            (invoke
+              (compound (import) (export main)
+                (link ((unit (import helper) (export main)
+                         (define main (lambda () (+ (helper) 1)))
+                         (main))
+                       (with helper) (provides main))
+                      ((unit (import) (export helper)
+                         (define helper (lambda () 41))
+                         (void))
+                       (with) (provides helper)))))
+        """) is None  # init of second unit runs last and returns void
+
+    def test_init_expressions_sequence_first_then_second(self):
+        _, output = run_program("""
+            (invoke
+              (compound (import) (export)
+                (link ((unit (import) (export) (display "1")) (with) (provides))
+                      ((unit (import) (export) (display "2")) (with) (provides)))))
+        """)
+        assert output == "12"
+
+    def test_result_is_second_units_init(self):
+        assert ev("""
+            (invoke
+              (compound (import) (export)
+                (link ((unit (import) (export) 1) (with) (provides))
+                      ((unit (import) (export) 2) (with) (provides)))))
+        """) == 2
+
+    def test_mutual_recursion_across_units(self):
+        # The even/odd pair, split across two units (Sections 1 and 3.2).
+        assert ev("""
+            (invoke
+              (compound (import) (export)
+                (link ((unit (import odd?) (export even?)
+                         (define even? (lambda (n)
+                           (if (zero? n) #t (odd? (- n 1)))))
+                         (void))
+                       (with odd?) (provides even?))
+                      ((unit (import even?) (export odd?)
+                         (define odd? (lambda (n)
+                           (if (zero? n) #f (even? (- n 1)))))
+                         (odd? 19))
+                       (with even?) (provides odd?)))))
+        """) is True
+
+    def test_compound_passes_imports_through(self):
+        assert ev("""
+            (invoke
+              (compound (import base) (export)
+                (link ((unit (import base) (export mid)
+                         (define mid (* base 2)) (void))
+                       (with base) (provides mid))
+                      ((unit (import mid) (export)
+                         (+ mid 1))
+                       (with mid) (provides))))
+              (base 20))
+        """) == 41
+
+    def test_hiding_a_variable(self):
+        # delete is provided by the first unit but hidden by the compound;
+        # the outer program cannot link against it.
+        with pytest.raises(UnitLinkError):
+            ev("""
+                (invoke
+                  (compound (import) (export)
+                    (link ((unit (import hidden) (export)
+                             (hidden))
+                           (with hidden) (provides))
+                          ((unit (import) (export) 0) (with) (provides)))))
+            """)
+
+    def test_constituent_with_excess_imports_rejected_at_link(self):
+        with pytest.raises(UnitLinkError, match="exceed"):
+            ev("""
+                (compound (import) (export)
+                  (link ((unit (import surprise) (export) 1)
+                         (with) (provides))
+                        ((unit (import) (export) 2) (with) (provides))))
+            """)
+
+    def test_constituent_missing_provides_rejected_at_link(self):
+        with pytest.raises(UnitLinkError, match="provide"):
+            ev("""
+                (compound (import) (export x)
+                  (link ((unit (import) (export) 1)
+                         (with) (provides x))
+                        ((unit (import) (export) 2) (with) (provides))))
+            """)
+
+    def test_nested_compounds(self):
+        # Hierarchical structuring: a compound of a compound and a unit.
+        assert ev("""
+            (invoke
+              (compound (import) (export)
+                (link ((compound (import) (export a b)
+                         (link ((unit (import) (export a)
+                                  (define a 10) (void))
+                                (with) (provides a))
+                               ((unit (import a) (export b)
+                                  (define b (lambda () (+ a 1))) (void))
+                                (with a) (provides b))))
+                       (with) (provides a b))
+                      ((unit (import a b) (export)
+                         (+ a (b)))
+                       (with a b) (provides)))))
+        """) == 21
+
+    def test_same_unit_linked_twice_gets_separate_instances(self):
+        # Individual reuse: one unit value, two instances with separate
+        # state (Section 2: "multiple instances of a unit in different
+        # contexts within a program").
+        assert ev("""
+            (let ((counter (unit (import) (export inc!)
+                             (define state (box 0))
+                             (define inc! (lambda ()
+                               (begin (set-box! state (+ (unbox state) 1))
+                                      (unbox state))))
+                             (void))))
+              (invoke
+                (compound (import) (export)
+                  (link ((compound (import) (export inc1)
+                           (link (counter (with) (provides inc!))
+                                 ((unit (import inc!) (export inc1)
+                                    (define inc1 inc!) (void))
+                                  (with inc!) (provides inc1))))
+                         (with) (provides inc1))
+                        ((unit (import inc1) (export)
+                           (begin (inc1) (inc1)))
+                         (with inc1) (provides))))))
+        """) == 2
+
+
+class TestInterpreterAPI:
+    def test_invoke_from_python(self):
+        interp = Interpreter()
+        unit = interp.run("(unit (import n) (export) (* n n))")
+        assert interp.invoke(unit, {"n": 12}) == 144
+
+    def test_invoke_from_python_missing_import(self):
+        interp = Interpreter()
+        unit = interp.run("(unit (import n) (export) n)")
+        with pytest.raises(UnitLinkError):
+            interp.invoke(unit)
+
+    def test_apply_helper(self):
+        interp = Interpreter()
+        fn = interp.run("(lambda (a b) (- a b))")
+        assert interp.apply(fn, [10, 3]) == 7

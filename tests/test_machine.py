@@ -1,0 +1,166 @@
+"""Tests for the small-step rewriting machine (the paper's semantics)."""
+
+import pytest
+
+from repro.lang.ast import Lit
+from repro.lang.errors import RunTimeError
+from repro.lang.machine import Machine, is_value, machine_eval
+from repro.lang.parser import parse_program
+from repro.units.ast import UnitExpr
+
+
+def mev(text: str):
+    value, _ = machine_eval(parse_program(text))
+    assert isinstance(value, Lit) or is_value(value)
+    return value.value if isinstance(value, Lit) else value
+
+
+class TestCoreReduction:
+    def test_literal_is_final(self):
+        assert mev("42") == 42
+
+    def test_beta(self):
+        assert mev("((lambda (x) (+ x 1)) 41)") == 42
+
+    def test_delta_arith(self):
+        assert mev("(* (+ 1 2) 4)") == 12
+
+    def test_if_reduction(self):
+        assert mev("(if (< 1 2) 10 20)") == 10
+
+    def test_seq_drops_values(self):
+        assert mev("(begin 1 2 3)") == 3
+
+    def test_let_substitutes(self):
+        assert mev("(let ((x 5) (y 6)) (+ x y))") == 11
+
+    def test_letrec_hoisted_into_store(self):
+        assert mev("""
+            (letrec ((fact (lambda (n)
+                             (if (zero? n) 1 (* n (fact (- n 1)))))))
+              (fact 6))
+        """) == 720
+
+    def test_mutual_recursion_via_store(self):
+        assert mev("""
+            (letrec ((even? (lambda (n) (if (zero? n) #t (odd? (- n 1)))))
+                     (odd?  (lambda (n) (if (zero? n) #f (even? (- n 1))))))
+              (odd? 19))
+        """) is True
+
+    def test_set_bang_updates_store(self):
+        assert mev("(letrec ((x 1)) (begin (set! x 9) x))") == 9
+
+    def test_premature_reference_is_error(self):
+        with pytest.raises(RunTimeError, match="before its definition"):
+            mev("(letrec ((x y) (y 1)) x)")
+
+    def test_unbound_variable(self):
+        with pytest.raises(RunTimeError, match="unbound"):
+            mev("mystery")
+
+    def test_shadowing_store_names(self):
+        # Nested letrecs with the same name are renamed on hoisting.
+        assert mev("""
+            (letrec ((x 1))
+              (letrec ((x 2)) (+ x x)))
+        """) == 4
+
+    def test_output_captured(self):
+        _, output = machine_eval(parse_program(
+            '(begin (display "a") (display "b") 0)'))
+        assert output == "ab"
+
+    def test_step_budget(self):
+        machine = Machine(max_steps=10)
+        with pytest.raises(RunTimeError, match="budget"):
+            machine.eval(parse_program(
+                "(letrec ((loop (lambda () (loop)))) (loop))"))
+
+
+class TestUnitReduction:
+    def test_unit_is_a_value(self):
+        value = mev("(unit (import) (export) 1)")
+        assert isinstance(value, UnitExpr)
+
+    def test_invoke_reduces_to_letrec_then_value(self):
+        assert mev("""
+            (invoke (unit (import) (export f)
+              (define f (lambda (x) (* x x)))
+              (f 7)))
+        """) == 49
+
+    def test_invoke_with_imports(self):
+        assert mev("(invoke (unit (import n) (export) (+ n 1)) (n 41))") == 42
+
+    def test_compound_merges_then_invokes(self):
+        assert mev("""
+            (invoke
+              (compound (import) (export)
+                (link ((unit (import odd?) (export even?)
+                         (define even? (lambda (n)
+                           (if (zero? n) #t (odd? (- n 1)))))
+                         (void))
+                       (with odd?) (provides even?))
+                      ((unit (import even?) (export odd?)
+                         (define odd? (lambda (n)
+                           (if (zero? n) #f (even? (- n 1)))))
+                         (odd? 19))
+                       (with even?) (provides odd?)))))
+        """) is True
+
+    def test_first_class_units_flow_through_core(self):
+        assert mev("""
+            ((lambda (u) (invoke u (n 5)))
+             (unit (import n) (export) (* n n)))
+        """) == 25
+
+    def test_trace_shows_compound_merge(self):
+        machine = Machine()
+        expr = parse_program("""
+            (invoke
+              (compound (import) (export)
+                (link ((unit (import) (export) 1) (with) (provides))
+                      ((unit (import) (export) 2) (with) (provides)))))
+        """)
+        terms = machine.trace(expr)
+        # The trace must pass through a state where the compound has
+        # been merged into a single atomic unit under invoke.
+        from repro.units.ast import InvokeExpr
+
+        saw_merged = any(
+            isinstance(t, InvokeExpr) and isinstance(t.expr, UnitExpr)
+            for t in terms)
+        assert saw_merged
+        assert terms[-1] == Lit(2)
+
+    def test_invoke_missing_import_errors(self):
+        with pytest.raises(RunTimeError, match="not satisfied"):
+            mev("(invoke (unit (import n) (export) n))")
+
+
+class TestMachineAgreesWithInterpreter:
+    """The rewriting semantics and the interpreter agree on results."""
+
+    PROGRAMS = [
+        "(+ 1 2)",
+        "((lambda (f) (f (f 3))) (lambda (x) (* x x)))",
+        "(letrec ((len (lambda (l) (if (null? l) 0 (+ 1 (len (cdr l))))))) (len (list 1 2 3 4)))",
+        "(invoke (unit (import) (export) 99))",
+        "(invoke (unit (import a b) (export) (+ a b)) (a 1) (b 2))",
+        """(invoke (compound (import) (export)
+             (link ((unit (import) (export x) (define x 3) (void))
+                    (with) (provides x))
+                   ((unit (import x) (export) (* x x))
+                    (with x) (provides)))))""",
+        """(let ((u (unit (import k) (export) (* k 3))))
+             (+ (invoke u (k 1)) (invoke u (k 2))))""",
+    ]
+
+    @pytest.mark.parametrize("program", PROGRAMS)
+    def test_agreement(self, program):
+        from repro.lang.interp import run_program
+
+        interp_result, _ = run_program(program)
+        machine_result = mev(program)
+        assert interp_result == machine_result

@@ -1,0 +1,121 @@
+"""Direct tests of the rewriting machine's internals."""
+
+import pytest
+
+from repro.lang.ast import App, Lambda, Lit, Var
+from repro.lang.errors import RunTimeError
+from repro.lang.machine import Machine, MachineState, is_value
+from repro.lang.parser import parse_program
+from repro.units.ast import UnitExpr
+
+
+class TestValues:
+    def test_literals_are_values(self):
+        assert is_value(Lit(3))
+        assert is_value(Lit("s"))
+
+    def test_lambdas_are_values(self):
+        assert is_value(Lambda(("x",), Var("x")))
+
+    def test_units_are_values(self):
+        assert is_value(parse_program("(unit (import) (export) 1)"))
+
+    def test_compounds_are_not_values(self):
+        compound = parse_program("""
+            (compound (import) (export)
+              (link ((unit (import) (export) 1) (with) (provides))
+                    ((unit (import) (export) 2) (with) (provides))))
+        """)
+        assert not is_value(compound)
+
+    def test_applications_are_not_values(self):
+        assert not is_value(App(Var("+"), (Lit(1), Lit(2))))
+
+
+class TestStateRendering:
+    def test_empty_store_renders_control(self):
+        state = MachineState([], Lit(5))
+        assert state.to_expr() == Lit(5)
+
+    def test_store_renders_as_letrec(self):
+        from repro.lang.ast import Letrec
+
+        state = MachineState([("x", Lit(1))], Var("x"))
+        rendered = state.to_expr()
+        assert isinstance(rendered, Letrec)
+        assert rendered.bindings == (("x", Lit(1)),)
+
+
+class TestStepping:
+    def test_final_state_returns_false(self):
+        machine = Machine()
+        state = machine.load(Lit(7))
+        assert machine.step(state) is False
+
+    def test_each_step_changes_the_state(self):
+        machine = Machine()
+        state = machine.load(parse_program("(+ 1 (+ 2 3))"))
+        seen = [state.to_expr()]
+        while machine.step(state):
+            term = state.to_expr()
+            assert term != seen[-1]
+            seen.append(term)
+        assert seen[-1] == Lit(6)
+
+    def test_step_count_bounded_for_simple_program(self):
+        machine = Machine()
+        state = machine.load(parse_program("(+ 1 2)"))
+        steps = 0
+        while machine.step(state):
+            steps += 1
+        # deref of + and the delta step
+        assert steps <= 3
+
+    def test_store_grows_only_by_hoisting(self):
+        machine = Machine()
+        state = machine.load(parse_program(
+            "(letrec ((a 1)) (letrec ((b 2)) (+ a b)))"))
+        while machine.step(state):
+            pass
+        names = [name for name, _ in state.store]
+        assert "a" in names and "b" in names
+        assert state.control == Lit(3)
+
+
+class TestDelta:
+    def test_prim_on_non_constant_rejected(self):
+        # Applying a primitive to a unit value has no delta rule.
+        machine = Machine()
+        with pytest.raises(RunTimeError, match="non-constant|number"):
+            machine.eval(parse_program("(+ 1 (unit (import) (export) 2))"))
+
+    def test_prim_arity_enforced(self):
+        machine = Machine()
+        with pytest.raises(RunTimeError, match="expects"):
+            machine.eval(parse_program("(cons 1)"))
+
+    def test_output_isolated_per_state(self):
+        machine = Machine()
+        s1 = machine.load(parse_program('(display "one")'))
+        s2 = machine.load(parse_program('(display "two")'))
+        while machine.step(s1):
+            pass
+        while machine.step(s2):
+            pass
+        assert s1.output.getvalue() == "one"
+        assert s2.output.getvalue() == "two"
+
+
+class TestTraceProperties:
+    def test_trace_starts_with_the_program(self):
+        machine = Machine()
+        program = parse_program("(* 2 21)")
+        terms = machine.trace(program)
+        assert terms[0] == program
+        assert terms[-1] == Lit(42)
+
+    def test_trace_limit_enforced(self):
+        machine = Machine()
+        with pytest.raises(RunTimeError, match="trace limit"):
+            machine.trace(parse_program(
+                "(letrec ((f (lambda () (f)))) (f))"), limit=10)

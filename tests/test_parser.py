@@ -1,0 +1,209 @@
+"""Tests for parsing core and UNITd forms (Figure 9 grammar)."""
+
+import pytest
+
+from repro.lang.ast import (
+    App,
+    If,
+    Lambda,
+    Let,
+    Letrec,
+    Lit,
+    Seq,
+    SetBang,
+    Var,
+)
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_program
+from repro.units.ast import CompoundExpr, InvokeExpr, UnitExpr
+
+
+class TestCoreForms:
+    def test_literal_int(self):
+        assert parse_program("5") == Lit(5)
+
+    def test_literal_string(self):
+        assert parse_program('"hi"') == Lit("hi")
+
+    def test_literal_bool(self):
+        assert parse_program("#t") == Lit(True)
+
+    def test_variable(self):
+        assert parse_program("x") == Var("x")
+
+    def test_lambda(self):
+        expr = parse_program("(lambda (x y) x)")
+        assert expr == Lambda(("x", "y"), Var("x"))
+
+    def test_lambda_multi_body_becomes_seq(self):
+        expr = parse_program("(lambda () 1 2)")
+        assert isinstance(expr.body, Seq)
+
+    def test_lambda_duplicate_params_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("(lambda (x x) x)")
+
+    def test_application(self):
+        assert parse_program("(f 1 2)") == App(Var("f"), (Lit(1), Lit(2)))
+
+    def test_if(self):
+        assert parse_program("(if #t 1 2)") == If(Lit(True), Lit(1), Lit(2))
+
+    def test_if_arity(self):
+        with pytest.raises(ParseError):
+            parse_program("(if #t 1)")
+
+    def test_let(self):
+        expr = parse_program("(let ((x 1)) x)")
+        assert expr == Let((("x", Lit(1)),), Var("x"))
+
+    def test_letrec(self):
+        expr = parse_program("(letrec ((f (lambda () (f)))) f)")
+        assert isinstance(expr, Letrec)
+
+    def test_let_duplicate_names_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("(let ((x 1) (x 2)) x)")
+
+    def test_set(self):
+        assert parse_program("(set! x 1)") == SetBang("x", Lit(1))
+
+    def test_begin(self):
+        expr = parse_program("(begin 1 2 3)")
+        assert expr == Seq((Lit(1), Lit(2), Lit(3)))
+
+    def test_begin_single_collapses(self):
+        assert parse_program("(begin 7)") == Lit(7)
+
+    def test_keyword_as_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("(lambda (if) 1)")
+
+    def test_keyword_in_operand_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("(f import)")
+
+
+class TestSugar:
+    def test_and_elaborates_to_if(self):
+        expr = parse_program("(and a b)")
+        assert isinstance(expr, If)
+
+    def test_and_empty(self):
+        assert parse_program("(and)") == Lit(True)
+
+    def test_or_empty(self):
+        assert parse_program("(or)") == Lit(False)
+
+    def test_when(self):
+        expr = parse_program("(when #t 1 2)")
+        assert isinstance(expr, If)
+        assert isinstance(expr.then, Seq)
+
+    def test_cond_with_else(self):
+        expr = parse_program("(cond ((> x 1) 1) (else 2))")
+        assert isinstance(expr, If)
+        assert expr.orelse == Lit(2)
+
+
+class TestUnitForm:
+    def test_basic_unit(self):
+        expr = parse_program("""
+            (unit (import a) (export f)
+              (define f (lambda (x) (a x)))
+              (f 1))
+        """)
+        assert isinstance(expr, UnitExpr)
+        assert expr.imports == ("a",)
+        assert expr.exports == ("f",)
+        assert expr.defined == ("f",)
+
+    def test_unit_empty_interface(self):
+        expr = parse_program("(unit (import) (export) 5)")
+        assert expr.imports == ()
+        assert expr.init == Lit(5)
+
+    def test_unit_default_init_is_void(self):
+        expr = parse_program("(unit (import) (export x) (define x 1))")
+        assert expr.init == Lit(None)
+
+    def test_unit_procedure_define_shorthand(self):
+        expr = parse_program("""
+            (unit (import) (export f)
+              (define (f x) x)
+              (f 2))
+        """)
+        name, rhs = expr.defns[0]
+        assert name == "f"
+        assert isinstance(rhs, Lambda)
+
+    def test_unit_multiple_init_exprs_become_seq(self):
+        expr = parse_program("(unit (import) (export) 1 2)")
+        assert isinstance(expr.init, Seq)
+
+    def test_unit_define_after_init_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("(unit (import) (export) 1 (define x 2))")
+
+    def test_unit_missing_clauses_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("(unit (import))")
+
+    def test_unit_export_clause_must_be_labeled(self):
+        with pytest.raises(ParseError):
+            parse_program("(unit (import) (exports) 1)")
+
+
+class TestCompoundForm:
+    SRC = """
+        (compound (import err) (export go)
+          (link ((unit (import err helper) (export go)
+                   (define go (lambda () (helper)))
+                   (void))
+                 (with err helper) (provides go))
+                ((unit (import err) (export helper)
+                   (define helper (lambda () 42))
+                   (void))
+                 (with err) (provides helper))))
+    """
+
+    def test_parses(self):
+        expr = parse_program(self.SRC)
+        assert isinstance(expr, CompoundExpr)
+        assert expr.imports == ("err",)
+        assert expr.exports == ("go",)
+        assert expr.first.withs == ("err", "helper")
+        assert expr.second.provides == ("helper",)
+
+    def test_compound_requires_two_clauses(self):
+        with pytest.raises(ParseError):
+            parse_program("""
+                (compound (import) (export)
+                  (link ((unit (import) (export) 1) (with) (provides))))
+            """)
+
+    def test_malformed_clause_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("""
+                (compound (import) (export)
+                  (link (1 2) (3 4)))
+            """)
+
+
+class TestInvokeForm:
+    def test_invoke_no_links(self):
+        expr = parse_program("(invoke u)")
+        assert expr == InvokeExpr(Var("u"), ())
+
+    def test_invoke_with_links(self):
+        expr = parse_program("(invoke u (a 1) (b 2))")
+        assert isinstance(expr, InvokeExpr)
+        assert [name for name, _ in expr.links] == ["a", "b"]
+
+    def test_invoke_duplicate_links_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("(invoke u (a 1) (a 2))")
+
+    def test_invoke_malformed_link_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("(invoke u (a))")

@@ -1,0 +1,144 @@
+"""Integration tests: the paper's phone-book example (Figures 1-7)."""
+
+import pytest
+
+from repro.lang.errors import ArchiveError, TypeCheckError
+from repro.types.types import BOOL, Sig
+from repro.unitc.parser import parse_typed_program
+from repro.unitc.run import run_typed_expr, typecheck
+from repro.unitc.ast import TypedInvokeExpr
+from repro.phonebook.program import (
+    build_ipb,
+    build_loader_archive,
+    build_phonebook,
+    make_ipb_program,
+    run_ipb,
+    run_loader_demo,
+    run_starter,
+)
+from repro.phonebook.units import DATABASE, GUI, NUMBER_INFO
+
+
+class TestFigure1Database:
+    def test_database_unit_checks(self):
+        sig = typecheck(DATABASE)
+        assert isinstance(sig, Sig)
+        assert sig.timport_names == ("info",)
+        assert sig.texport_names == ("db",)
+        assert "delete" in sig.vexport_names
+
+    def test_number_info_unit_checks(self):
+        sig = typecheck(NUMBER_INFO)
+        assert isinstance(sig, Sig)
+        assert sig.texport_names == ("info",)
+
+
+class TestFigure2PhoneBook:
+    def test_phonebook_compound_checks(self):
+        sig = typecheck(build_phonebook())
+        assert isinstance(sig, Sig)
+        # error passes through as an import.
+        assert sig.vimport_names == ("error",)
+        # db and info are re-exported together.
+        assert set(sig.texport_names) == {"db", "info"}
+
+    def test_delete_is_hidden(self):
+        sig = typecheck(build_phonebook())
+        assert "delete" not in sig.vexport_names
+        assert "insert" in sig.vexport_names
+
+
+class TestFigure3IPB:
+    def test_ipb_is_a_complete_program(self):
+        sig = typecheck_expr(build_ipb())
+        assert isinstance(sig, Sig)
+        assert sig.timports == ()
+        assert sig.vimports == ()
+        assert sig.init == BOOL
+
+    def test_ipb_runs_and_returns_bool(self):
+        result, output = run_ipb()
+        assert result is True
+        assert "entries: 3" in output
+
+    def test_cyclic_error_call(self):
+        # Inserting an empty key makes Database call Gui's error —
+        # the cyclic PhoneBook <-> Gui link of Section 3.2.
+        from repro.phonebook.units import MAIN
+        from repro.phonebook import program as prog
+
+        bad_main = MAIN.replace('"marion"', '""')
+        graph_expr = build_ipb_with_main(bad_main)
+        result, _ty, output = run_typed_expr(
+            TypedInvokeExpr(graph_expr, (), ()))
+        assert "error: insert: empty key" in output
+        assert result is False  # openBook reports the error
+
+
+def typecheck_expr(expr):
+    from repro.unitc.check import base_tyenv, check_texpr
+
+    return check_texpr(expr, base_tyenv())
+
+
+def build_ipb_with_main(main_source: str):
+    from repro.linking.graph import TypedLinkGraph
+    from repro.phonebook.program import (
+        ERROR_DECL,
+        PHONEBOOK_PROVIDES,
+        _decls,
+    )
+
+    graph = TypedLinkGraph()
+    pb_t, pb_v = _decls(PHONEBOOK_PROVIDES, "provides")
+    err_t, err_v = _decls(ERROR_DECL)
+    graph.add_box("PhoneBook", parse_typed_program(build_phonebook()),
+                  with_types=err_t, with_values=err_v,
+                  prov_types=pb_t, prov_values=pb_v)
+    graph.add_box("Gui", GUI)
+    graph.add_box("Main", main_source)
+    return graph.to_compound_expr()
+
+
+class TestFigure5And6MakeIPB:
+    def test_make_ipb_program_checks(self):
+        sig = typecheck_expr(make_ipb_program(expert_mode=True))
+        assert sig == BOOL
+
+    def test_starter_expert(self):
+        result, output = run_starter(expert_mode=True)
+        assert result is True
+        assert "expert phone book" in output
+
+    def test_starter_novice(self):
+        result, output = run_starter(expert_mode=False)
+        assert result is True
+        assert "welcome to your phone book!" in output
+
+    def test_wrong_gui_rejected(self):
+        # A unit that is not a GUI cannot be passed to MakeIPB.
+        from repro.unitc.ast import TApp, TLambda, TypedInvokeExpr
+
+        program = make_ipb_program(expert_mode=True)
+        assert isinstance(program, TypedInvokeExpr)
+        app = program.expr
+        assert isinstance(app, TApp)
+        bad_arg = parse_typed_program("(unit/t (import) (export) (void))")
+        with pytest.raises(TypeCheckError):
+            typecheck_expr(
+                TypedInvokeExpr(TApp(app.fn, (bad_arg,)), (), ()))
+
+
+class TestFigure7DynamicLinking:
+    def test_loader_demo(self):
+        result, output = run_loader_demo()
+        assert result is True
+        assert "entries: 2" in output  # robby + the imported contact
+
+    def test_broken_loader_rejected_before_linking(self):
+        with pytest.raises(ArchiveError, match="does not satisfy"):
+            run_loader_demo("broken-loader")
+
+    def test_archive_contents(self):
+        archive = build_loader_archive()
+        assert set(archive.names()) == {"sample-loader", "broken-loader"}

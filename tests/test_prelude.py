@@ -1,0 +1,89 @@
+"""Tests for the language-level prelude."""
+
+import pytest
+
+from repro.lang.interp import Interpreter, run_program
+from repro.lang.prelude import PRELUDE_NAMES
+from repro.lang.values import pairs_to_list
+
+
+def ev(text: str):
+    result, _ = run_program(text)
+    return result
+
+
+class TestInstallation:
+    def test_all_names_installed(self):
+        interp = Interpreter()
+        for name in PRELUDE_NAMES:
+            assert interp.global_env.lookup(name) is not None
+
+    def test_prelude_can_be_disabled(self):
+        from repro.lang.errors import RunTimeError
+
+        interp = Interpreter(with_prelude=False)
+        with pytest.raises(RunTimeError, match="unbound"):
+            interp.run("map")
+
+
+class TestHigherOrder:
+    def test_map(self):
+        assert pairs_to_list(
+            ev("(map (lambda (x) (* x x)) (list 1 2 3))")) == [1, 4, 9]
+
+    def test_filter(self):
+        assert pairs_to_list(
+            ev("(filter (lambda (x) (< x 3)) (list 1 2 3 4))")) == [1, 2]
+
+    def test_foldl(self):
+        assert ev("(foldl + 0 (list 1 2 3 4))") == 10
+
+    def test_foldl_is_left_associative(self):
+        assert ev("(foldl - 0 (list 1 2 3))") == -6  # ((0-1)-2)-3
+
+    def test_foldr_is_right_associative(self):
+        assert ev("(foldr - 0 (list 1 2 3))") == 2  # 1-(2-(3-0))
+
+    def test_for_each_side_effects(self):
+        _, output = run_program(
+            '(for-each display (list "a" "b" "c"))')
+        assert output == "abc"
+
+    def test_andmap_ormap(self):
+        assert ev("(andmap number? (list 1 2 3))") is True
+        assert ev("(andmap number? (list 1 #t))") is False
+        assert ev('(ormap string? (list 1 "x"))') is True
+        assert ev("(ormap string? (list 1 2))") is False
+
+    def test_iota(self):
+        assert pairs_to_list(ev("(iota 5)")) == [0, 1, 2, 3, 4]
+        assert pairs_to_list(ev("(iota 0)")) == []
+
+    def test_assoc_ref(self):
+        assert ev("""
+            (assoc-ref (list (cons "a" 1) (cons "b" 2)) "b" 0)
+        """) == 2
+        assert ev('(assoc-ref (list) "x" 99)') == 99
+
+    def test_last(self):
+        assert ev("(last (list 1 2 3))") == 3
+
+
+class TestPreludeInUnits:
+    def test_units_can_use_prelude(self):
+        result = ev("""
+            (invoke (unit (import) (export)
+              (define sum (lambda (l) (foldl + 0 l)))
+              (sum (map add1 (iota 10)))))
+        """)
+        assert result == 55
+
+    def test_prelude_names_shadowable(self):
+        # A unit may import or define its own `map`, shadowing the
+        # prelude's binding within the unit.
+        result = ev("""
+            (invoke (unit (import) (export)
+              (define map (lambda (x) (* 2 x)))
+              (map 21)))
+        """)
+        assert result == 42

@@ -1,0 +1,107 @@
+"""Tests for the untyped and typed pretty-printers (round-trips)."""
+
+import pytest
+
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty, show
+from repro.unitc.parser import parse_typed_program
+from repro.unitc.pretty import pretty_texpr, show_texpr
+
+
+UNTYPED_CORPUS = [
+    "42",
+    '"a string"',
+    "#t",
+    "x",
+    "(lambda (x y) (+ x y))",
+    "(if (< 1 2) 1 2)",
+    "(let ((x 1) (y 2)) (+ x y))",
+    "(letrec ((f (lambda (n) (f n)))) (f 1))",
+    "(set! x (+ x 1))",
+    "(begin 1 2 3)",
+    "(unit (import a b) (export f) (define f (lambda () (a b))) (f))",
+    """(compound (import e) (export f)
+         (link ((unit (import e g) (export f) (define f 1) (void))
+                (with e g) (provides f))
+               ((unit (import) (export g) (define g 2) (void))
+                (with) (provides g))))""",
+    "(invoke u (a 1) (b 2))",
+]
+
+TYPED_CORPUS = [
+    "42",
+    "(lambda ((x int)) (+ x 1))",
+    "(letrec ((f (-> int int) (lambda ((n int)) (f n)))) (f 1))",
+    "(tuple 1 2 3)",
+    "(proj 1 (tuple 1 2))",
+    "(box 1)",
+    "(set-box! b 2)",
+    """(unit/t (import (type info) (val error (-> str void)))
+              (export (type db) (val new (-> db)))
+        (datatype db (mk un (box int)) (mk2 un2 void) db?)
+        (type alias * (-> int int))
+        (define new (-> db) (lambda () (mk (box 0))))
+        (void))""",
+    """(compound/t (import (val e (-> str void))) (export (val f int))
+        (link ((unit/t (import (val e (-> str void))) (export (val f int))
+                 (define f int 1) (void))
+               (with (val e (-> str void))) (provides (val f int)))
+              ((unit/t (import) (export) (void))
+               (with) (provides))))""",
+    "(invoke/t u (type t int) (val x 1))",
+]
+
+
+class TestUntypedRoundtrip:
+    @pytest.mark.parametrize("source", UNTYPED_CORPUS)
+    def test_parse_print_parse(self, source):
+        expr = parse_program(source)
+        assert parse_program(show(expr)) == expr
+
+    @pytest.mark.parametrize("source", UNTYPED_CORPUS)
+    def test_pretty_is_reparseable(self, source):
+        expr = parse_program(source)
+        assert parse_program(pretty(expr, width=30)) == expr
+
+
+class TestTypedRoundtrip:
+    @pytest.mark.parametrize("source", TYPED_CORPUS)
+    def test_parse_print_parse(self, source):
+        expr = parse_typed_program(source)
+        assert parse_typed_program(show_texpr(expr)) == expr
+
+    @pytest.mark.parametrize("source", TYPED_CORPUS)
+    def test_pretty_is_reparseable(self, source):
+        expr = parse_typed_program(source)
+        assert parse_typed_program(pretty_texpr(expr, width=40)) == expr
+
+
+class TestArchiveTypedSerialization:
+    def test_put_typed_unit_roundtrip(self):
+        from repro.dynlink.archive import UnitArchive
+        from repro.types.parser import parse_sig_text
+
+        unit = parse_typed_program("""
+            (unit/t (import (val n int)) (export)
+              (define f (-> int) (lambda () (* n 2)))
+              (f))
+        """)
+        archive = UnitArchive()
+        archive.put_typed_unit("u", unit)
+        expected = parse_sig_text("(sig (import (val n int)) (export) int)")
+        retrieved, _ = archive.retrieve_typed("u", expected)
+        assert retrieved == unit
+
+
+class TestPhonebookSourcesRoundtrip:
+    def test_database_roundtrips(self):
+        from repro.phonebook.units import DATABASE
+
+        expr = parse_typed_program(DATABASE)
+        assert parse_typed_program(show_texpr(expr)) == expr
+
+    def test_loader_gui_roundtrips(self):
+        from repro.phonebook.units import LOADER_GUI
+
+        expr = parse_typed_program(LOADER_GUI)
+        assert parse_typed_program(show_texpr(expr)) == expr

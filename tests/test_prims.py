@@ -1,0 +1,135 @@
+"""Tests for the primitive environment."""
+
+import pytest
+
+from repro.lang.errors import RunTimeError, VariantError
+from repro.lang.interp import run_program
+
+
+def ev(text: str):
+    result, _ = run_program(text)
+    return result
+
+
+class TestArithmetic:
+    def test_variadic_plus(self):
+        assert ev("(+)") == 0
+        assert ev("(+ 1)") == 1
+        assert ev("(+ 1 2 3 4)") == 10
+
+    def test_unary_minus_negates(self):
+        assert ev("(- 5)") == -5
+
+    def test_reciprocal(self):
+        assert ev("(/ 2)") == 0.5
+
+    def test_modulo_and_quotient(self):
+        assert ev("(modulo 7 3)") == 1
+        assert ev("(quotient 7 3)") == 2
+
+    def test_min_max_abs(self):
+        assert ev("(min 3 1 2)") == 1
+        assert ev("(max 3 1 2)") == 3
+        assert ev("(abs -9)") == 9
+
+    def test_add1_sub1(self):
+        assert ev("(add1 41)") == 42
+        assert ev("(sub1 43)") == 42
+
+    def test_chained_comparison(self):
+        assert ev("(< 1 2 3)") is True
+        assert ev("(< 1 3 2)") is False
+        assert ev("(<= 1 1 2)") is True
+
+    def test_type_errors(self):
+        with pytest.raises(RunTimeError, match="expected a number"):
+            ev('(+ 1 "two")')
+        with pytest.raises(RunTimeError, match="expected an integer"):
+            ev("(modulo 1.5 2)")
+
+    def test_booleans_are_not_numbers(self):
+        with pytest.raises(RunTimeError):
+            ev("(+ #t 1)")
+        assert ev("(number? #t)") is False
+        assert ev("(number? 3)") is True
+
+
+class TestStrings:
+    def test_append_length(self):
+        assert ev('(string-length (string-append "ab" "cde"))') == 5
+
+    def test_substring(self):
+        assert ev('(substring "hello" 1 3)') == "el"
+
+    def test_number_string_conversions(self):
+        assert ev("(number->string 42)") == "42"
+        assert ev('(string->number "42")') == 42
+        assert ev('(string->number "3.5")') == 3.5
+        assert ev('(string->number "nope")') is False
+
+
+class TestEquality:
+    def test_equal_on_lists(self):
+        assert ev("(equal? (list 1 2) (list 1 2))") is True
+        assert ev("(equal? (list 1 2) (list 1 3))") is False
+
+    def test_eq_on_numbers_and_strings(self):
+        assert ev("(eq? 3 3)") is True
+        assert ev('(eq? "a" "a")') is True
+
+    def test_booleans_not_numbers_under_equal(self):
+        assert ev("(equal? #t 1)") is False
+
+
+class TestListsAndPairs:
+    def test_length_reverse_append(self):
+        assert ev("(length (list 1 2 3))") == 3
+        assert ev("(car (reverse (list 1 2 3)))") == 3
+        assert ev("(length (append (list 1) (list 2 3)))") == 3
+
+    def test_list_ref(self):
+        assert ev("(list-ref (list 10 20 30) 1)") == 20
+        with pytest.raises(RunTimeError, match="out of range"):
+            ev("(list-ref (list 1) 5)")
+
+    def test_car_of_non_pair(self):
+        with pytest.raises(RunTimeError, match="expected a pair"):
+            ev("(car 5)")
+
+
+class TestVariantPrims:
+    def test_construct_and_test(self):
+        assert ev('(variant-first? "t" (make-variant "t" 0 1))') is True
+        assert ev('(variant-first? "t" (make-variant "t" 1 1))') is False
+
+    def test_payload(self):
+        assert ev('(variant-payload "t" 0 (make-variant "t" 0 99))') == 99
+
+    def test_wrong_variant(self):
+        with pytest.raises(VariantError, match="wrong variant"):
+            ev('(variant-payload "t" 1 (make-variant "t" 0 99))')
+
+    def test_wrong_tag(self):
+        with pytest.raises(VariantError, match="not an instance"):
+            ev('(variant-payload "u" 0 (make-variant "t" 0 99))')
+
+
+class TestMisc:
+    def test_void(self):
+        assert ev("(void)") is None
+        assert ev("(void 1 2 3)") is None
+        assert ev("(void? (void))") is True
+
+    def test_not(self):
+        assert ev("(not #f)") is True
+        assert ev("(not 0)") is False
+
+    def test_arity_errors(self):
+        with pytest.raises(RunTimeError, match="expects"):
+            ev("(car)")
+        with pytest.raises(RunTimeError, match="expects"):
+            ev("(cons 1)")
+
+    def test_error_prim_joins_arguments(self):
+        with pytest.raises(RunTimeError, match="bad thing 42"):
+            ev('(error "bad thing" 42)')

@@ -1,0 +1,83 @@
+"""Tests for the package-level public API."""
+
+import pytest
+
+import repro
+
+
+class TestEagerExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_run_program(self):
+        result, output = repro.run_program('(begin (display "x") 42)')
+        assert result == 42
+        assert output == "x"
+
+    def test_parse_and_check(self):
+        expr = repro.parse_program("(unit (import) (export) 1)")
+        assert repro.check_program(expr) is expr
+
+    def test_parse_script(self):
+        expr = repro.parse_script("(define x 2) (* x 21)")
+        assert repro.Interpreter().eval(expr) == 42
+
+    def test_machine(self):
+        value, output = repro.machine_eval(repro.parse_program("(+ 40 2)"))
+        assert value.value == 42
+
+    def test_pretty_show(self):
+        expr = repro.parse_program("(lambda (x) x)")
+        assert repro.show(expr) == "(lambda (x) x)"
+        assert repro.pretty(expr)
+
+
+class TestLazyExports:
+    def test_unit_archive(self):
+        archive = repro.UnitArchive()
+        assert archive.names() == ()
+
+    def test_link_graph(self):
+        graph = repro.LinkGraph()
+        graph.add_box("u", "(unit (import) (export) 1)")
+        assert graph.to_compound_expr() is not None
+
+    def test_typed_link_graph(self):
+        assert repro.TypedLinkGraph() is not None
+
+    def test_run_typed(self):
+        result, ty, _ = repro.run_typed("(+ 40 2)")
+        assert result == 42
+
+    def test_typecheck(self):
+        from repro.types.types import INT
+
+        assert repro.typecheck("1") == INT
+
+    def test_drscheme(self):
+        env = repro.DrScheme()
+        record = env.launch("c", "(unit (import) (export) 1)")
+        assert record.result == 1
+
+    def test_link_and_optimize(self):
+        program = repro.parse_program("(invoke (unit (import) (export) (+ 1 2)))")
+        linked, stats = repro.link_and_optimize(program)
+        assert repro.Interpreter().eval(linked) == 3
+
+    def test_lint(self):
+        program = repro.parse_program(
+            "(unit (import unused) (export) 1)")
+        findings = repro.lint(program)
+        assert any("unused" in f.message for f in findings)
+
+    def test_figures_registry(self):
+        assert len(repro.FIGURES) == 21
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.not_a_thing
+
+    def test_errors_exported(self):
+        assert issubclass(repro.UnitLinkError, repro.RunTimeError)
+        assert issubclass(repro.TypeCheckError, repro.CheckError)
+        assert issubclass(repro.CheckError, repro.LangError)

@@ -1,0 +1,172 @@
+"""Tests for the Figure 11 reduction rules (and the Figure 8 merge)."""
+
+import pytest
+
+from repro.lang.ast import Letrec, Lit, Seq
+from repro.lang.errors import UnitLinkError
+from repro.lang.parser import parse_program
+from repro.lang.subst import free_vars
+from repro.units.ast import UnitExpr
+from repro.units.reduce import (
+    merge_compound,
+    reduce_compound_expr,
+    reduce_invoke,
+    reduce_invoke_expr,
+)
+
+
+class TestInvokeRule:
+    def test_invoke_becomes_letrec(self):
+        unit = parse_program("""
+            (unit (import) (export f)
+              (define f (lambda () 1))
+              (f))
+        """)
+        result = reduce_invoke(unit, {})
+        assert isinstance(result, Letrec)
+        assert [name for name, _ in result.bindings] == ["f"]
+
+    def test_imports_substituted_by_values(self):
+        unit = parse_program("(unit (import n) (export) (* n 2))")
+        result = reduce_invoke(unit, {"n": Lit(21)})
+        assert "n" not in free_vars(result)
+
+    def test_missing_import_raises(self):
+        unit = parse_program("(unit (import n) (export) n)")
+        with pytest.raises(UnitLinkError, match="not satisfied"):
+            reduce_invoke(unit, {})
+
+    def test_extra_links_ignored(self):
+        unit = parse_program("(unit (import) (export) 7)")
+        result = reduce_invoke(unit, {"spurious": Lit(1)})
+        assert isinstance(result, Letrec)
+
+    def test_invoke_expr_convenience(self):
+        expr = parse_program("(invoke (unit (import n) (export) n) (n 3))")
+        result = reduce_invoke_expr(expr)
+        assert isinstance(result, Letrec)
+
+
+class TestCompoundRule:
+    def merged(self, text: str) -> UnitExpr:
+        return reduce_compound_expr(parse_program(text))
+
+    def test_definitions_concatenated(self):
+        merged = self.merged("""
+            (compound (import) (export a b)
+              (link ((unit (import) (export a) (define a 1) (void))
+                     (with) (provides a))
+                    ((unit (import) (export b) (define b 2) (void))
+                     (with) (provides b))))
+        """)
+        assert isinstance(merged, UnitExpr)
+        assert merged.defined == ("a", "b")
+        assert merged.exports == ("a", "b")
+
+    def test_inits_sequenced(self):
+        merged = self.merged("""
+            (compound (import) (export)
+              (link ((unit (import) (export) 1) (with) (provides))
+                    ((unit (import) (export) 2) (with) (provides))))
+        """)
+        assert isinstance(merged.init, Seq)
+        assert merged.init.exprs == (Lit(1), Lit(2))
+
+    def test_colliding_hidden_definitions_renamed_apart(self):
+        merged = self.merged("""
+            (compound (import) (export a b)
+              (link ((unit (import) (export a)
+                       (define helper 1)
+                       (define a (lambda () helper))
+                       (void))
+                     (with) (provides a))
+                    ((unit (import) (export b)
+                       (define helper 2)
+                       (define b (lambda () helper))
+                       (void))
+                     (with) (provides b))))
+        """)
+        names = [name for name, _ in merged.defns]
+        assert len(names) == len(set(names)), "definitions must be distinct"
+        assert "a" in names and "b" in names
+
+    def test_hidden_export_renamed_when_colliding_with_linkage(self):
+        # The first unit exports `x` but does not provide it; the second
+        # provides its own `x`.  The hidden one must be renamed.
+        merged = self.merged("""
+            (compound (import) (export x)
+              (link ((unit (import) (export x y)
+                       (define x 1)
+                       (define y (lambda () x))
+                       (void))
+                     (with) (provides y))
+                    ((unit (import) (export x)
+                       (define x 2) (void))
+                     (with) (provides x))))
+        """)
+        names = [name for name, _ in merged.defns]
+        assert names.count("x") == 1
+        # The surviving x is the second unit's (value 2).
+        x_rhs = dict(merged.defns)["x"]
+        assert x_rhs == Lit(2)
+
+    def test_interface_of_merged_unit_is_compounds(self):
+        merged = self.merged("""
+            (compound (import base) (export out)
+              (link ((unit (import base) (export out)
+                       (define out 1) (void))
+                     (with base) (provides out))
+                    ((unit (import) (export) (void))
+                     (with) (provides))))
+        """)
+        assert merged.imports == ("base",)
+        assert merged.exports == ("out",)
+
+    def test_linkage_by_name_connects_references(self):
+        merged = self.merged("""
+            (compound (import) (export user)
+              (link ((unit (import lib) (export user)
+                       (define user (lambda () (lib)))
+                       (void))
+                     (with lib) (provides user))
+                    ((unit (import) (export lib)
+                       (define lib (lambda () 42)) (void))
+                     (with) (provides lib))))
+        """)
+        # `lib` must now be bound by the merged unit's definition.
+        assert "lib" not in free_vars(merged)
+
+    def test_side_condition_imports_exceed_with(self):
+        with pytest.raises(UnitLinkError, match="exceed"):
+            self.merged("""
+                (compound (import) (export)
+                  (link ((unit (import mystery) (export) 1)
+                         (with) (provides))
+                        ((unit (import) (export) 2) (with) (provides))))
+            """)
+
+    def test_side_condition_missing_provides(self):
+        with pytest.raises(UnitLinkError, match="provide"):
+            self.merged("""
+                (compound (import) (export p)
+                  (link ((unit (import) (export) 1)
+                         (with) (provides p))
+                        ((unit (import) (export) 2) (with) (provides))))
+            """)
+
+    def test_merge_keeps_free_variables_of_units(self):
+        # Units may reference enclosing variables; merging must not
+        # capture them.
+        compound = parse_program("""
+            (compound (import) (export a)
+              (link ((unit (import) (export a)
+                       (define a (lambda () outside)) (void))
+                     (with) (provides a))
+                    ((unit (import) (export)
+                       (define outside 99) (void))
+                     (with) (provides))))
+        """)
+        merged = reduce_compound_expr(compound)
+        # The second unit's internal `outside` must have been renamed so
+        # it does not capture the first unit's free reference.
+        assert "outside" in free_vars(merged)

@@ -1,0 +1,210 @@
+"""Robustness fuzzing: malformed inputs fail with *library* errors.
+
+Whatever garbage reaches the reader, parser, checkers, or evaluator,
+the library must answer with its own error hierarchy (LexError,
+ParseError, CheckError, RunTimeError, ...) — never an internal Python
+exception.  Hypothesis drives random inputs at every layer.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.lang.errors import LangError
+from repro.lang.interp import Interpreter
+from repro.lang.machine import Machine
+from repro.lang.parser import parse_expr, parse_program, parse_script
+from repro.lang.sexpr import SList, Symbol, read_sexpr
+from repro.types.tyenv import TyEnv
+from repro.unitc.ast import (
+    TApp,
+    TBox,
+    TIf,
+    TLambda,
+    TLet,
+    TLit,
+    TProj,
+    TSeq,
+    TSet,
+    TSetBox,
+    TTuple,
+    TUnbox,
+    TVar,
+)
+from repro.unitc.check import base_tyenv, check_texpr
+from repro.types.types import BOOL, INT, STR, TyVar as TyVarT, VOID
+
+
+# ---------------------------------------------------------------------------
+# Reader: arbitrary text
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=200)
+@given(st.text(max_size=60))
+def test_reader_never_crashes(text):
+    try:
+        read_sexpr(text)
+    except LangError:
+        pass
+
+
+@settings(max_examples=200)
+@given(st.text(alphabet="()[]#\"\\ abc123!?*+-<>", max_size=40))
+def test_reader_hostile_alphabet(text):
+    try:
+        read_sexpr(text)
+    except LangError:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Parser: arbitrary data
+# ---------------------------------------------------------------------------
+
+_raw_atoms = st.one_of(
+    st.integers(-5, 5),
+    st.booleans(),
+    st.text(max_size=4),
+    st.sampled_from([Symbol(s) for s in (
+        "unit", "import", "export", "define", "compound", "link", "with",
+        "provides", "invoke", "lambda", "if", "let", "letrec", "set!",
+        "begin", "x", "f", "+")]),
+)
+
+_raw_data = st.recursive(
+    _raw_atoms,
+    lambda children: st.lists(children, max_size=4).map(
+        lambda items: SList(tuple(items))),
+    max_leaves=25,
+)
+
+
+@settings(max_examples=300)
+@given(_raw_data)
+def test_parser_never_crashes(datum):
+    try:
+        parse_expr(datum)
+    except LangError:
+        pass
+
+
+@settings(max_examples=100)
+@given(st.text(alphabet="()definex123 ", max_size=60))
+def test_script_parser_never_crashes(text):
+    try:
+        parse_script(text)
+    except LangError:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Evaluator and machine: parseable-but-wrong programs
+# ---------------------------------------------------------------------------
+
+_PROGRAMS = [
+    "(1 2 3)",
+    "(car)",
+    "(+ 1 #t)",
+    "(invoke 5)",
+    "(invoke (unit (import a) (export) a))",
+    "(unbox 3)",
+    '(hash-get (makeStringHashTable) "missing")',
+    "(letrec ((x y) (y 1)) x)",
+    "((lambda (x) x) 1 2)",
+    "(set! ghost 1)",
+    """(compound (import) (export)
+         (link ((unit (import q) (export) 1) (with) (provides))
+               (5 (with) (provides))))""",
+]
+
+
+@settings(max_examples=60)
+@given(st.sampled_from(_PROGRAMS))
+def test_interpreter_fails_cleanly(source):
+    try:
+        Interpreter().eval(parse_program(source))
+    except LangError:
+        pass
+
+
+@settings(max_examples=60)
+@given(st.sampled_from(_PROGRAMS))
+def test_machine_fails_cleanly(source):
+    try:
+        Machine(max_steps=10_000).eval(parse_program(source))
+    except LangError:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Typed checker: random typed ASTs (mostly ill-formed)
+# ---------------------------------------------------------------------------
+
+_types = st.sampled_from([INT, STR, BOOL, VOID, TyVarT("ghost")])
+_tnames = st.sampled_from(["x", "y", "f", "+", "display"])
+
+
+def _texprs() -> st.SearchStrategy:
+    atoms = st.one_of(
+        st.integers(-5, 5).map(TLit),
+        st.booleans().map(TLit),
+        st.just(TLit(None)),
+        st.text(max_size=3).map(TLit),
+        _tnames.map(TVar),
+    )
+
+    def extend(children):
+        params = st.lists(st.tuples(_tnames, _types), max_size=2,
+                          unique_by=lambda p: p[0]).map(tuple)
+        return st.one_of(
+            st.builds(TLambda, params, children),
+            st.builds(TApp, children,
+                      st.lists(children, max_size=2).map(tuple)),
+            st.builds(TIf, children, children, children),
+            st.builds(TLet,
+                      st.lists(st.tuples(_tnames, children), min_size=1,
+                               max_size=2,
+                               unique_by=lambda b: b[0]).map(tuple),
+                      children),
+            st.lists(children, min_size=1, max_size=3).map(
+                lambda es: TSeq(tuple(es))),
+            st.builds(TSet, _tnames, children),
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda es: TTuple(tuple(es))),
+            st.builds(TProj, st.integers(0, 3), children),
+            st.builds(TBox, children),
+            st.builds(TUnbox, children),
+            st.builds(TSetBox, children, children),
+        )
+
+    return st.recursive(atoms, extend, max_leaves=15)
+
+
+@settings(max_examples=300)
+@given(_texprs())
+def test_typechecker_never_crashes(expr):
+    try:
+        check_texpr(expr, base_tyenv())
+    except LangError:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Archive: hostile entries
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=100)
+@given(st.text(max_size=80))
+def test_archive_hostile_sources(source):
+    from repro.dynlink.archive import UnitArchive
+    from repro.types.types import Sig
+
+    archive = UnitArchive()
+    archive.put("entry", source)
+    try:
+        archive.retrieve_typed("entry", Sig((), (), (), (), VOID))
+    except LangError:
+        pass

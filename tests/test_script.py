@@ -1,0 +1,163 @@
+"""Tests for the script format: program-linking programs in files."""
+
+import pytest
+
+from repro.lang.ast import Letrec
+from repro.lang.errors import ParseError
+from repro.lang.interp import Interpreter
+from repro.lang.parser import parse_script
+from repro.units.check import check_program
+
+SCRIPT = """
+;; Units bound at the top level, then assembled — "programmers write
+;; program-linking programs in the core language itself."
+(define Numbers
+  (unit (import) (export base) (define base 6) (void)))
+(define Scaler
+  (unit (import base) (export result)
+    (define result (lambda () (* base 7)))
+    (void)))
+(define Main
+  (unit (import result) (export) (result)))
+(invoke
+  (compound (import) (export)
+    (link ((compound (import) (export base result)
+             (link (Numbers (with) (provides base))
+                   (Scaler (with base) (provides result))))
+           (with) (provides base result))
+          (Main (with result) (provides)))))
+"""
+
+
+class TestParseScript:
+    def test_script_becomes_letrec(self):
+        expr = parse_script(SCRIPT)
+        assert isinstance(expr, Letrec)
+        assert [name for name, _ in expr.bindings] == [
+            "Numbers", "Scaler", "Main"]
+
+    def test_script_runs(self):
+        expr = parse_script(SCRIPT)
+        check_program(expr)
+        assert Interpreter().eval(expr) == 42
+
+    def test_expression_only_script(self):
+        expr = parse_script("(+ 1 2) (+ 3 4)")
+        assert Interpreter().eval(expr) == 7
+
+    def test_empty_script_rejected(self):
+        with pytest.raises(ParseError, match="empty"):
+            parse_script("  ;; nothing\n")
+
+    def test_definitions_only_rejected(self):
+        with pytest.raises(ParseError, match="final expression"):
+            parse_script("(define x 1)")
+
+    def test_define_after_expression_rejected(self):
+        with pytest.raises(ParseError, match="precede"):
+            parse_script("(+ 1 2) (define x 1) x")
+
+    def test_duplicate_definition_rejected(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_script("(define x 1) (define x 2) x")
+
+    def test_procedure_define_shorthand(self):
+        expr = parse_script("(define (f x) (* x x)) (f 9)")
+        assert Interpreter().eval(expr) == 81
+
+    def test_mutually_recursive_definitions(self):
+        expr = parse_script("""
+            (define (even? n) (if (zero? n) #t (odd? (- n 1))))
+            (define (odd? n) (if (zero? n) #f (even? (- n 1))))
+            (even? 10)
+        """)
+        assert Interpreter().eval(expr) is True
+
+
+class TestParseLibrary:
+    def test_definitions_only(self):
+        from repro.lang.parser import parse_library
+
+        bindings = parse_library("""
+            (define A (unit (import) (export) 1))
+            (define (f x) x)
+        """)
+        assert [name for name, _ in bindings] == ["A", "f"]
+
+    def test_expression_rejected(self):
+        from repro.lang.errors import ParseError
+        from repro.lang.parser import parse_library
+
+        with pytest.raises(ParseError, match="only top-level definitions"):
+            parse_library("(define A 1) (+ 1 2)")
+
+    def test_duplicate_rejected(self):
+        from repro.lang.errors import ParseError
+        from repro.lang.parser import parse_library
+
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_library("(define A 1) (define A 2)")
+
+    def test_empty_library_ok(self):
+        from repro.lang.parser import parse_library
+
+        assert parse_library(";; nothing\n") == ()
+
+
+class TestScriptThroughCLI:
+    def test_cli_runs_script(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "assembly.scm"
+        path.write_text(SCRIPT)
+        assert main(["run", "--lenient", str(path)]) == 0
+        assert "=> 42" in capsys.readouterr().out
+
+    def test_cli_load_libraries(self, tmp_path, capsys):
+        from repro.cli import main
+
+        lib = tmp_path / "lib.scm"
+        lib.write_text("""
+            (define Numbers
+              (unit (import) (export base) (define base 6) (void)))
+        """)
+        main_file = tmp_path / "main.scm"
+        main_file.write_text("""
+            (define Scaler (unit (import base) (export) (* base 7)))
+            (invoke
+              (compound (import) (export)
+                (link (Numbers (with) (provides base))
+                      (Scaler (with base) (provides)))))
+        """)
+        assert main(["run", "--load", str(lib), str(main_file)]) == 0
+        assert "=> 42" in capsys.readouterr().out
+
+    def test_cli_load_collision_rejected(self, tmp_path, capsys):
+        from repro.cli import main
+
+        lib = tmp_path / "lib.scm"
+        lib.write_text("(define X 1)")
+        main_file = tmp_path / "main.scm"
+        main_file.write_text("(define X 2) X")
+        assert main(["run", "--load", str(lib), str(main_file)]) == 1
+        assert "duplicate" in capsys.readouterr().err
+
+    def test_cli_link_resolves_loaded_units(self, tmp_path, capsys):
+        from repro.cli import main
+
+        lib = tmp_path / "lib.scm"
+        lib.write_text("""
+            (define Numbers
+              (unit (import) (export base) (define base 6) (void)))
+        """)
+        main_file = tmp_path / "main.scm"
+        main_file.write_text("""
+            (define Scaler (unit (import base) (export) (* base 7)))
+            (invoke
+              (compound (import) (export)
+                (link (Numbers (with) (provides base))
+                      (Scaler (with base) (provides)))))
+        """)
+        assert main(["link", "--load", str(lib), str(main_file)]) == 0
+        out = capsys.readouterr().out
+        assert "1 compound(s) statically linked" in out

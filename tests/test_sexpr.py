@@ -1,0 +1,178 @@
+"""Tests for the s-expression reader and printer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lang.errors import LexError
+from repro.lang.sexpr import (
+    SList,
+    Symbol,
+    format_sexpr,
+    read_all_sexprs,
+    read_sexpr,
+    slist,
+    sym,
+    write_sexpr,
+)
+
+
+class TestReadAtoms:
+    def test_integer(self):
+        assert read_sexpr("42") == 42
+
+    def test_negative_integer(self):
+        assert read_sexpr("-17") == -17
+
+    def test_float(self):
+        assert read_sexpr("3.25") == 3.25
+
+    def test_symbol(self):
+        assert read_sexpr("hello") == sym("hello")
+
+    def test_symbol_with_punctuation(self):
+        assert read_sexpr("set-box!") == sym("set-box!")
+
+    def test_symbol_with_arrow(self):
+        assert read_sexpr("->") == sym("->")
+
+    def test_true(self):
+        assert read_sexpr("#t") is True
+
+    def test_false(self):
+        assert read_sexpr("#f") is False
+
+    def test_string(self):
+        assert read_sexpr('"hello world"') == "hello world"
+
+    def test_string_escapes(self):
+        assert read_sexpr(r'"a\nb\tc\"d\\e"') == 'a\nb\tc"d\\e'
+
+    def test_unknown_hash(self):
+        with pytest.raises(LexError):
+            read_sexpr("#q")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            read_sexpr('"abc')
+
+
+class TestReadLists:
+    def test_empty(self):
+        assert read_sexpr("()") == slist()
+
+    def test_flat(self):
+        assert read_sexpr("(a 1 2)") == slist(sym("a"), 1, 2)
+
+    def test_nested(self):
+        assert read_sexpr("(a (b c) d)") == slist(
+            sym("a"), slist(sym("b"), sym("c")), sym("d"))
+
+    def test_brackets(self):
+        assert read_sexpr("[a b]") == slist(sym("a"), sym("b"))
+
+    def test_mismatched_brackets(self):
+        with pytest.raises(LexError):
+            read_sexpr("(a b]")
+
+    def test_unterminated(self):
+        with pytest.raises(LexError):
+            read_sexpr("(a b")
+
+    def test_stray_close(self):
+        with pytest.raises(LexError):
+            read_sexpr(")")
+
+    def test_comments_skipped(self):
+        assert read_sexpr("(a ; comment\n b)") == slist(sym("a"), sym("b"))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(LexError):
+            read_sexpr("(a) (b)")
+
+    def test_read_all(self):
+        assert read_all_sexprs("(a) (b) 3") == [
+            slist(sym("a")), slist(sym("b")), 3]
+
+    def test_read_all_empty(self):
+        assert read_all_sexprs("  ; nothing\n") == []
+
+
+class TestDepthGuard:
+    def test_reasonable_nesting_accepted(self):
+        text = "(" * 100 + "x" + ")" * 100
+        datum = read_sexpr(text)
+        for _ in range(100):
+            assert isinstance(datum, SList)
+            datum = datum[0]
+        assert datum == sym("x")
+
+    def test_hostile_nesting_rejected_cleanly(self):
+        text = "(" * 100_000 + "x" + ")" * 100_000
+        with pytest.raises(LexError, match="nesting deeper"):
+            read_sexpr(text)
+
+    def test_depth_resets_between_siblings(self):
+        # Sequential (not nested) lists never accumulate depth.
+        text = "(" + " ".join("(a)" for _ in range(1000)) + ")"
+        datum = read_sexpr(text)
+        assert len(datum) == 1000
+
+
+class TestLocations:
+    def test_symbol_location(self):
+        datum = read_sexpr("(a\n  b)")
+        b = datum.items[1]
+        assert b.loc.line == 2
+        assert b.loc.col == 3
+
+    def test_locations_ignored_by_equality(self):
+        assert read_sexpr("(a b)") == read_sexpr("  (a   b)")
+
+
+class TestWrite:
+    def test_roundtrip_simple(self):
+        text = "(lambda (x) (+ x 1))"
+        assert write_sexpr(read_sexpr(text)) == text
+
+    def test_bool(self):
+        assert write_sexpr(True) == "#t"
+        assert write_sexpr(False) == "#f"
+
+    def test_string_escaping(self):
+        assert read_sexpr(write_sexpr('a"b\\c\nd')) == 'a"b\\c\nd'
+
+    def test_format_breaks_long_lists(self):
+        datum = slist(sym("define"), *(sym(f"name{i}") for i in range(30)))
+        text = format_sexpr(datum, width=40)
+        assert "\n" in text
+        assert read_sexpr(text) == datum
+
+
+_atoms = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.booleans(),
+    st.text(alphabet=st.characters(
+        whitelist_categories=("Ll", "Lu", "Nd"),
+        whitelist_characters=" -_!?"), max_size=12),
+    st.sampled_from([sym(s) for s in
+                     ("a", "b", "foo", "set!", "+", "->", "lambda%x")]),
+)
+
+_data = st.recursive(
+    _atoms,
+    lambda children: st.lists(children, max_size=5).map(
+        lambda items: SList(tuple(items))),
+    max_leaves=20,
+)
+
+
+@given(_data)
+def test_write_read_roundtrip(datum):
+    """Reading back printed data yields an equal datum."""
+    assert read_sexpr(write_sexpr(datum)) == datum
+
+
+@given(_data)
+def test_format_read_roundtrip(datum):
+    """The multi-line formatter is also read-back-equal."""
+    assert read_sexpr(format_sexpr(datum, width=20)) == datum

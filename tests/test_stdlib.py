@@ -1,0 +1,202 @@
+"""Tests for the standard-library units."""
+
+import pytest
+
+from repro.lang.errors import RunTimeError
+from repro.lang.interp import Interpreter
+from repro.lang.values import pairs_to_list
+from repro.linking.compound_n import NClause, NCompoundUnitValue
+from repro.stdlib import STDLIB_SOURCES, catalog, describe, load
+from repro.units.check import check_program
+from repro.lang.parser import parse_program
+
+
+def run_with(lib_name: str, driver_source: str, imports=None):
+    """Link a stdlib unit with a driver unit and invoke the pair."""
+    interp = Interpreter()
+    lib = load(interp, lib_name)
+    driver = interp.run(driver_source)
+    wiring = {name: name for name in driver.imports}
+    clauses = [NClause(lib, {name: name for name in lib.imports},
+                       {name: name for name in lib.exports}),
+               NClause(driver, wiring, {})]
+    program = NCompoundUnitValue(tuple(imports or ()), {}, clauses)
+    return interp.invoke(program, imports or {}), interp
+
+
+class TestRegistry:
+    def test_catalog(self):
+        assert set(catalog()) == {
+            "assoc", "stack", "queue", "counter", "logger", "mathx", "memo"}
+
+    def test_descriptions(self):
+        for name in catalog():
+            assert describe(name)
+
+    def test_all_sources_pass_checks(self):
+        for name, (source, _) in STDLIB_SOURCES.items():
+            check_program(parse_program(source), strict_valuable=True)
+
+
+class TestAssoc:
+    def test_put_get(self):
+        result, _ = run_with("assoc", """
+            (unit (import assoc-empty assoc-put assoc-get) (export)
+              (let ((al (assoc-put (assoc-put (assoc-empty) "a" 1) "b" 2)))
+                (+ (assoc-get al "a" 0) (assoc-get al "b" 0))))
+        """)
+        assert result == 3
+
+    def test_put_overwrites(self):
+        result, _ = run_with("assoc", """
+            (unit (import assoc-empty assoc-put assoc-get assoc-size)
+                  (export)
+              (let ((al (assoc-put (assoc-put (assoc-empty) "k" 1) "k" 9)))
+                (list (assoc-get al "k" 0) (assoc-size al))))
+        """)
+        assert pairs_to_list(result) == [9, 1]
+
+    def test_remove_and_has(self):
+        result, _ = run_with("assoc", """
+            (unit (import assoc-empty assoc-put assoc-remove assoc-has?)
+                  (export)
+              (let ((al (assoc-put (assoc-empty) "k" 1)))
+                (list (assoc-has? al "k")
+                      (assoc-has? (assoc-remove al "k") "k"))))
+        """)
+        assert pairs_to_list(result) == [True, False]
+
+
+class TestStack:
+    def test_push_pop_lifo(self):
+        result, _ = run_with("stack", """
+            (unit (import stack-new stack-push! stack-pop!) (export)
+              (let ((s (stack-new)))
+                (begin (stack-push! s 1) (stack-push! s 2)
+                       (list (stack-pop! s) (stack-pop! s)))))
+        """)
+        assert pairs_to_list(result) == [2, 1]
+
+    def test_pop_empty_errors(self):
+        with pytest.raises(RunTimeError, match="empty stack"):
+            run_with("stack", """
+                (unit (import stack-new stack-pop!) (export)
+                  (stack-pop! (stack-new)))
+            """)
+
+
+class TestQueue:
+    def test_fifo(self):
+        result, _ = run_with("queue", """
+            (unit (import queue-new queue-put! queue-take!) (export)
+              (let ((q (queue-new)))
+                (begin (queue-put! q 1) (queue-put! q 2) (queue-put! q 3)
+                       (list (queue-take! q) (queue-take! q)
+                             (queue-take! q)))))
+        """)
+        assert pairs_to_list(result) == [1, 2, 3]
+
+    def test_interleaved(self):
+        result, _ = run_with("queue", """
+            (unit (import queue-new queue-put! queue-take! queue-size)
+                  (export)
+              (let ((q (queue-new)))
+                (begin (queue-put! q 1) (queue-put! q 2)
+                       (queue-take! q)
+                       (queue-put! q 3)
+                       (list (queue-take! q) (queue-take! q)
+                             (queue-size q)))))
+        """)
+        assert pairs_to_list(result) == [2, 3, 0]
+
+    def test_take_empty_errors(self):
+        with pytest.raises(RunTimeError, match="empty queue"):
+            run_with("queue", """
+                (unit (import queue-new queue-take!) (export)
+                  (queue-take! (queue-new)))
+            """)
+
+
+class TestCounter:
+    def test_counting(self):
+        result, _ = run_with("counter", """
+            (unit (import counter-next! counter-value) (export)
+              (begin (counter-next!) (counter-next!) (counter-value)))
+        """)
+        assert result == 2
+
+    def test_two_instances_are_independent(self):
+        interp = Interpreter()
+        counter = load(interp, "counter")
+        driver = interp.run("""
+            (unit (import next-a next-b) (export)
+              (begin (next-a) (next-a) (list (next-a) (next-b))))
+        """)
+        from repro.linking.compound_n import rename_unit
+
+        a = rename_unit(counter, exports={"counter-next!": "next-a",
+                                          "counter-reset!": "reset-a",
+                                          "counter-value": "value-a"})
+        b = rename_unit(counter, exports={"counter-next!": "next-b",
+                                          "counter-reset!": "reset-b",
+                                          "counter-value": "value-b"})
+        program = NCompoundUnitValue(
+            (), {},
+            [NClause(a, {}, {"next-a": "next-a"}),
+             NClause(b, {}, {"next-b": "next-b"}),
+             NClause(driver, {"next-a": "next-a", "next-b": "next-b"}, {})])
+        assert pairs_to_list(interp.invoke(program)) == [3, 1]
+
+
+class TestLogger:
+    def test_logging_through_sink(self):
+        interp2 = Interpreter()
+        lib = load(interp2, "logger")
+        driver = interp2.run("""
+            (unit (import log! log-count) (export)
+              (begin (log! "info" "starting") (log-count)))
+        """)
+        program = NCompoundUnitValue(
+            ("sink",), {},
+            [NClause(lib, {"sink": "sink"},
+                     {"log!": "log!", "log-count": "log-count"}),
+             NClause(driver, {"log!": "log!", "log-count": "log-count"}, {})])
+        sink = interp2.run("(lambda (s) (begin (display s) (newline)))")
+        assert interp2.invoke(program, {"sink": sink}) == 1
+        assert interp2.port.getvalue() == "[info] starting\n"
+
+
+class TestMathx:
+    def test_gcd_lcm(self):
+        result, _ = run_with("mathx", """
+            (unit (import gcd lcm) (export)
+              (list (gcd 48 36) (lcm 4 6)))
+        """)
+        assert pairs_to_list(result) == [12, 12]
+
+    def test_expt_fact_fib(self):
+        result, _ = run_with("mathx", """
+            (unit (import expt fact fib sum-to) (export)
+              (list (expt 2 10) (fact 6) (fib 12) (sum-to 10)))
+        """)
+        assert pairs_to_list(result) == [1024, 720, 144, 55]
+
+
+class TestMemo:
+    def test_memoization(self):
+        interp = Interpreter()
+        lib = load(interp, "memo")
+        driver = interp.run("""
+            (unit (import memoized stats) (export)
+              (begin (memoized "a") (memoized "a") (memoized "b")
+                     (stats)))
+        """)
+        program = NCompoundUnitValue(
+            ("fn",), {},
+            [NClause(lib, {"fn": "fn"},
+                     {"memoized": "memoized", "stats": "stats"}),
+             NClause(driver,
+                     {"memoized": "memoized", "stats": "stats"}, {})])
+        fn = interp.run("(lambda (k) (string-length k))")
+        stats = interp.invoke(program, {"fn": fn})
+        assert pairs_to_list(stats) == [1, 2]  # 1 hit, 2 misses

@@ -1,0 +1,146 @@
+"""Tests for free variables, substitution, and alpha-renaming."""
+
+import pytest
+
+from repro.lang.ast import App, Lambda, Lit, Var
+from repro.lang.parser import parse_program
+from repro.lang.pretty import show
+from repro.lang.subst import (
+    alpha_rename_unit,
+    free_vars,
+    fresh_like,
+    gensym,
+    substitute,
+)
+
+
+def fv(text: str) -> set[str]:
+    return set(free_vars(parse_program(text)))
+
+
+class TestFreeVars:
+    def test_variable(self):
+        assert fv("x") == {"x"}
+
+    def test_literal(self):
+        assert fv("42") == set()
+
+    def test_lambda_binds(self):
+        assert fv("(lambda (x) (x y))") == {"y"}
+
+    def test_let_bindings_scope_body_only(self):
+        assert fv("(let ((x y)) x)") == {"y"}
+
+    def test_letrec_bindings_scope_everything(self):
+        assert fv("(letrec ((f (lambda () (f g)))) f)") == {"g"}
+
+    def test_set_bang_target_is_free(self):
+        assert fv("(set! x 1)") == {"x"}
+
+    def test_unit_imports_and_definitions_bind(self):
+        assert fv("""
+            (unit (import a) (export f)
+              (define f (lambda () (a g f)))
+              (f h))
+        """) == {"g", "h"}
+
+    def test_compound_free_vars_from_constituents(self):
+        assert fv("""
+            (compound (import) (export)
+              (link (u1 (with) (provides))
+                    (u2 (with) (provides))))
+        """) == {"u1", "u2"}
+
+    def test_invoke_free_vars(self):
+        assert fv("(invoke u (a x))") == {"u", "x"}
+
+
+class TestSubstitute:
+    def test_simple(self):
+        expr = substitute(parse_program("(+ x 1)"), {"x": Lit(5)})
+        assert show(expr) == "(+ 5 1)"
+
+    def test_bound_occurrence_untouched(self):
+        expr = substitute(parse_program("(lambda (x) x)"), {"x": Lit(5)})
+        assert show(expr) == "(lambda (x) x)"
+
+    def test_capture_avoided(self):
+        # Substituting y -> x under (lambda (x) ...) must rename the binder.
+        expr = substitute(parse_program("(lambda (x) (x y))"),
+                          {"y": Var("x")})
+        assert isinstance(expr, Lambda)
+        new_param = expr.params[0]
+        assert new_param != "x"
+        body = expr.body
+        assert isinstance(body, App)
+        assert body.fn == Var(new_param)
+        assert body.args[0] == Var("x")
+
+    def test_capture_avoided_in_letrec(self):
+        expr = substitute(parse_program("(letrec ((f (g y))) f)"),
+                          {"y": Var("f")})
+        assert "f" in set(free_vars(expr))  # the substituted one
+
+    def test_substituting_into_unit_definitions(self):
+        expr = substitute(parse_program("""
+            (unit (import) (export f)
+              (define f (lambda () target))
+              (f))
+        """), {"target": Lit(9)})
+        assert "target" not in free_vars(expr)
+
+    def test_unit_binders_shadow(self):
+        expr = parse_program("""
+            (unit (import x) (export f) (define f (lambda () x)) (f))
+        """)
+        assert substitute(expr, {"x": Lit(1)}) == expr
+
+    def test_set_bang_renamed_variable(self):
+        expr = substitute(parse_program("(set! x 1)"), {"x": Var("y")})
+        assert show(expr) == "(set! y 1)"
+
+    def test_set_bang_non_variable_replacement_rejected(self):
+        with pytest.raises(ValueError):
+            substitute(parse_program("(set! x 1)"), {"x": Lit(3)})
+
+    def test_empty_mapping_is_identity(self):
+        expr = parse_program("(lambda (x) (x y))")
+        assert substitute(expr, {}) is expr
+
+
+class TestGensym:
+    def test_gensym_unique(self):
+        assert gensym("a") != gensym("a")
+
+    def test_fresh_like_avoids(self):
+        avoid = {gensym("v") for _ in range(5)}
+        fresh = fresh_like("v", avoid)
+        assert fresh not in avoid
+
+
+class TestAlphaRenameUnit:
+    def test_hidden_definitions_renamed(self):
+        unit = parse_program("""
+            (unit (import) (export pub)
+              (define hidden (lambda () 1))
+              (define pub (lambda () (hidden)))
+              (pub))
+        """)
+        renamed = alpha_rename_unit(unit, {"hidden"})
+        names = [name for name, _ in renamed.defns]
+        assert "hidden" not in names
+        assert "pub" in names
+
+    def test_exported_names_kept(self):
+        unit = parse_program("""
+            (unit (import) (export pub)
+              (define pub 1)
+              (pub))
+        """)
+        renamed = alpha_rename_unit(unit, {"pub"})
+        assert renamed.exports == ("pub",)
+        assert renamed.defined == ("pub",)
+
+    def test_no_conflict_no_change(self):
+        unit = parse_program("(unit (import) (export) (define x 1) x)")
+        assert alpha_rename_unit(unit, {"y"}) is unit

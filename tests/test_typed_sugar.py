@@ -1,0 +1,88 @@
+"""Tests for typed-surface sugar and small helper APIs."""
+
+import pytest
+
+from repro.lang.errors import TypeCheckError
+from repro.types.kinds import KArrow, OMEGA
+from repro.types.pretty import show_kind
+from repro.types.tyenv import TyEnv
+from repro.types.types import BOOL, INT, STR, VOID
+from repro.unitc.run import run_typed, typecheck
+
+
+class TestTypedSugar:
+    def test_and_is_bool(self):
+        assert typecheck("(and (< 1 2) (< 2 3))") == BOOL
+
+    def test_and_requires_bools(self):
+        with pytest.raises(TypeCheckError):
+            typecheck("(and 1 2)")
+
+    def test_or_short_circuit_semantics(self):
+        result, ty, _ = run_typed("(or (< 2 1) (< 1 2))")
+        assert result is True
+        assert ty == BOOL
+
+    def test_when_yields_void(self):
+        result, ty, _ = run_typed('(when (< 1 2) (display "yes"))')
+        assert ty == VOID
+
+    def test_cond_with_else(self):
+        result, ty, _ = run_typed("""
+            (cond ((< 3 1) "small")
+                  ((< 3 5) "medium")
+                  (else "large"))
+        """)
+        assert result == "medium"
+        assert ty == STR
+
+    def test_cond_branch_type_mismatch(self):
+        with pytest.raises(TypeCheckError):
+            typecheck('(cond ((< 1 2) 1) (else "s"))')
+
+    def test_begin_type_is_last(self):
+        assert typecheck('(begin (display "x") 5)') == INT
+
+    def test_nested_tuples(self):
+        result, _, _ = run_typed(
+            "(proj 0 (proj 1 (tuple 1 (tuple 2 3))))")
+        assert result == 2
+
+
+class TestTyEnvHelpers:
+    def test_with_both(self):
+        env = TyEnv().with_both({"t": OMEGA}, {"x": INT})
+        assert env.kind_of("t") == OMEGA
+        assert env.type_of("x") == INT
+
+    def test_has_helpers(self):
+        env = TyEnv({"t": OMEGA}, {"x": INT})
+        assert env.has_type_var("t")
+        assert not env.has_type_var("u")
+        assert env.has_value("x")
+        assert not env.has_value("y")
+
+    def test_type_var_names_accumulate(self):
+        outer = TyEnv({"a": OMEGA})
+        inner = outer.with_types({"b": OMEGA})
+        assert inner.type_var_names() == frozenset({"a", "b"})
+
+
+class TestKindPrinting:
+    def test_omega(self):
+        assert show_kind(OMEGA) == "*"
+
+    def test_arrow_kind(self):
+        assert show_kind(KArrow(OMEGA, KArrow(OMEGA, OMEGA))) \
+            == "(=> * (=> * *))"
+
+
+class TestFloatLiterals:
+    def test_float_is_num(self):
+        from repro.types.types import NUM
+
+        assert typecheck("3.5") == NUM
+
+    def test_num_not_int(self):
+        with pytest.raises(TypeCheckError):
+            typecheck("(+ 1 3.5)")  # typed + is int x int -> int

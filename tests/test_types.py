@@ -1,0 +1,311 @@
+"""Tests for the type language: kinds, parsing, WF, and subtyping."""
+
+import pytest
+
+from repro.lang.errors import KindError, ParseError, TypeCheckError
+from repro.types.kinds import KArrow, OMEGA
+from repro.types.parser import parse_kind, parse_sig_text, parse_type_text
+from repro.types.pretty import show_type, type_to_datum
+from repro.types.subtype import join, sig_subtype, subtype
+from repro.types.tyenv import TyEnv
+from repro.types.types import (
+    Arrow,
+    BOOL,
+    BoxType,
+    INT,
+    Product,
+    STR,
+    Sig,
+    TyVar,
+    VOID,
+    arrow,
+    free_type_vars,
+    subst_type,
+)
+from repro.types.wf import check_sig_wf, check_type_wf, kind_of
+from repro.lang.sexpr import read_sexpr
+
+
+class TestTypeParsing:
+    def test_base_types(self):
+        assert parse_type_text("int") == INT
+        assert parse_type_text("str") == STR
+        assert parse_type_text("bool") == BOOL
+        assert parse_type_text("void") == VOID
+
+    def test_type_variable(self):
+        assert parse_type_text("db") == TyVar("db")
+
+    def test_arrow(self):
+        assert parse_type_text("(-> int bool)") == Arrow((INT,), BOOL)
+
+    def test_nary_arrow(self):
+        # insert : db x str x info -> void (Figure 1)
+        ty = parse_type_text("(-> db str info void)")
+        assert ty == Arrow((TyVar("db"), STR, TyVar("info")), VOID)
+
+    def test_thunk_arrow(self):
+        assert parse_type_text("(-> int)") == Arrow((), INT)
+
+    def test_product(self):
+        assert parse_type_text("(* int str)") == Product((INT, STR))
+
+    def test_box(self):
+        assert parse_type_text("(box int)") == BoxType(INT)
+
+    def test_sig(self):
+        sig = parse_sig_text("""
+            (sig (import (type info) (val error (-> str void)))
+                 (export (type db) (val new (-> db)))
+                 void)
+        """)
+        assert sig.timport_names == ("info",)
+        assert sig.timport_kind("info") == OMEGA
+        assert sig.vimport_type("error") == Arrow((STR,), VOID)
+        assert sig.texport_names == ("db",)
+        assert sig.init == VOID
+
+    def test_sig_with_depends(self):
+        sig = parse_sig_text("""
+            (sig (import (type a)) (export (type b)) (depends (b a)) void)
+        """)
+        assert sig.depends == (("b", "a"),)
+
+    def test_kind_parsing(self):
+        assert parse_kind(read_sexpr("*")) == OMEGA
+        assert parse_kind(read_sexpr("(=> * *)")) == KArrow(OMEGA, OMEGA)
+
+    def test_malformed_type(self):
+        with pytest.raises(ParseError):
+            parse_type_text("(->)")
+
+    def test_malformed_decl(self):
+        with pytest.raises(ParseError):
+            parse_sig_text("(sig (import (value x int)) (export) void)")
+
+    def test_roundtrip(self):
+        texts = [
+            "int",
+            "(-> db str info void)",
+            "(* int (box str))",
+            "(sig (import (type t *) (val x t)) (export (type u *) (val y (-> t u))) void)",
+            "(sig (import (type a *)) (export (type b *)) (depends (b a)) int)",
+        ]
+        from repro.types.parser import parse_type
+
+        for text in texts:
+            ty = parse_type_text(text)
+            assert parse_type(type_to_datum(ty)) == ty
+
+
+class TestFreeTypeVars:
+    def test_base_has_none(self):
+        assert free_type_vars(INT) == frozenset()
+
+    def test_var(self):
+        assert free_type_vars(TyVar("t")) == {"t"}
+
+    def test_arrow(self):
+        assert free_type_vars(parse_type_text("(-> a b c)")) == {"a", "b", "c"}
+
+    def test_sig_binds_interface(self):
+        sig = parse_sig_text(
+            "(sig (import (type t) (val x (-> t u))) (export) void)")
+        assert free_type_vars(sig) == {"u"}
+
+    def test_subst_respects_sig_binding(self):
+        sig = parse_sig_text(
+            "(sig (import (type t) (val x (-> t u))) (export) void)")
+        out = subst_type(sig, {"t": INT, "u": STR})
+        assert free_type_vars(out) == frozenset()
+        # The sig-bound t stays; the free u is replaced.
+        assert out.vimport_type("x") == Arrow((TyVar("t"),), STR)
+
+
+class TestKinding:
+    def test_base_type_omega(self):
+        assert kind_of(INT, TyEnv()) == OMEGA
+
+    def test_unbound_tyvar_rejected(self):
+        with pytest.raises(KindError):
+            kind_of(TyVar("ghost"), TyEnv())
+
+    def test_bound_tyvar(self):
+        env = TyEnv({"t": OMEGA})
+        assert kind_of(TyVar("t"), env) == OMEGA
+
+    def test_arrow_requires_omega_parts(self):
+        env = TyEnv({"c": KArrow(OMEGA, OMEGA)})
+        with pytest.raises(KindError):
+            check_type_wf(Arrow((TyVar("c"),), INT), env)
+
+    def test_sig_wf(self):
+        sig = parse_sig_text("""
+            (sig (import (type info) (val f (-> info info)))
+                 (export (type db) (val g (-> db info)))
+                 void)
+        """)
+        check_sig_wf(sig, TyEnv())
+
+    def test_sig_init_cannot_use_exported_type(self):
+        sig = parse_sig_text("(sig (import) (export (type db)) db)")
+        with pytest.raises(TypeCheckError, match="exported type"):
+            check_sig_wf(sig, TyEnv())
+
+    def test_sig_init_may_use_imported_type(self):
+        sig = parse_sig_text("(sig (import (type t)) (export) t)")
+        check_sig_wf(sig, TyEnv())
+
+    def test_sig_unbound_type_rejected(self):
+        sig = parse_sig_text("(sig (import (val x mystery)) (export) void)")
+        with pytest.raises(TypeCheckError):
+            check_sig_wf(sig, TyEnv())
+
+    def test_sig_duplicate_type_rejected(self):
+        sig = parse_sig_text(
+            "(sig (import (type t)) (export (type t)) void)")
+        with pytest.raises(TypeCheckError, match="duplicate"):
+            check_sig_wf(sig, TyEnv())
+
+    def test_depends_must_connect_export_to_import(self):
+        sig = parse_sig_text(
+            "(sig (import (type a)) (export (type b)) (depends (a b)) void)")
+        with pytest.raises(TypeCheckError):
+            check_sig_wf(sig, TyEnv())
+
+
+def sig_of(text: str) -> Sig:
+    return parse_sig_text(text)
+
+
+class TestSubtyping:
+    def test_reflexive_on_base(self):
+        assert subtype(INT, INT)
+
+    def test_base_types_unrelated(self):
+        assert not subtype(INT, STR)
+
+    def test_arrow_contravariant_domain(self):
+        # (sig...) <= (sig...) makes arrows over sigs interesting, but
+        # for base types arrows relate only when parts do.
+        general = sig_of("(sig (import (val x int)) (export) void)")
+        specific = sig_of("(sig (import) (export) void)")
+        f_specific = Arrow((general,), INT)
+        f_general = Arrow((specific,), INT)
+        # domain: specific <= general, so f_specific <= f_general
+        assert subtype(specific, general)
+        assert subtype(f_specific, f_general)
+        assert not subtype(f_general, f_specific)
+
+    def test_box_invariant(self):
+        s = sig_of("(sig (import) (export) void)")
+        g = sig_of("(sig (import (val x int)) (export) void)")
+        assert subtype(s, g)
+        assert not subtype(BoxType(s), BoxType(g))
+        assert subtype(BoxType(s), BoxType(s))
+
+    def test_sig_fewer_imports_is_subtype(self):
+        specific = sig_of("(sig (import) (export) void)")
+        general = sig_of("(sig (import (val err (-> str void))) (export) void)")
+        assert sig_subtype(specific, general)
+        assert not sig_subtype(general, specific)
+
+    def test_sig_more_exports_is_subtype(self):
+        specific = sig_of(
+            "(sig (import) (export (val a int) (val b str)) void)")
+        general = sig_of("(sig (import) (export (val a int)) void)")
+        assert sig_subtype(specific, general)
+        assert not sig_subtype(general, specific)
+
+    def test_sig_import_types_contravariant(self):
+        deep_g = sig_of("(sig (import) (export (val v int) (val w str)) void)")
+        deep_s = sig_of("(sig (import) (export (val v int)) void)")
+        # deep_g <= deep_s (more exports)
+        specific = Sig((), (("u", deep_s),), (), (), VOID)
+        general = Sig((), (("u", deep_g),), (), (), VOID)
+        assert sig_subtype(specific, general)
+        assert not sig_subtype(general, specific)
+
+    def test_sig_export_types_covariant(self):
+        deep_g = sig_of("(sig (import) (export (val v int) (val w str)) void)")
+        deep_s = sig_of("(sig (import) (export (val v int)) void)")
+        specific = Sig((), (), (), (("u", deep_g),), VOID)
+        general = Sig((), (), (), (("u", deep_s),), VOID)
+        assert sig_subtype(specific, general)
+        assert not sig_subtype(general, specific)
+
+    def test_missing_export_fails(self):
+        specific = sig_of("(sig (import) (export (val a int)) void)")
+        general = sig_of("(sig (import) (export (val b int)) void)")
+        assert not sig_subtype(specific, general)
+
+    def test_type_import_kinds_must_match(self):
+        specific = sig_of("(sig (import (type t (=> * *))) (export) void)")
+        general = sig_of("(sig (import (type t *)) (export) void)")
+        assert not sig_subtype(specific, general)
+
+    def test_depends_subset_is_subtype(self):
+        specific = sig_of(
+            "(sig (import (type a)) (export (type b)) void)")
+        general = sig_of(
+            "(sig (import (type a)) (export (type b)) (depends (b a)) void)")
+        assert sig_subtype(specific, general)
+        assert not sig_subtype(general, specific)
+
+    def test_same_source_condition(self):
+        # A signature exporting type t is never a subtype of one
+        # importing type t: the two t's have different link-graph
+        # sources (the Figure 4 scenario).
+        exporter = sig_of(
+            "(sig (import) (export (type t) (val f (-> t bool))) void)")
+        importer = sig_of(
+            "(sig (import (type t)) (export (val f (-> t bool))) void)")
+        assert not sig_subtype(exporter, importer)
+
+    def test_init_covariant(self):
+        s_small = sig_of("(sig (import) (export (val a int)) void)")
+        s_big = sig_of("(sig (import) (export) void)")
+        specific = Sig((), (), (), (), s_small)
+        general = Sig((), (), (), (), s_big)
+        assert sig_subtype(specific, general)
+        assert not sig_subtype(general, specific)
+
+    def test_join(self):
+        s = sig_of("(sig (import) (export (val a int)) void)")
+        g = sig_of("(sig (import) (export) void)")
+        assert join(s, g) == g
+        assert join(g, s) == g
+        assert join(INT, STR) is None
+
+
+class TestSubtypeProperties:
+    SIGS = [
+        "(sig (import) (export) void)",
+        "(sig (import (val e (-> str void))) (export) void)",
+        "(sig (import) (export (val a int)) void)",
+        "(sig (import (val e (-> str void))) (export (val a int)) void)",
+        "(sig (import (type t)) (export (val f (-> t t))) void)",
+        "(sig (import (type t)) (export (type u) (val f (-> t u))) void)",
+        "(sig (import (type t)) (export (type u)) (depends (u t)) void)",
+    ]
+
+    def test_reflexive(self):
+        for text in self.SIGS:
+            sig = sig_of(text)
+            assert sig_subtype(sig, sig), text
+
+    def test_transitive(self):
+        sigs = [sig_of(t) for t in self.SIGS]
+        for a in sigs:
+            for b in sigs:
+                for c in sigs:
+                    if sig_subtype(a, b) and sig_subtype(b, c):
+                        assert sig_subtype(a, c), (
+                            show_type(a), show_type(b), show_type(c))
+
+    def test_antisymmetric_on_these(self):
+        sigs = [sig_of(t) for t in self.SIGS]
+        for a in sigs:
+            for b in sigs:
+                if a != b and sig_subtype(a, b) and sig_subtype(b, a):
+                    pytest.fail(f"{show_type(a)} == {show_type(b)}")

@@ -1,0 +1,435 @@
+"""Tests for UNITc: typed units, datatypes, and Figure 15 checking."""
+
+import pytest
+
+from repro.lang.errors import TypeCheckError, VariantError
+from repro.types.parser import parse_sig_text, parse_type_text
+from repro.types.subtype import sig_subtype
+from repro.types.types import Arrow, BOOL, INT, Sig, STR, TyVar, VOID
+from repro.unitc.run import run_typed, typecheck
+
+
+class TestTypedCoreExpressions:
+    def test_literal(self):
+        assert typecheck("42") == INT
+
+    def test_string(self):
+        assert typecheck('"hi"') == STR
+
+    def test_lambda_and_app(self):
+        result, ty, _ = run_typed("((lambda ((x int)) (+ x 1)) 41)")
+        assert result == 42
+        assert ty == INT
+
+    def test_arity_mismatch(self):
+        with pytest.raises(TypeCheckError, match="arguments"):
+            typecheck("((lambda ((x int)) x) 1 2)")
+
+    def test_argument_type_mismatch(self):
+        with pytest.raises(TypeCheckError, match="argument"):
+            typecheck('((lambda ((x int)) x) "no")')
+
+    def test_if_requires_bool(self):
+        with pytest.raises(TypeCheckError, match="bool"):
+            typecheck("(if 1 2 3)")
+
+    def test_if_branches_must_agree(self):
+        with pytest.raises(TypeCheckError, match="incompatible"):
+            typecheck('(if (< 1 2) 1 "x")')
+
+    def test_let_infers(self):
+        assert typecheck("(let ((x 1) (y 2)) (+ x y))") == INT
+
+    def test_letrec_annotated(self):
+        result, ty, _ = run_typed("""
+            (letrec ((fact (-> int int)
+                       (lambda ((n int))
+                         (if (zero? n) 1 (* n (fact (- n 1)))))))
+              (fact 5))
+        """)
+        assert result == 120
+        assert ty == INT
+
+    def test_letrec_annotation_mismatch(self):
+        with pytest.raises(TypeCheckError, match="declared"):
+            typecheck('(letrec ((x int "no")) x)')
+
+    def test_tuples(self):
+        result, ty, _ = run_typed('(proj 1 (tuple 1 "two" #t))')
+        assert result == "two"
+        assert ty == STR
+
+    def test_proj_out_of_range(self):
+        with pytest.raises(TypeCheckError, match="range"):
+            typecheck("(proj 5 (tuple 1 2))")
+
+    def test_boxes(self):
+        result, ty, _ = run_typed("""
+            (let ((b (box 1)))
+              (begin (set-box! b 41) (+ (unbox b) 1)))
+        """)
+        assert result == 42
+        assert ty == INT
+
+    def test_set_box_type_mismatch(self):
+        with pytest.raises(TypeCheckError, match="assigned"):
+            typecheck('(let ((b (box 1))) (set-box! b "no"))')
+
+    def test_unbound_variable(self):
+        with pytest.raises(TypeCheckError, match="unbound"):
+            typecheck("mystery")
+
+    def test_string_prims(self):
+        result, ty, _ = run_typed('(string-append "a" "b")')
+        assert result == "ab"
+        assert ty == STR
+
+
+class TestTypedUnit:
+    def test_signature_of_simple_unit(self):
+        ty = typecheck("""
+            (unit/t (import (val error (-> str void)))
+                    (export (val twice (-> int int)))
+              (define twice (-> int int) (lambda ((n int)) (* 2 n)))
+              (void))
+        """)
+        assert isinstance(ty, Sig)
+        assert ty.vimport_type("error") == Arrow((STR,), VOID)
+        assert ty.vexport_type("twice") == Arrow((INT,), INT)
+        assert ty.init == VOID
+
+    def test_unit_init_type(self):
+        ty = typecheck("(unit/t (import) (export) 42)")
+        assert isinstance(ty, Sig)
+        assert ty.init == INT
+
+    def test_definition_type_mismatch(self):
+        with pytest.raises(TypeCheckError, match="declared"):
+            typecheck("""
+                (unit/t (import) (export)
+                  (define x int "no")
+                  (void))
+            """)
+
+    def test_export_must_be_defined(self):
+        with pytest.raises(TypeCheckError, match="not defined"):
+            typecheck("(unit/t (import) (export (val ghost int)) (void))")
+
+    def test_exported_type_must_be_defined(self):
+        with pytest.raises(TypeCheckError, match="not defined"):
+            typecheck("(unit/t (import) (export (type ghost)) (void))")
+
+    def test_export_type_mismatch(self):
+        with pytest.raises(TypeCheckError, match="declared"):
+            typecheck("""
+                (unit/t (import) (export (val x str))
+                  (define x int 1)
+                  (void))
+            """)
+
+    def test_non_valuable_definition_rejected(self):
+        with pytest.raises(TypeCheckError, match="valuable"):
+            typecheck("""
+                (unit/t (import (val f (-> int int))) (export)
+                  (define x int (f 1))
+                  (void))
+            """)
+
+    def test_pure_prim_application_is_valuable(self):
+        typecheck("""
+            (unit/t (import) (export)
+              (define x int (+ 1 2))
+              (void))
+        """)
+
+    def test_export_type_cannot_leak_local_datatype(self):
+        with pytest.raises(TypeCheckError, match="non-exported"):
+            typecheck("""
+                (unit/t (import) (export (val get (-> secret)))
+                  (datatype secret (mk un int) (mk2 un2 int) first?)
+                  (define get (-> secret) (lambda () (mk 1)))
+                  (void))
+            """)
+
+    def test_init_type_cannot_leak_local_datatype(self):
+        with pytest.raises(TypeCheckError, match="escape"):
+            typecheck("""
+                (unit/t (import) (export)
+                  (datatype secret (mk un int) (mk2 un2 int) first?)
+                  (define v secret (mk 1))
+                  v)
+            """)
+
+    def test_imports_usable_in_definitions(self):
+        result, _, _ = run_typed("""
+            (invoke/t
+              (unit/t (import (val base int)) (export)
+                (define f (-> int) (lambda () (* base 2)))
+                (f))
+              (val base 21))
+        """)
+        assert result == 42
+
+
+class TestDatatypes:
+    LIST_UNIT = """
+        (unit/t (import) (export)
+          (datatype intlist
+            (mt un-mt void)
+            (kons un-kons (* int intlist))
+            mt?)
+          (define sum (-> intlist int)
+            (lambda ((l intlist))
+              (if (mt? l) 0
+                  (+ (proj 0 (un-kons l))
+                     (sum (proj 1 (un-kons l)))))))
+          (sum (kons (tuple 1 (kons (tuple 2 (kons (tuple 3 (mt (void))))))))))
+    """
+
+    def test_recursive_datatype(self):
+        result, ty, _ = run_typed(
+            "(invoke/t %s)" % self.LIST_UNIT, strict_valuable=True)
+        assert result == 6
+
+    def test_sum_is_not_valuable_but_lambda_is(self):
+        # `sum` references itself only under a lambda: fine.
+        typecheck("(invoke/t %s)" % self.LIST_UNIT)
+
+    def test_constructor_types(self):
+        ty = typecheck("""
+            (unit/t (import) (export (type pair)
+                                     (val mk (-> (* int int) pair))
+                                     (val fst (-> pair (* int int))))
+              (datatype pair
+                (mk unmk (* int int))
+                (mk2 unmk2 void)
+                first?)
+              (define fst (-> pair (* int int)) unmk)
+              (void))
+        """)
+        assert isinstance(ty, Sig)
+        assert ty.texport_names == ("pair",)
+
+    def test_wrong_variant_runtime_error(self):
+        with pytest.raises(VariantError, match="wrong variant"):
+            run_typed("""
+                (invoke/t
+                  (unit/t (import) (export)
+                    (datatype t (a una int) (b unb str) a?)
+                    (una (b "oops"))))
+            """)
+
+    def test_predicate(self):
+        result, _, _ = run_typed("""
+            (invoke/t
+              (unit/t (import) (export)
+                (datatype t (a una int) (b unb str) a?)
+                (tuple (a? (a 1)) (a? (b "x")))))
+        """)
+        from repro.lang.values import pairs_to_list
+
+        assert pairs_to_list(result) == [True, False]
+
+    def test_cross_datatype_misuse_rejected_statically(self):
+        # Applying t's deconstructor to a u instance is a *type* error;
+        # the checker catches it before the runtime guard ever fires.
+        with pytest.raises(TypeCheckError, match="argument"):
+            typecheck("""
+                (invoke/t
+                  (unit/t (import) (export)
+                    (datatype t (a una int) (b unb str) a?)
+                    (datatype u (c unc int) (d und str) c?)
+                    (una (c 1))))
+            """)
+
+    def test_deconstructor_on_non_instance_runtime_guard(self):
+        # The runtime representation still guards the tag, for untyped
+        # (UNITd) programs that use the variant primitives directly.
+        from repro.unitc.datatypes import construct, deconstruct
+
+        with pytest.raises(VariantError, match="not an instance"):
+            deconstruct("t", 0, construct("u", 0, 1))
+
+
+class TestTypedInvoke:
+    def test_supplies_types_and_values(self):
+        result, ty, _ = run_typed("""
+            (invoke/t
+              (unit/t (import (type info) (val mk (-> int info))
+                              (val show (-> info str)))
+                      (export)
+                (show (mk 7)))
+              (type info str)
+              (val mk (lambda ((n int)) (number->string n)))
+              (val show (lambda ((s str)) s)))
+        """)
+        assert result == "7"
+        assert ty == STR
+
+    def test_missing_type_import_rejected(self):
+        with pytest.raises(TypeCheckError, match="not supplied"):
+            typecheck("""
+                (invoke/t
+                  (unit/t (import (type info)) (export) (void)))
+            """)
+
+    def test_missing_value_import_rejected_statically(self):
+        with pytest.raises(TypeCheckError, match="not supplied"):
+            typecheck("""
+                (invoke/t
+                  (unit/t (import (val n int)) (export) n))
+            """)
+
+    def test_wrong_import_type_rejected(self):
+        with pytest.raises(TypeCheckError, match="expects"):
+            typecheck("""
+                (invoke/t
+                  (unit/t (import (val n int)) (export) n)
+                  (val n "not a number"))
+            """)
+
+    def test_import_type_substituted_in_value_check(self):
+        # mk must produce the *actual* info type (str here).
+        with pytest.raises(TypeCheckError, match="expects"):
+            typecheck("""
+                (invoke/t
+                  (unit/t (import (type info) (val mk (-> int info)))
+                          (export)
+                    (void))
+                  (type info str)
+                  (val mk (lambda ((n int)) n)))
+            """)
+
+    def test_result_type_substituted(self):
+        ty = typecheck("""
+            (invoke/t
+              (unit/t (import (type t) (val v t)) (export) v)
+              (type t int)
+              (val v 3))
+        """)
+        assert ty == INT
+
+    def test_invoke_non_unit_rejected(self):
+        with pytest.raises(TypeCheckError, match="signature"):
+            typecheck("(invoke/t 5)")
+
+
+class TestTypedCompound:
+    GOOD = """
+        (compound/t (import (val err (-> str void)))
+                    (export (val go (-> int)))
+          (link ((unit/t (import (val err (-> str void))
+                               (val helper (-> int)))
+                       (export (val go (-> int)))
+                   (define go (-> int) (lambda () (+ (helper) 1)))
+                   (void))
+                 (with (val err (-> str void)) (val helper (-> int)))
+                 (provides (val go (-> int))))
+                ((unit/t (import (val err (-> str void)))
+                       (export (val helper (-> int)))
+                   (define helper (-> int) (lambda () 41))
+                   (void))
+                 (with (val err (-> str void)))
+                 (provides (val helper (-> int))))))
+    """
+
+    def test_good_compound(self):
+        ty = typecheck(self.GOOD)
+        assert isinstance(ty, Sig)
+        assert ty.vexport_type("go") == Arrow((), INT)
+
+    def test_good_compound_runs(self):
+        result, _, _ = run_typed(
+            "(invoke/t %s (val err (lambda ((s str)) (void))))" % self.GOOD)
+        assert result is None  # second unit's init is void
+
+    def test_with_value_type_must_match_source(self):
+        # helper declared at a different type than its source provides.
+        bad = self.GOOD.replace(
+            "(with (val err (-> str void)) (val helper (-> int)))",
+            "(with (val err (-> str void)) (val helper (-> str)))")
+        with pytest.raises(TypeCheckError, match="different sources|source"):
+            typecheck(bad)
+
+    def test_constituent_signature_must_match_clause(self):
+        # The first unit actually needs `helper`, but the clause omits it.
+        bad = self.GOOD.replace(
+            "(with (val err (-> str void)) (val helper (-> int)))",
+            "(with (val err (-> str void)))")
+        with pytest.raises(TypeCheckError, match="does not match"):
+            typecheck(bad)
+
+    def test_export_must_be_provided(self):
+        bad = self.GOOD.replace(
+            "(export (val go (-> int)))\n          (link",
+            "(export (val ghost (-> int)))\n          (link", 1)
+        with pytest.raises(TypeCheckError):
+            typecheck(bad)
+
+    def test_type_flows_between_constituents(self):
+        ty = typecheck("""
+            (compound/t (import) (export (type db) (val consume (-> db int)))
+              (link ((unit/t (import) (export (type db) (val mkdb (-> db)))
+                       (datatype db (mk unmk void) (mk2 unmk2 void) first?)
+                       (define mkdb (-> db) (lambda () (mk (void))))
+                       (void))
+                     (with)
+                     (provides (type db) (val mkdb (-> db))))
+                    ((unit/t (import (type db)) (export (val consume (-> db int)))
+                       (define consume (-> db int) (lambda ((d db)) 1))
+                       (void))
+                     (with (type db))
+                     (provides (val consume (-> db int))))))
+        """)
+        assert isinstance(ty, Sig)
+        assert ty.texport_names == ("db",)
+
+    def test_figure_4_bad_rejected(self):
+        # Gui defines its own db but its clause does not provide it:
+        # openBook's type then mentions a type with no source.
+        with pytest.raises(TypeCheckError):
+            typecheck("""
+                (compound/t (import) (export)
+                  (link ((unit/t (import) (export (type db) (val new (-> db))))
+                         ;; malformed on purpose: see body below
+                         (with) (provides (type db) (val new (-> db))))
+                        ((unit/t (import) (export (val openBook (-> db bool))))
+                         (with) (provides (val openBook (-> db bool))))))
+            """)
+
+    def test_duplicate_provided_type_rejected(self):
+        with pytest.raises(TypeCheckError, match="duplicate"):
+            typecheck("""
+                (compound/t (import) (export)
+                  (link ((unit/t (import) (export (type t))
+                           (datatype t (a ua void) (b ub void) a?)
+                           (void))
+                         (with) (provides (type t)))
+                        ((unit/t (import) (export (type t))
+                           (datatype t (a ua void) (b ub void) a?)
+                           (void))
+                         (with) (provides (type t)))))
+            """)
+
+
+class TestSoundnessSmoke:
+    """Programs that type-check never raise link errors at run time."""
+
+    PROGRAMS = [
+        "(invoke/t (unit/t (import) (export) 1))",
+        """(invoke/t (unit/t (import (val n int)) (export) (+ n 1))
+             (val n 41))""",
+        """(invoke/t
+             (compound/t (import) (export)
+               (link ((unit/t (import) (export (val x int))
+                        (define x int 3) (void))
+                      (with) (provides (val x int)))
+                     ((unit/t (import (val x int)) (export) (* x x))
+                      (with (val x int)) (provides)))))""",
+    ]
+
+    @pytest.mark.parametrize("program", PROGRAMS)
+    def test_no_link_errors(self, program):
+        # run_typed raises on static or dynamic failure; success is the
+        # assertion.
+        run_typed(program)

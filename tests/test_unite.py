@@ -1,0 +1,325 @@
+"""Tests for UNITe: type equations, dependencies, and cycle prevention."""
+
+import pytest
+
+from repro.lang.errors import TypeCheckError
+from repro.types.parser import parse_type_text
+from repro.types.types import Arrow, INT, STR, Sig, TyVar
+from repro.unitc.parser import parse_typed_program
+from repro.unitc.run import run_typed, typecheck
+from repro.unite.check import assert_equation_free, check_unite_program
+from repro.unite.depends import (
+    check_equations_acyclic,
+    compound_link_cycle_check,
+    compute_compound_depends,
+    compute_unit_depends,
+    type_depends_on,
+)
+from repro.unite.expand import expand_type, normalize_equations
+
+
+def T(text: str):
+    return parse_type_text(text)
+
+
+class TestDependsOnRelation:
+    def test_direct_free_variable(self):
+        assert type_depends_on(T("(-> a b)"), "a", {})
+
+    def test_absent_variable(self):
+        assert not type_depends_on(T("(-> a b)"), "c", {})
+
+    def test_through_one_equation(self):
+        eqs = {"mid": T("(-> target int)")}
+        assert type_depends_on(T("(-> mid int)"), "target", eqs)
+
+    def test_through_chain(self):
+        eqs = {"a": T("(-> b int)"), "b": T("(-> c int)")}
+        assert type_depends_on(T("a"), "c", eqs)
+
+    def test_no_false_positives_through_unrelated(self):
+        eqs = {"a": T("(-> int int)")}
+        assert not type_depends_on(T("a"), "c", eqs)
+
+
+class TestAcyclicity:
+    def test_acyclic_accepted(self):
+        check_equations_acyclic({"a": T("(-> b int)"), "b": T("int")})
+
+    def test_self_cycle_rejected(self):
+        with pytest.raises(TypeCheckError, match="cyclic"):
+            check_equations_acyclic({"a": T("(-> a int)")})
+
+    def test_two_cycle_rejected(self):
+        with pytest.raises(TypeCheckError, match="cyclic"):
+            check_equations_acyclic({"a": T("(-> b int)"),
+                                     "b": T("(-> a int)")})
+
+    def test_long_cycle_rejected(self):
+        with pytest.raises(TypeCheckError, match="cyclic"):
+            check_equations_acyclic({
+                "a": T("b"), "b": T("c"), "c": T("a")})
+
+
+class TestExpansion:
+    def test_simple(self):
+        assert expand_type(T("env"), {"env": T("(-> str int)")}) == \
+            Arrow((STR,), INT)
+
+    def test_nested(self):
+        eqs = {"a": T("(-> b b)"), "b": T("int")}
+        assert expand_type(T("a"), eqs) == Arrow((INT,), INT)
+
+    def test_unknown_vars_left_alone(self):
+        assert expand_type(T("t"), {"u": T("int")}) == TyVar("t")
+
+    def test_idempotent(self):
+        eqs = {"a": T("(-> b b)"), "b": T("int")}
+        once = expand_type(T("(* a b)"), eqs)
+        assert expand_type(once, eqs) == once
+
+    def test_sig_shadowing(self):
+        # A sig that binds t as an import shadows the equation for t.
+        sig = T("(sig (import (type t) (val x t)) (export) void)")
+        out = expand_type(sig, {"t": T("int")})
+        assert isinstance(out, Sig)
+        assert out.vimport_type("x") == TyVar("t")
+
+    def test_sig_free_vars_expanded(self):
+        sig = T("(sig (import (val x u)) (export) void)")
+        out = expand_type(sig, {"u": T("int")})
+        assert out.vimport_type("x") == INT
+
+    def test_normalize(self):
+        eqs = normalize_equations({"a": T("(-> b b)"), "b": T("int")})
+        assert eqs["a"] == Arrow((INT,), INT)
+
+    def test_cycle_guard(self):
+        with pytest.raises(TypeCheckError, match="terminate"):
+            expand_type(T("a"), {"a": T("(-> a int)")})
+
+
+class TestUnitDepends:
+    def test_exported_equation_on_import(self):
+        deps = compute_unit_depends(
+            texports=(("b", None),), timports=(("a", None),),
+            equations={"b": T("(-> a int)")})
+        assert deps == (("b", "a"),)
+
+    def test_datatypes_create_no_dependencies(self):
+        deps = compute_unit_depends(
+            texports=(("t", None),), timports=(("a", None),),
+            equations={})
+        assert deps == ()
+
+    def test_transitive_through_internal_equation(self):
+        deps = compute_unit_depends(
+            texports=(("b", None),), timports=(("a", None),),
+            equations={"b": T("(-> mid int)"), "mid": T("(-> a int)")})
+        assert deps == (("b", "a"),)
+
+
+class TestCompoundCycleCheck:
+    def test_disjoint_ok(self):
+        compound_link_cycle_check((("b", "a"),), (("d", "c"),))
+
+    def test_chain_ok(self):
+        compound_link_cycle_check((("b", "a"),), (("a", "c"),))
+
+    def test_two_unit_cycle_rejected(self):
+        with pytest.raises(TypeCheckError, match="cyclic"):
+            compound_link_cycle_check((("b", "a"),), (("a", "b"),))
+
+    def test_longer_cycle_rejected(self):
+        with pytest.raises(TypeCheckError, match="cyclic"):
+            compound_link_cycle_check(
+                (("b", "a"), ("c", "b")), (("a", "c"),))
+
+    def test_compound_depends_propagation(self):
+        deps = compute_compound_depends(
+            timports=(("x", None),), texports=(("z", None),),
+            deps1=(("y", "x"),), deps2=(("z", "y"),))
+        assert deps == (("z", "x"),)
+
+
+class TestEquationsInUnits:
+    def test_equation_as_local_abbreviation(self):
+        result, ty, _ = run_typed("""
+            (invoke/t
+              (unit/t (import) (export)
+                (type shortcut (-> int int))
+                (define f shortcut (lambda ((x int)) (+ x 1)))
+                (f 41)))
+        """)
+        assert result == 42
+        assert ty == INT
+
+    def test_equation_in_lambda_annotation(self):
+        result, _, _ = run_typed("""
+            (invoke/t
+              (unit/t (import) (export)
+                (type pairish (* int int))
+                (define swap (-> pairish pairish)
+                  (lambda ((p pairish)) (tuple (proj 1 p) (proj 0 p))))
+                (proj 0 (swap (tuple 1 2)))))
+        """)
+        assert result == 2
+
+    def test_exported_equation_gives_depends(self):
+        ty = typecheck("""
+            (unit/t (import (type a)) (export (type b))
+              (type b (-> a a))
+              (void))
+        """)
+        assert isinstance(ty, Sig)
+        assert ty.depends == (("b", "a"),)
+
+    def test_cyclic_equations_rejected(self):
+        with pytest.raises(TypeCheckError, match="cyclic"):
+            typecheck("""
+                (unit/t (import) (export)
+                  (type a (-> b int))
+                  (type b (-> a int))
+                  (void))
+            """)
+
+    def test_equation_may_reference_datatype(self):
+        ty = typecheck("""
+            (unit/t (import) (export (type t) (type pair-of-t))
+              (datatype t (mk un void) (mk2 un2 void) first?)
+              (type pair-of-t (* t t))
+              (void))
+        """)
+        assert isinstance(ty, Sig)
+        # No dependency: t is defined here, not imported.
+        assert ty.depends == ()
+
+    def test_linking_cyclic_type_definitions_rejected(self):
+        # u1 exports b = a -> a (importing a); u2 exports a = b -> b
+        # (importing b).  Linking them would create a cyclic type.
+        with pytest.raises(TypeCheckError, match="cyclic"):
+            typecheck("""
+                (compound/t (import) (export)
+                  (link ((unit/t (import (type a)) (export (type b))
+                           (type b (-> a a))
+                           (void))
+                         (with (type a)) (provides (type b)))
+                        ((unit/t (import (type b)) (export (type a))
+                           (type a (-> b b))
+                           (void))
+                         (with (type b)) (provides (type a)))))
+            """)
+
+    def test_acyclic_cross_unit_equations_accepted(self):
+        ty = typecheck("""
+            (compound/t (import) (export (type b))
+              (link ((unit/t (import) (export (type a))
+                       (type a int)
+                       (void))
+                     (with) (provides (type a)))
+                    ((unit/t (import (type a)) (export (type b))
+                       (type b (-> a a))
+                       (void))
+                     (with (type a)) (provides (type b)))))
+        """)
+        assert isinstance(ty, Sig)
+
+    def test_compound_propagates_depends(self):
+        ty = typecheck("""
+            (compound/t (import (type x)) (export (type z))
+              (link ((unit/t (import (type x)) (export (type y))
+                       (type y (-> x x))
+                       (void))
+                     (with (type x)) (provides (type y)))
+                    ((unit/t (import (type y)) (export (type z))
+                       (type z (-> y y))
+                       (void))
+                     (with (type y)) (provides (type z)))))
+        """)
+        assert isinstance(ty, Sig)
+        assert ty.depends == (("z", "x"),)
+
+
+class TestStrictUnitcMode:
+    def test_equation_free_passes(self):
+        expr = parse_typed_program("(invoke/t (unit/t (import) (export) 1))")
+        assert_equation_free(expr)
+
+    def test_equations_detected(self):
+        expr = parse_typed_program("""
+            (invoke/t (unit/t (import) (export)
+              (type t int)
+              (void)))
+        """)
+        with pytest.raises(TypeCheckError, match="equations"):
+            assert_equation_free(expr)
+
+    def test_check_unite_program_entry(self):
+        expr = parse_typed_program("42")
+        assert check_unite_program(expr) == INT
+
+
+class TestTypedReduction:
+    def test_merge_propagates_type_definitions(self):
+        from repro.unitc.ast import TypedCompoundExpr, TypedUnitExpr
+        from repro.unitc.reduce import merge_typed_compound
+
+        compound = parse_typed_program("""
+            (compound/t (import) (export (type b))
+              (link ((unit/t (import) (export (type a))
+                       (type a int) (void))
+                     (with) (provides (type a)))
+                    ((unit/t (import (type a)) (export (type b))
+                       (type b (-> a a)) (void))
+                     (with (type a)) (provides (type b)))))
+        """)
+        assert isinstance(compound, TypedCompoundExpr)
+        merged = merge_typed_compound(
+            compound, compound.first.expr, compound.second.expr)
+        assert isinstance(merged, TypedUnitExpr)
+        assert [eq.name for eq in merged.equations] == ["a", "b"]
+
+    def test_merge_renames_colliding_hidden_types(self):
+        from repro.unitc.reduce import merge_typed_compound
+
+        compound = parse_typed_program("""
+            (compound/t (import) (export)
+              (link ((unit/t (import) (export)
+                       (type hidden int)
+                       (define x hidden 1) (void))
+                     (with) (provides))
+                    ((unit/t (import) (export)
+                       (type hidden str)
+                       (define y hidden "s") (void))
+                     (with) (provides))))
+        """)
+        merged = merge_typed_compound(
+            compound, compound.first.expr, compound.second.expr)
+        names = [eq.name for eq in merged.equations]
+        assert len(names) == len(set(names))
+
+    def test_invoke_expands_equations_away(self):
+        from repro.unitc.reduce import reduce_typed_invoke
+
+        unit = parse_typed_program("""
+            (unit/t (import (type t) (val v t)) (export)
+              (type u (-> t t))
+              (define id u (lambda ((x t)) x))
+              (id v))
+        """)
+        block = reduce_typed_invoke(
+            unit, {"t": INT}, {"v": __import__(
+                "repro.unitc.ast", fromlist=["TLit"]).TLit(5)})
+        # Equations are gone; the definition's type is fully concrete.
+        name, ty, _ = block.defns[0]
+        assert name == "id"
+        assert ty == Arrow((INT,), INT)
+
+    def test_invoke_missing_type_import_errors(self):
+        from repro.lang.errors import UnitLinkError
+        from repro.unitc.reduce import reduce_typed_invoke
+
+        unit = parse_typed_program(
+            "(unit/t (import (type t)) (export) (void))")
+        with pytest.raises(UnitLinkError, match="not satisfied"):
+            reduce_typed_invoke(unit, {}, {})

@@ -1,0 +1,145 @@
+"""Tests for runtime values: cells, environments, lists, rendering."""
+
+import pytest
+
+from repro.lang.errors import RunTimeError
+from repro.lang.values import (
+    EMPTY,
+    Cell,
+    Env,
+    HashTable,
+    Pair,
+    UNDEFINED,
+    VariantValue,
+    is_true,
+    list_to_pairs,
+    pairs_to_list,
+    to_display_string,
+    to_write_string,
+)
+
+
+class TestCell:
+    def test_fresh_cell_is_undefined(self):
+        cell = Cell()
+        assert cell.value is UNDEFINED
+        with pytest.raises(RunTimeError, match="undefined"):
+            cell.get()
+
+    def test_set_get(self):
+        cell = Cell()
+        cell.set(42)
+        assert cell.get() == 42
+
+    def test_initialized(self):
+        assert Cell("x").get() == "x"
+
+    def test_none_is_a_value(self):
+        # void (None) is a legitimate cell content, distinct from
+        # undefined.
+        cell = Cell(None)
+        assert cell.get() is None
+
+
+class TestEnv:
+    def test_define_lookup(self):
+        env = Env()
+        env.define("x", 1)
+        assert env.lookup("x") == 1
+
+    def test_chained_lookup(self):
+        outer = Env()
+        outer.define("x", 1)
+        inner = outer.child()
+        assert inner.lookup("x") == 1
+
+    def test_shadowing(self):
+        outer = Env()
+        outer.define("x", 1)
+        inner = outer.child()
+        inner.define("x", 2)
+        assert inner.lookup("x") == 2
+        assert outer.lookup("x") == 1
+
+    def test_unbound(self):
+        with pytest.raises(RunTimeError, match="unbound"):
+            Env().lookup("ghost")
+
+    def test_bind_cell_shares_state(self):
+        cell = Cell(0)
+        a, b = Env(), Env()
+        a.bind_cell("x", cell)
+        b.bind_cell("y", cell)
+        a.lookup_cell("x").set(9)
+        assert b.lookup("y") == 9
+
+
+class TestLists:
+    def test_roundtrip(self):
+        items = [1, "two", True]
+        assert pairs_to_list(list_to_pairs(items)) == items
+
+    def test_empty(self):
+        assert list_to_pairs([]) is EMPTY
+        assert pairs_to_list(EMPTY) == []
+
+    def test_improper_list_rejected(self):
+        with pytest.raises(RunTimeError, match="proper list"):
+            pairs_to_list(Pair(1, 2))
+
+
+class TestHashTable:
+    def test_basic_ops(self):
+        table = HashTable()
+        table.put("a", 1)
+        assert table.has("a")
+        assert table.get("a") == 1
+        assert table.get("b", "dflt") == "dflt"
+        table.remove("a")
+        assert not table.has("a")
+        assert len(table) == 0
+
+    def test_keys_in_insertion_order(self):
+        table = HashTable()
+        for key in ("z", "a", "m"):
+            table.put(key, 0)
+        assert list(table.keys()) == ["z", "a", "m"]
+
+
+class TestTruthiness:
+    def test_only_false_is_false(self):
+        assert not is_true(False)
+        assert is_true(True)
+        assert is_true(0)
+        assert is_true(None)
+        assert is_true("")
+        assert is_true(EMPTY)
+
+
+class TestRendering:
+    def test_write_quotes_strings(self):
+        assert to_write_string("a\"b") == '"a\\"b"'
+
+    def test_display_does_not(self):
+        assert to_display_string("hi") == "hi"
+
+    def test_void(self):
+        assert to_write_string(None) == "#<void>"
+
+    def test_booleans(self):
+        assert to_write_string(True) == "#t"
+        assert to_write_string(False) == "#f"
+
+    def test_proper_list(self):
+        assert to_write_string(list_to_pairs([1, 2, 3])) == "(1 2 3)"
+
+    def test_dotted_pair(self):
+        assert to_write_string(Pair(1, 2)) == "(1 . 2)"
+
+    def test_nested(self):
+        value = list_to_pairs([1, list_to_pairs([2, 3])])
+        assert to_write_string(value) == "(1 (2 3))"
+
+    def test_variant(self):
+        text = repr(VariantValue("db", 0, 42))
+        assert "db" in text and "variant0" in text
