@@ -1,0 +1,31 @@
+"""Benchmark-suite observability: a metrics JSON per bench run.
+
+Every bench writes a counter/timer snapshot to
+``benchmarks/.metrics/<nodeid>.json`` when it finishes.  By default the
+collector is *not* activated inside the timed region — the snapshot
+then records only what the bench counted explicitly, and the timings
+measure the uninstrumented fast path.  Set ``REPRO_BENCH_METRICS=1``
+to activate the collector around each bench and capture the full event
+counters (reduction steps, link edges, checks) alongside the timings.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import obs
+from benchmarks.helpers import write_bench_metrics
+
+
+@pytest.fixture(autouse=True)
+def bench_metrics(request):
+    """Attach a collector to each bench and persist its metrics."""
+    collector = obs.Collector()
+    if os.environ.get("REPRO_BENCH_METRICS"):
+        with obs.collecting(collector):
+            yield collector
+    else:
+        yield collector
+    write_bench_metrics(collector, request.node.nodeid)

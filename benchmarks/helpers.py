@@ -9,11 +9,30 @@ absolute numbers, are what reproduction means here).
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.lang.ast import Expr
 from repro.lang.parser import parse_program
 from repro.linking.graph import LinkGraph
+from repro.obs import Collector, write_metrics
 from repro.types.types import Arrow, INT, Sig
 from repro.units.ast import UnitExpr
+
+METRICS_DIR = Path(__file__).resolve().parent / ".metrics"
+
+
+def write_bench_metrics(collector: Collector, nodeid: str) -> Path:
+    """Write one bench's counter/timer snapshot under ``.metrics/``.
+
+    The file name is the pytest node id with path separators and
+    brackets flattened, so every parameterized case gets its own JSON.
+    """
+    safe = "".join(c if c.isalnum() or c in "._-" else "_"
+                   for c in nodeid)
+    METRICS_DIR.mkdir(exist_ok=True)
+    path = METRICS_DIR / f"{safe}.json"
+    write_metrics(collector, path)
+    return path
 
 
 def unit_with_defns(n: int) -> str:

@@ -1,0 +1,34 @@
+#!/bin/sh
+# CI entry point: the tier-1 test suite plus an observability smoke run.
+#
+#   scripts/check.sh            # from the repository root
+#
+# Exits non-zero if the tests fail, if the traced phone-book demo
+# fails, or if the resulting trace does not cover all event families.
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+echo "==> tier-1: pytest"
+python -m pytest -x -q
+
+echo "==> smoke: traced phone-book demo"
+trace_file="$(mktemp)"
+trap 'rm -f "$trace_file"' EXIT
+python -m repro --trace "$trace_file" demo examples/phonebook.scm
+
+python - "$trace_file" <<'EOF'
+import sys
+from repro.obs import read_jsonl
+
+events = read_jsonl(sys.argv[1])
+families = {e.family for e in events}
+missing = {"check", "link", "reduce", "unit", "dynlink"} - families
+assert events, "trace is empty"
+assert not missing, f"trace missing families: {sorted(missing)}"
+print(f"trace ok: {len(events)} events, families {sorted(families)}")
+EOF
+
+echo "==> all checks passed"

@@ -8,11 +8,25 @@ Usage::
     python -m repro run-typed FILE      # typed program: check + run
     python -m repro trace FILE          # small-step reduction trace
     python -m repro compile FILE        # print the Figure 12 compilation
+    python -m repro demo FILE           # every pipeline stage on FILE
     python -m repro figures [N ...]     # run figure reproductions
 
 Programs are single expressions in the s-expression surface syntax
 (see the README's grammar summary).  ``run`` prints the program's value
 and anything it displayed.
+
+Observability (any subcommand)::
+
+    python -m repro --trace out.jsonl demo examples/phonebook.scm
+    python -m repro --metrics run examples/phonebook.scm
+    python -m repro --profile run examples/phonebook.scm
+
+``--trace FILE`` records every pipeline event (reduction steps, link
+edges, checks, compiles, invokes, dynamic-link loads) as JSON Lines;
+``--metrics`` prints the counter/timer snapshot as JSON on stderr
+(``--metrics-out FILE`` writes it to a file instead); ``--profile``
+prints a cProfile report on stderr.  All three are off by default and
+cost nothing when off.
 """
 
 from __future__ import annotations
@@ -179,6 +193,75 @@ def cmd_repl(args: argparse.Namespace) -> int:
             print(f"error: {err}")
 
 
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Run every pipeline stage on one untyped program.
+
+    The point of this subcommand is observability: one invocation
+    exercises checking, static linking, compilation, archive retrieval
+    (dynamic linking), the small-step machine, and the big-step
+    interpreter, so a ``--trace`` of it shows events from every family.
+    The interpreter and machine results are compared at the end.
+    """
+    from repro.units.linker import link_and_optimize
+    from repro.units.ast import UnitExpr
+    from repro.dynlink.archive import UnitArchive
+
+    expr = _load_script(args)
+    check_program(expr, strict_valuable=not args.lenient)
+    print("check: ok")
+
+    linked, stats = link_and_optimize(expr)
+    print(f"link: {stats}")
+
+    compiled = compile_expr(expr)
+    print(f"compile: {type(compiled).__name__}")
+
+    # Round-trip the statically linked unit through the archive so the
+    # dynamic-linking layer runs too (Figure 7's retrieval checks).
+    from repro.units.ast import InvokeExpr
+
+    unit = linked.expr if isinstance(linked, InvokeExpr) else linked
+    if isinstance(unit, UnitExpr):
+        archive = UnitArchive()
+        archive.put_unit("demo", unit)
+        retrieved = archive.retrieve_untyped(
+            "demo", unit.imports, unit.exports)
+        print(f"dynlink: retrieved 'demo' "
+              f"({len(retrieved.exports)} exports)")
+    else:
+        print("dynlink: skipped (program is not a unit after linking)")
+
+    from repro.lang.ast import Lit
+
+    machine = Machine(max_steps=args.limit)
+    state = machine.load(expr)
+    steps = 0
+    for _ in range(args.limit):
+        if not machine.step(state):
+            break
+        steps += 1
+    else:
+        print("error: machine step budget exhausted", file=sys.stderr)
+        return 1
+    print(f"machine: {steps} steps")
+
+    interp = Interpreter()
+    result = interp.eval(expr)
+    output = interp.port.getvalue()
+    if output:
+        sys.stdout.write(output)
+        if not output.endswith("\n"):
+            sys.stdout.write("\n")
+    print("=>", to_write_string(result))
+
+    final = state.control
+    if not (isinstance(final, Lit)
+            and to_write_string(final.value) == to_write_string(result)):
+        print("error: interpreter and machine disagree", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     """Run figure reproductions and print their reports."""
     from repro.figures import FIGURES, get_figure
@@ -197,6 +280,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Units: Cool Modules for HOT Languages — reproduction")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write pipeline events as JSON Lines to FILE")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print counter/timer metrics as JSON on stderr")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write the metrics JSON to FILE")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a cProfile report on stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add(name, fn, help_text, with_file=True):
@@ -220,6 +311,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="maximum reduction steps to show")
     add("compile", cmd_compile, "print the Figure 12 compilation")
     add("link", cmd_link, "statically link (flatten + optimize)")
+    demo = add("demo", cmd_demo,
+               "run every pipeline stage (check, link, compile, "
+               "archive, machine, interpreter) on one program")
+    demo.add_argument("--limit", type=int, default=1_000_000,
+                      help="maximum machine reduction steps")
     repl = sub.add_parser("repl", help="interactive session")
     repl.set_defaults(fn=cmd_repl)
     figures = sub.add_parser("figures", help="run figure reproductions")
@@ -229,10 +325,48 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_observed(args: argparse.Namespace) -> int:
+    """Run the selected subcommand under an observability collector."""
+    from repro import obs
+
+    collector = obs.Collector()
+    profiler = obs.ProfileSession() if args.profile else None
+    try:
+        with obs.collecting(collector):
+            if profiler is not None:
+                profiler.profile.enable()
+            try:
+                status = args.fn(args)
+            finally:
+                if profiler is not None:
+                    profiler.profile.disable()
+    finally:
+        # Flush trace/metrics even when the command failed: the events
+        # leading up to a failure are the interesting ones.
+        if args.trace:
+            written = obs.write_jsonl(collector.events, args.trace)
+            print(f"trace: {written} events -> {args.trace}",
+                  file=sys.stderr)
+        if args.metrics_out:
+            obs.write_metrics(collector, args.metrics_out)
+        if args.metrics:
+            import json as _json
+
+            print(_json.dumps(collector.metrics(), indent=2),
+                  file=sys.stderr)
+        if profiler is not None:
+            print(profiler.report(), file=sys.stderr)
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    observed = (args.trace or args.metrics or args.metrics_out
+                or args.profile)
     try:
+        if observed:
+            return _run_observed(args)
         return args.fn(args)
     except LangError as err:
         print(f"error: {err}", file=sys.stderr)

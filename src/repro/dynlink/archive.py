@@ -29,6 +29,7 @@ from pathlib import Path
 from repro.lang.errors import ArchiveError
 from repro.lang.parser import parse_program
 from repro.lang.pretty import show
+from repro.obs import current as _obs_current
 from repro.types.subtype import sig_subtype
 from repro.types.tyenv import TyEnv
 from repro.types.types import Sig
@@ -37,6 +38,20 @@ from repro.unitc.check import base_tyenv, check_typed_unit
 from repro.unitc.parser import parse_typed_program
 from repro.units.ast import UnitExpr
 from repro.units.check import check_unit
+
+
+def _fail(name: str | None, stage: str, message: str) -> "ArchiveError":
+    """Build the typed retrieval error, tracing it as ``dynlink.error``.
+
+    Every failure in the dynamic-linking layer goes through here so the
+    trace records *where* retrieval broke (lookup, parse, check,
+    subtype, persistence) alongside the raised :class:`ArchiveError`.
+    """
+    col = _obs_current()
+    if col is not None:
+        col.emit("dynlink.error", {
+            "name": name, "stage": stage, "reason": message})
+    return ArchiveError(message)
 
 
 @dataclass(frozen=True)
@@ -105,9 +120,9 @@ class UnitArchive:
             return parse_sig_text(entry.declared_sig,
                                   origin=f"<archive:{name}:claim>")
         except Exception as err:
-            raise ArchiveError(
-                f"archive entry '{name}' carries an unparseable "
-                f"signature claim: {err}")
+            raise _fail(name, "claim",
+                        f"archive entry '{name}' carries an unparseable "
+                        f"signature claim: {err}")
 
     # -- retrieval ------------------------------------------------------------
 
@@ -124,29 +139,33 @@ class UnitArchive:
         """
         entry = self._lookup(name)
         if not entry.typed:
-            raise ArchiveError(
-                f"archive entry '{name}' is untyped; use "
-                f"retrieve_untyped")
+            raise _fail(name, "kind",
+                        f"archive entry '{name}' is untyped; use "
+                        f"retrieve_untyped")
         try:
             expr = parse_typed_program(entry.source,
                                        origin=f"<archive:{name}>")
         except Exception as err:
-            raise ArchiveError(
-                f"archive entry '{name}' failed to parse: {err}")
+            raise _fail(name, "parse",
+                        f"archive entry '{name}' failed to parse: {err}")
         if not isinstance(expr, TypedUnitExpr):
-            raise ArchiveError(
-                f"archive entry '{name}' is not a unit expression")
+            raise _fail(name, "parse",
+                        f"archive entry '{name}' is not a unit expression")
         check_env = env if env is not None else base_tyenv()
         try:
             actual = check_typed_unit(expr, check_env, strict_valuable)
         except Exception as err:
-            raise ArchiveError(
-                f"archive entry '{name}' failed to type-check in the "
-                f"receiving context: {err}")
+            raise _fail(name, "check",
+                        f"archive entry '{name}' failed to type-check in "
+                        f"the receiving context: {err}")
         if not sig_subtype(actual, expected):
-            raise ArchiveError(
-                f"archive entry '{name}' does not satisfy the expected "
-                f"signature: {actual} is not a subtype of {expected}")
+            raise _fail(name, "subtype",
+                        f"archive entry '{name}' does not satisfy the "
+                        f"expected signature: {actual} is not a subtype "
+                        f"of {expected}")
+        col = _obs_current()
+        if col is not None:
+            col.emit("dynlink.load", {"name": name, "typed": True})
         return expr, actual
 
     def retrieve_untyped(self, name: str,
@@ -162,32 +181,36 @@ class UnitArchive:
         try:
             expr = parse_program(entry.source, origin=f"<archive:{name}>")
         except Exception as err:
-            raise ArchiveError(
-                f"archive entry '{name}' failed to parse: {err}")
+            raise _fail(name, "parse",
+                        f"archive entry '{name}' failed to parse: {err}")
         if not isinstance(expr, UnitExpr):
-            raise ArchiveError(
-                f"archive entry '{name}' is not a unit expression")
+            raise _fail(name, "parse",
+                        f"archive entry '{name}' is not a unit expression")
         try:
             check_unit(expr, strict_valuable)
         except Exception as err:
-            raise ArchiveError(
-                f"archive entry '{name}' failed checking: {err}")
+            raise _fail(name, "check",
+                        f"archive entry '{name}' failed checking: {err}")
         extra = set(expr.imports) - set(expected_imports)
         if extra:
-            raise ArchiveError(
-                f"archive entry '{name}' requires unexpected imports: "
-                + ", ".join(sorted(extra)))
+            raise _fail(name, "interface",
+                        f"archive entry '{name}' requires unexpected "
+                        f"imports: " + ", ".join(sorted(extra)))
         missing = set(expected_exports) - set(expr.exports)
         if missing:
-            raise ArchiveError(
-                f"archive entry '{name}' lacks expected exports: "
-                + ", ".join(sorted(missing)))
+            raise _fail(name, "interface",
+                        f"archive entry '{name}' lacks expected exports: "
+                        + ", ".join(sorted(missing)))
+        col = _obs_current()
+        if col is not None:
+            col.emit("dynlink.load", {"name": name, "typed": False})
         return expr
 
     def _lookup(self, name: str) -> ArchiveEntry:
         entry = self._entries.get(name)
         if entry is None:
-            raise ArchiveError(f"no archive entry named '{name}'")
+            raise _fail(name, "lookup",
+                        f"no archive entry named '{name}'")
         return entry
 
     # -- persistence ----------------------------------------------------------
@@ -202,13 +225,40 @@ class UnitArchive:
 
     @classmethod
     def load(cls, path: str | Path) -> "UnitArchive":
-        """Read an archive written by :meth:`save`."""
+        """Read an archive written by :meth:`save`.
+
+        Malformed persistence — non-object payloads, entries missing
+        the ``source``/``typed`` fields, wrongly typed fields — raises
+        :class:`ArchiveError` (never a bare ``KeyError``/
+        ``AttributeError``): the archive file is as untrusted as the
+        units inside it.
+        """
         try:
             payload = json.loads(Path(path).read_text())
         except (OSError, json.JSONDecodeError) as err:
-            raise ArchiveError(f"cannot load archive: {err}")
+            raise _fail(None, "persistence",
+                        f"cannot load archive: {err}")
+        if not isinstance(payload, dict):
+            raise _fail(None, "persistence",
+                        f"cannot load archive: top level must be an "
+                        f"object, got {type(payload).__name__}")
         archive = cls()
         for name, fields in payload.items():
+            if not isinstance(fields, dict):
+                raise _fail(name, "persistence",
+                            f"archive entry '{name}' is malformed: "
+                            f"expected an object, got "
+                            f"{type(fields).__name__}")
+            missing = [key for key in ("source", "typed")
+                       if key not in fields]
+            if missing:
+                raise _fail(name, "persistence",
+                            f"archive entry '{name}' is malformed: "
+                            f"missing field(s) " + ", ".join(missing))
+            if not isinstance(fields["source"], str):
+                raise _fail(name, "persistence",
+                            f"archive entry '{name}' is malformed: "
+                            f"'source' must be a string")
             archive.put(name, fields["source"], bool(fields["typed"]),
                         fields.get("declared_sig"))
         return archive

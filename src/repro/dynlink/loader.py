@@ -19,8 +19,9 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.lang.errors import ArchiveError
+from repro.lang.errors import ArchiveError, LangError
 from repro.lang.interp import Interpreter
+from repro.obs import current as _obs_current
 from repro.types.tyenv import TyEnv
 from repro.types.types import Sig, Type
 from repro.unitc.check import base_tyenv
@@ -65,15 +66,45 @@ class PluginHost:
 
         Returns the extension's initialization value (e.g. the loader
         function of Figure 7) and remembers it under ``name``.
+
+        Failures at any stage raise a typed :class:`LangError` subclass
+        — retrieval problems surface as :class:`ArchiveError`, run-time
+        problems in the extension's own code as ``RunTimeError`` — and
+        each failure is traced as a ``dynlink.error`` event.  A plug-in
+        that fails to install leaves the host unchanged.
         """
-        expr, _actual = archive.retrieve_typed(
-            name, self.expected, env if env is not None else base_tyenv())
-        erased = erase_unit(expr)
-        unit_value = self.interp.eval(erased)
-        result = self.interp.invoke(unit_value, dict(self.value_imports))
+        col = _obs_current()
+        try:
+            expr, _actual = archive.retrieve_typed(
+                name, self.expected,
+                env if env is not None else base_tyenv())
+            erased = erase_unit(expr)
+            unit_value = self.interp.eval(erased)
+            result = self.interp.invoke(unit_value,
+                                        dict(self.value_imports))
+        except ArchiveError:
+            # Already traced (and typed) by the archive layer.
+            raise
+        except LangError as err:
+            if col is not None:
+                col.emit("dynlink.error", {
+                    "name": name, "stage": "install", "reason": str(err)})
+            raise
+        except (KeyError, TypeError, AttributeError) as err:
+            # A malformed extension or host wiring bug must not leak an
+            # untyped exception to the running program.
+            if col is not None:
+                col.emit("dynlink.error", {
+                    "name": name, "stage": "install", "reason": repr(err)})
+            raise ArchiveError(
+                f"plug-in '{name}' failed to install: {err!r}") from err
         self.installed[name] = result
         if self._on_install is not None:
             self._on_install(name, result)
+        if col is not None:
+            col.emit("dynlink.load", {
+                "name": name, "stage": "installed",
+                "host_imports": len(self.value_imports)})
         return result
 
     def loaded_names(self) -> tuple[str, ...]:

@@ -33,6 +33,7 @@ from repro.lang.ast import (
 )
 from repro.lang.errors import RunTimeError, UnitLinkError
 from repro.lang.prims import OutputPort, make_global_env
+from repro.obs import current as _obs_current
 from repro.lang.values import (
     AtomicUnitValue,
     Cell,
@@ -171,6 +172,10 @@ class Interpreter:
         _require_unit(second, "compound")
         _check_clause(first, expr.first.withs, expr.first.provides)
         _check_clause(second, expr.second.withs, expr.second.provides)
+        col = _obs_current()
+        if col is not None:
+            col.emit("link.compound", {
+                "imports": len(expr.imports), "exports": len(expr.exports)})
         return CompoundUnitValue(expr.imports, expr.exports, first, second,
                                  expr.first, expr.second)
 
@@ -187,6 +192,10 @@ class Interpreter:
         cells = {name: supplied[name] for name in unit.imports}
         for name in unit.exports:
             cells[name] = Cell()
+        col = _obs_current()
+        if col is not None:
+            col.emit("unit.invoke", {
+                "imports": len(unit.imports), "exports": len(unit.exports)})
         runs = self.instantiate(unit, cells)
         (last_env, last_init) = runs[-1]
         return runs[:-1], last_env, last_init
@@ -208,6 +217,10 @@ class Interpreter:
         cells = {name: Cell(imports[name]) for name in unit.imports}
         for name in unit.exports:
             cells[name] = Cell()
+        col = _obs_current()
+        if col is not None:
+            col.emit("unit.invoke", {
+                "imports": len(unit.imports), "exports": len(unit.exports)})
         result: object = None
         for init_env, init in self.instantiate(unit, cells):
             result = self._eval(init, init_env)
@@ -262,6 +275,7 @@ class Interpreter:
             namespace[name] = cells[name] if name in cells \
                 and name in unit.exports else Cell()
         runs: list[tuple[Env, Expr]] = []
+        col = _obs_current()
         for constituent, clause in ((unit.first, unit.first_clause),
                                     (unit.second, unit.second_clause)):
             sub_cells: dict[str, Cell] = {}
@@ -272,6 +286,11 @@ class Interpreter:
                         f"source among the compound's imports and the "
                         f"other constituent's provides")
                 sub_cells[name] = namespace[name]
+                if col is not None:
+                    col.emit("link.edge", {
+                        "name": name,
+                        "source": ("import" if name in unit.imports
+                                   else "provides")})
             provided = set(clause.provides)
             for name in constituent.exports:
                 sub_cells[name] = namespace[name] if name in provided else Cell()
@@ -304,6 +323,10 @@ def _check_clause(unit: UnitValue, withs: tuple[str, ...],
     if missing:
         raise UnitLinkError(
             "compound: constituent does not provide: " + ", ".join(missing))
+    col = _obs_current()
+    if col is not None:
+        col.emit("check.clause", {
+            "withs": len(withs), "provides": len(provides)})
 
 
 def run_program(text: str, origin: str = "<string>") -> tuple[object, str]:

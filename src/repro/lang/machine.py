@@ -52,6 +52,7 @@ from repro.lang.ast import (
 )
 from repro.lang.errors import RunTimeError
 from repro.lang.prims import OutputPort, make_global_env
+from repro.obs import current as _obs_current
 from repro.lang.subst import fresh_like, free_vars, substitute
 from repro.lang.values import Primitive, is_true
 from repro.units.ast import CompoundExpr, InvokeExpr, LinkClause, UnitExpr
@@ -128,14 +129,19 @@ class Machine:
         A state is final when every store binding and the control
         expression are values.
         """
+        col = _obs_current()
         for index, (name, rhs) in enumerate(state.store):
             if not is_value(rhs):
                 new_rhs = self._reduce_inside(rhs, state)
                 state.store[index] = (name, new_rhs)
+                if col is not None:
+                    col.emit("reduce.step", {"where": "store", "name": name})
                 return True
         if is_value(state.control):
             return False
         state.control = self._reduce_inside(state.control, state)
+        if col is not None:
+            col.emit("reduce.step", {"where": "control"})
         return True
 
     def run(self, expr: Expr) -> MachineState:

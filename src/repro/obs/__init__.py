@@ -1,0 +1,58 @@
+"""Observability for the unit pipeline: tracing, metrics, profiling.
+
+The evaluation pipeline (reader -> checker -> linker ->
+interpreter/machine/reducer -> dynlinker) emits structured
+:class:`TraceEvent` records when — and only when — a
+:class:`Collector` is in scope:
+
+.. code-block:: python
+
+    from repro import obs
+
+    with obs.collecting() as col:
+        Interpreter().eval(program)
+    col.kinds()       # {"unit.invoke": 3, "link.compound": 2, ...}
+    col.metrics()     # JSON-ready counters + timers snapshot
+    obs.write_jsonl(col.events, "trace.jsonl")
+
+With no collector in scope every instrumentation point reduces to one
+contextvar read and a ``None`` check; nothing is allocated and nothing
+is recorded.  The CLI exposes this as ``--trace FILE`` / ``--metrics``
+(see :mod:`repro.cli`), and the benchmark harness attaches a collector
+per run when ``REPRO_BENCH_METRICS`` is set (see
+``benchmarks/conftest.py``).
+"""
+
+from repro.obs.collector import (
+    Collector,
+    activate,
+    collecting,
+    count,
+    current,
+    deactivate,
+    emit,
+    enabled,
+)
+from repro.obs.events import FAMILIES, KINDS, TraceEvent, family_of
+from repro.obs.jsonl import read_jsonl, write_jsonl, write_metrics
+from repro.obs.profiling import ProfileSession, profiled
+
+__all__ = [
+    "Collector",
+    "TraceEvent",
+    "FAMILIES",
+    "KINDS",
+    "family_of",
+    "activate",
+    "deactivate",
+    "collecting",
+    "current",
+    "enabled",
+    "emit",
+    "count",
+    "read_jsonl",
+    "write_jsonl",
+    "write_metrics",
+    "ProfileSession",
+    "profiled",
+]

@@ -1,0 +1,179 @@
+"""The trace/metrics collector and its contextvar scoping.
+
+Observability is *off by default* and scoped, not global: a
+:class:`Collector` becomes the current sink only inside a
+``with collecting(collector):`` block (or the lower-level
+:func:`activate`/:func:`deactivate` pair), and the scope travels with
+the :mod:`contextvars` context — concurrent tasks and threads each see
+their own collector, or none.
+
+The disabled path is designed to cost nothing measurable on hot loops:
+instrumented code guards every emission with
+
+.. code-block:: python
+
+    col = obs.current()
+    if col is not None:
+        col.emit("reduce.step", {...})
+
+``current()`` is a single ``ContextVar.get`` plus an identity check —
+no allocation, no attribute chase, no dictionary construction.  Event
+payload dictionaries are only built *inside* the guard, so a disabled
+collector never causes them to exist.  ``tests/test_obs.py`` holds an
+allocation guard asserting this stays true.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+from repro.obs.events import TraceEvent
+
+_ACTIVE: ContextVar["Collector | None"] = ContextVar(
+    "repro_obs_collector", default=None)
+
+
+def current() -> "Collector | None":
+    """The collector in scope, or ``None`` when observability is off.
+
+    This is the hot-path guard; keep it a bare contextvar read.
+    """
+    return _ACTIVE.get()
+
+
+def enabled() -> bool:
+    """Is a collector currently in scope?"""
+    return _ACTIVE.get() is not None
+
+
+def emit(kind: str, fields: dict[str, object] | None = None) -> None:
+    """Emit an event to the current collector, if any.
+
+    Convenience for cold paths.  Hot paths should guard with
+    :func:`current` themselves so the ``fields`` dict is never built
+    when observability is off.
+    """
+    col = _ACTIVE.get()
+    if col is not None:
+        col.emit(kind, fields)
+
+
+def count(name: str, delta: int = 1) -> None:
+    """Bump a counter on the current collector, if any."""
+    col = _ACTIVE.get()
+    if col is not None:
+        col.count(name, delta)
+
+
+class Collector:
+    """Accumulates trace events, monotonic counters, and timers.
+
+    One collector represents one observation session (a CLI run, a
+    benchmark, a test).  It is not thread-safe by design — scoping via
+    :func:`collecting` gives each execution context its own instance.
+
+    ``max_events`` bounds memory on pathological traces: beyond the
+    bound, events are dropped (counted in ``dropped``) while counters
+    and timers keep accumulating.
+    """
+
+    def __init__(self, max_events: int = 1_000_000):
+        self.t0 = time.perf_counter()
+        self.events: list[TraceEvent] = []
+        self.counters: dict[str, int] = {}
+        self.timers: dict[str, float] = {}
+        self.timer_calls: dict[str, int] = {}
+        self.max_events = max_events
+        self.dropped = 0
+        self._seq = 0
+
+    # -- recording ------------------------------------------------------
+
+    def emit(self, kind: str, fields: dict[str, object] | None = None
+             ) -> TraceEvent | None:
+        """Record one event; returns it (or ``None`` if dropped)."""
+        seq = self._seq
+        self._seq = seq + 1
+        self.counters[kind] = self.counters.get(kind, 0) + 1
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return None
+        event = TraceEvent(kind, seq, time.perf_counter() - self.t0,
+                           fields if fields is not None else {})
+        self.events.append(event)
+        return event
+
+    def count(self, name: str, delta: int = 1) -> None:
+        """Bump a named monotonic counter."""
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    @contextmanager
+    def timed(self, name: str) -> Iterator[None]:
+        """Accumulate wall time (and a call count) under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timers[name] = (self.timers.get(name, 0.0)
+                                 + time.perf_counter() - start)
+            self.timer_calls[name] = self.timer_calls.get(name, 0) + 1
+
+    # -- reading --------------------------------------------------------
+
+    def kinds(self) -> dict[str, int]:
+        """Event kinds seen, with occurrence counts (drops included)."""
+        out: dict[str, int] = {}
+        for name, value in self.counters.items():
+            if "." in name:
+                out[name] = value
+        return out
+
+    def families(self) -> set[str]:
+        """Event families seen (``reduce``, ``link``, ...)."""
+        return {kind.split(".", 1)[0] for kind in self.kinds()}
+
+    def metrics(self) -> dict[str, object]:
+        """A JSON-ready snapshot of everything but the event bodies."""
+        return {
+            "events": len(self.events),
+            "dropped": self.dropped,
+            "counters": dict(sorted(self.counters.items())),
+            "timers": {
+                name: {"seconds": self.timers[name],
+                       "calls": self.timer_calls.get(name, 0)}
+                for name in sorted(self.timers)
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# Scoping
+# ---------------------------------------------------------------------------
+
+
+def activate(collector: Collector):
+    """Install ``collector`` as current; returns a reset token."""
+    return _ACTIVE.set(collector)
+
+
+def deactivate(token) -> None:
+    """Undo a matching :func:`activate`."""
+    _ACTIVE.reset(token)
+
+
+@contextmanager
+def collecting(collector: Collector | None = None) -> Iterator[Collector]:
+    """Scope a collector: events emitted inside the block land in it.
+
+    Nested scopes shadow (the innermost collector wins); on exit the
+    previous collector — possibly ``None`` — is restored exactly.
+    """
+    col = collector if collector is not None else Collector()
+    token = _ACTIVE.set(col)
+    try:
+        yield col
+    finally:
+        _ACTIVE.reset(token)

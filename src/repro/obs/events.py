@@ -1,0 +1,93 @@
+"""Structured trace events for the unit pipeline.
+
+An event records one observable action of the evaluation pipeline —
+one reduction step, one link edge resolved, one signature-subtype
+check, one unit compiled or invoked, one dynamic-linking load.  The
+paper's semantics *is* a sequence of such observations (the reduction
+steps of Figures 8 and 11, the checks of Figures 10 and 14-19), which
+makes the trace both a performance artifact and a fidelity artifact:
+differential tests compare event streams across the interpreter, the
+rewriting machine, and the static linker.
+
+Event kinds are dotted ``family.action`` strings.  The families are
+fixed (``reduce``, ``link``, ``check``, ``unit``, ``dynlink``); the
+actions within a family are open-ended, but every kind emitted by the
+library is registered in :data:`KINDS` so tools can enumerate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Event families, in pipeline order.
+FAMILIES = ("check", "link", "reduce", "unit", "dynlink")
+
+#: Every event kind the library emits, with a one-line meaning.
+KINDS: dict[str, str] = {
+    # Figure 10 / Figures 15+19 static checks
+    "check.unit": "a unit's import/export/definition premises verified",
+    "check.compound": "a compound's with/provides wiring verified",
+    "check.invoke": "an invoke's link names verified",
+    "check.clause": "a constituent checked against its with/provides",
+    "check.subtype": "a signature-subtype judgment was decided",
+    "check.unite": "a UNITe program checked (equations permitted)",
+    # Linking (Figure 8 graph collapse, Section 4.2.4 static linking)
+    "link.compound": "a compound unit value was formed at run time",
+    "link.edge": "one import of a constituent resolved to a source",
+    "link.static": "the static linker visited a compound",
+    # Small-step reduction (Figures 8 and 11)
+    "reduce.step": "one rewriting step of the machine",
+    "reduce.invoke": "the invoke reduction rule fired",
+    "reduce.compound": "the compound-merge reduction rule fired",
+    # The implementation model (Section 4.1.6, Figure 12)
+    "unit.compile": "a unit form was compiled to the cell protocol",
+    "unit.invoke": "a unit value was instantiated and invoked",
+    # Dynamic linking (Section 3.4, Figure 7)
+    "dynlink.load": "an archived unit was retrieved and verified",
+    "dynlink.error": "archive retrieval or plug-in installation failed",
+}
+
+
+def family_of(kind: str) -> str:
+    """The family prefix of a kind (``"reduce.step"`` -> ``"reduce"``)."""
+    return kind.split(".", 1)[0]
+
+
+@dataclass
+class TraceEvent:
+    """One observed action.
+
+    ``t`` is seconds since the owning collector started (monotonic,
+    from :func:`time.perf_counter`); ``seq`` is the collector-local
+    sequence number, so event ordering is total even when timestamps
+    collide.  ``fields`` carries kind-specific detail and must stay
+    JSON-serializable (the JSONL sink round-trips it verbatim).
+    """
+
+    kind: str
+    seq: int
+    t: float
+    fields: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def family(self) -> str:
+        return family_of(self.kind)
+
+    def to_json(self) -> dict[str, object]:
+        """The JSONL wire form: flat, with reserved keys first."""
+        out: dict[str, object] = {"kind": self.kind, "seq": self.seq,
+                                  "t": self.t}
+        for key, value in self.fields.items():
+            if key in ("kind", "seq", "t"):
+                raise ValueError(
+                    f"event field {key!r} collides with a reserved key")
+            out[key] = value
+        return out
+
+    @classmethod
+    def from_json(cls, payload: dict[str, object]) -> "TraceEvent":
+        """Inverse of :meth:`to_json`."""
+        fields = {k: v for k, v in payload.items()
+                  if k not in ("kind", "seq", "t")}
+        return cls(kind=str(payload["kind"]), seq=int(payload["seq"]),
+                   t=float(payload["t"]), fields=fields)

@@ -1,0 +1,50 @@
+"""JSONL persistence for traces and metrics.
+
+One event per line, flat JSON objects with the reserved keys ``kind``,
+``seq``, ``t`` first — the format is greppable, streamable, and stable
+enough to diff across runs.  :func:`read_jsonl` is the exact inverse of
+:func:`write_jsonl` (property-tested in ``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.collector import Collector
+from repro.obs.events import TraceEvent
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str | Path) -> int:
+    """Write events as JSON Lines; returns the number written."""
+    written = 0
+    with Path(path).open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event.to_json(), ensure_ascii=False,
+                                    separators=(",", ":")))
+            handle.write("\n")
+            written += 1
+    return written
+
+
+def read_jsonl(path: str | Path) -> list[TraceEvent]:
+    """Read a trace written by :func:`write_jsonl`."""
+    events: list[TraceEvent] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            if not isinstance(payload, dict):
+                raise ValueError(f"trace line is not an object: {line!r}")
+            events.append(TraceEvent.from_json(payload))
+    return events
+
+
+def write_metrics(collector: Collector, path: str | Path) -> None:
+    """Write a collector's metrics snapshot as a (pretty) JSON file."""
+    Path(path).write_text(
+        json.dumps(collector.metrics(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")

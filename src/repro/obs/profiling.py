@@ -1,0 +1,51 @@
+"""Profiling hooks: deterministic cProfile scoped like a collector.
+
+The observability layer answers *what happened and how often*; the
+profiler answers *where the interpreter spent its time* when a counter
+looks suspicious.  Both wrap the same ``with`` idiom so a benchmark can
+nest them:
+
+.. code-block:: python
+
+    with collecting() as col, profiled() as prof:
+        Interpreter().eval(program)
+    print(prof.report(limit=10))
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+
+class ProfileSession:
+    """A finished (or in-flight) cProfile run with report helpers."""
+
+    def __init__(self) -> None:
+        self.profile = cProfile.Profile()
+
+    def report(self, sort: str = "cumulative", limit: int = 25) -> str:
+        """A plain-text pstats report of the top ``limit`` entries."""
+        buffer = io.StringIO()
+        stats = pstats.Stats(self.profile, stream=buffer)
+        stats.sort_stats(sort).print_stats(limit)
+        return buffer.getvalue()
+
+    def dump(self, path: str | Path) -> None:
+        """Write raw pstats data (loadable with :mod:`pstats`)."""
+        self.profile.dump_stats(str(path))
+
+
+@contextmanager
+def profiled() -> Iterator[ProfileSession]:
+    """Profile the block; the yielded session outlives it for reports."""
+    session = ProfileSession()
+    session.profile.enable()
+    try:
+        yield session
+    finally:
+        session.profile.disable()

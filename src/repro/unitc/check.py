@@ -33,6 +33,7 @@ is deterministic."
 from __future__ import annotations
 
 from repro.lang.errors import TypeCheckError
+from repro.obs import current as _obs_current
 from repro.types.kinds import OMEGA, kind_equal
 from repro.types.pretty import show_type
 from repro.types.subtype import join, sig_subtype, subtype
@@ -465,6 +466,13 @@ def check_typed_unit(unit: TypedUnitExpr, env: TyEnv,
         expand_type(init_ty, local_equations),
         depends)
     check_sig_wf(sig, env)
+    col = _obs_current()
+    if col is not None:
+        col.emit("check.unit", {
+            "typed": True, "timports": len(unit.timports),
+            "vimports": len(unit.vimports), "texports": len(unit.texports),
+            "vexports": len(unit.vexports), "defns": len(unit.defns),
+            "equations": len(unit.equations)})
     return sig
 
 
@@ -540,6 +548,12 @@ def check_typed_invoke(invoke: TypedInvokeExpr, env: TyEnv,
 
     result = subst_type(sig.init, type_mapping)
     check_type_wf(result, env)
+    col = _obs_current()
+    if col is not None:
+        # Every import matched a supplied link at a compatible type.
+        col.emit("check.invoke", {
+            "typed": True, "tlinks": len(invoke.tlinks),
+            "vlinks": len(invoke.vlinks)})
     return result
 
 
@@ -637,14 +651,16 @@ def check_typed_compound(compound: TypedCompoundExpr, env: TyEnv,
     # type variable whose source it does not declare.
     check_sig_wf(ascribed1, env)
     check_sig_wf(ascribed2, env)
-    if not sig_subtype(sig1, ascribed1):
-        raise TypeCheckError(
-            "compound: the first constituent's signature does not match "
-            "its with/provides clause", compound.loc)
-    if not sig_subtype(sig2, ascribed2):
-        raise TypeCheckError(
-            "compound: the second constituent's signature does not match "
-            "its with/provides clause", compound.loc)
+    col = _obs_current()
+    for which, actual, ascribed in (("first", sig1, ascribed1),
+                                    ("second", sig2, ascribed2)):
+        ok = sig_subtype(actual, ascribed)
+        if col is not None:
+            col.emit("check.subtype", {"which": which, "ok": ok})
+        if not ok:
+            raise TypeCheckError(
+                f"compound: the {which} constituent's signature does not "
+                f"match its with/provides clause", compound.loc)
 
     # --- dependencies: no cycles through the links ---------------------------
     compound_link_cycle_check(sig1.depends, sig2.depends)
@@ -654,4 +670,9 @@ def check_typed_compound(compound: TypedCompoundExpr, env: TyEnv,
     sig = Sig(compound.timports, compound.vimports,
               compound.texports, compound.vexports, sig2.init, depends)
     check_sig_wf(sig, env)
+    if col is not None:
+        col.emit("check.compound", {
+            "typed": True,
+            "imports": len(compound.timports) + len(compound.vimports),
+            "exports": len(compound.texports) + len(compound.vexports)})
     return sig

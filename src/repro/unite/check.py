@@ -29,8 +29,17 @@ __all__ = [
 def check_unite_program(expr: TExpr, env: TyEnv | None = None,
                         strict_valuable: bool = True) -> Type:
     """Type-check a UNITe program (equations and depends permitted)."""
-    return check_texpr(expr, env if env is not None else base_tyenv(),
-                       strict_valuable)
+    from repro.obs import current as _obs_current
+
+    col = _obs_current()
+    if col is None:
+        return check_texpr(expr, env if env is not None else base_tyenv(),
+                           strict_valuable)
+    with col.timed("check.unite"):
+        ty = check_texpr(expr, env if env is not None else base_tyenv(),
+                         strict_valuable)
+    col.emit("check.unite", {"type": str(type(ty).__name__)})
+    return ty
 
 
 def _walk(expr: TExpr):

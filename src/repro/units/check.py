@@ -31,6 +31,7 @@ from repro.lang.ast import (
     Var,
 )
 from repro.lang.errors import CheckError
+from repro.obs import current as _obs_current
 from repro.units.ast import CompoundExpr, InvokeExpr, UnitExpr
 from repro.units.valuable import is_valuable
 
@@ -117,6 +118,11 @@ def check_unit(expr: UnitExpr, strict_valuable: bool = True) -> None:
                 f"reference a unit variable)", expr.loc)
         check_expr(rhs, strict_valuable)
     check_expr(expr.init, strict_valuable)
+    col = _obs_current()
+    if col is not None:
+        col.emit("check.unit", {
+            "imports": len(expr.imports), "exports": len(expr.exports),
+            "defns": len(expr.defns)})
 
 
 def check_compound(expr: CompoundExpr, strict_valuable: bool = True) -> None:
@@ -156,6 +162,11 @@ def check_compound(expr: CompoundExpr, strict_valuable: bool = True) -> None:
                 f"by either constituent", expr.loc)
     check_expr(expr.first.expr, strict_valuable)
     check_expr(expr.second.expr, strict_valuable)
+    col = _obs_current()
+    if col is not None:
+        col.emit("check.compound", {
+            "imports": len(xi), "exports": len(expr.exports),
+            "provides": len(xp1) + len(xp2)})
 
 
 def check_invoke(expr: InvokeExpr, strict_valuable: bool = True) -> None:
@@ -165,6 +176,9 @@ def check_invoke(expr: InvokeExpr, strict_valuable: bool = True) -> None:
     check_expr(expr.expr, strict_valuable)
     for _, rhs in expr.links:
         check_expr(rhs, strict_valuable)
+    col = _obs_current()
+    if col is not None:
+        col.emit("check.invoke", {"links": len(expr.links)})
 
 
 def check_program(expr: Expr, strict_valuable: bool = True) -> Expr:

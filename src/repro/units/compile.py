@@ -60,6 +60,7 @@ from repro.lang.ast import (
     seq_of,
 )
 from repro.lang.subst import fresh_like, free_vars
+from repro.obs import current as _obs_current
 from repro.units.ast import CompoundExpr, InvokeExpr, LinkClause, UnitExpr
 
 # ---------------------------------------------------------------------------
@@ -187,6 +188,11 @@ def _rewrite(expr: Expr, cells: dict[str, str]) -> Expr:
 
 def compile_unit(unit: UnitExpr) -> Expr:
     """Transform an atomic unit into its table-protocol function."""
+    col = _obs_current()
+    if col is not None:
+        col.emit("unit.compile", {
+            "form": "unit", "imports": len(unit.imports),
+            "exports": len(unit.exports), "defns": len(unit.defns)})
     avoid = set(free_vars(unit)) | set(unit.imports) | set(unit.defined)
     itab = fresh_like("import-table", avoid)
     avoid.add(itab)
@@ -253,6 +259,11 @@ def _nested_let(bindings: list[tuple[str, Expr]], body: Expr) -> Expr:
 
 def compile_compound(compound: CompoundExpr) -> Expr:
     """Transform a compound into a wiring function over tables."""
+    col = _obs_current()
+    if col is not None:
+        col.emit("unit.compile", {
+            "form": "compound", "imports": len(compound.imports),
+            "exports": len(compound.exports)})
     avoid = set(free_vars(compound))
     names = {}
     for base in ("import-table", "export-table", "ns",
@@ -321,6 +332,10 @@ def compile_compound(compound: CompoundExpr) -> Expr:
 
 def compile_invoke(invoke: InvokeExpr) -> Expr:
     """Transform an invoke into table construction plus a call."""
+    col = _obs_current()
+    if col is not None:
+        col.emit("unit.compile", {
+            "form": "invoke", "links": len(invoke.links)})
     avoid = set(free_vars(invoke))
     itab = fresh_like("invoke-imports", avoid)
     avoid.add(itab)

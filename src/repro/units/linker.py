@@ -32,6 +32,7 @@ from repro.lang.ast import (
     SetBang,
     Var,
 )
+from repro.obs import current as _obs_current
 from repro.units.ast import CompoundExpr, InvokeExpr, LinkClause, UnitExpr
 from repro.units.optimize import optimize_expr, optimize_unit
 from repro.units.reduce import merge_compound
@@ -136,10 +137,15 @@ def _flatten(expr: Expr, stats: LinkStats,
             LinkClause(first, expr.first.withs, expr.first.provides),
             LinkClause(second, expr.second.withs, expr.second.provides),
             expr.loc)
+        col = _obs_current()
         if isinstance(first, UnitExpr) and isinstance(second, UnitExpr):
             stats.merged += 1
+            if col is not None:
+                col.emit("link.static", {"merged": True})
             return merge_compound(rebuilt, first, second)
         stats.left_dynamic += 1
+        if col is not None:
+            col.emit("link.static", {"merged": False})
         return rebuilt
     if isinstance(expr, InvokeExpr):
         return InvokeExpr(
@@ -158,6 +164,15 @@ def link_and_optimize(expr: Expr) -> tuple[Expr, LinkStats]:
     touches valuable definitions.
     """
     stats = LinkStats()
+    col = _obs_current()
+    if col is not None:
+        with col.timed("link.flatten"):
+            flat = flatten(expr, stats)
+        with col.timed("link.optimize"):
+            optimized = optimize_expr(flat)
+            if isinstance(optimized, UnitExpr):
+                optimized = optimize_unit(optimized)
+        return optimized, stats
     flat = flatten(expr, stats)
     optimized = optimize_expr(flat)
     if isinstance(optimized, UnitExpr):

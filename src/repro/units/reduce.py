@@ -24,6 +24,7 @@ from __future__ import annotations
 from repro.lang.ast import Expr, Letrec, Seq, Var, seq_of
 from repro.lang.errors import UnitLinkError
 from repro.lang.subst import fresh_like, free_vars, substitute
+from repro.obs import current as _obs_current
 from repro.units.ast import CompoundExpr, InvokeExpr, UnitExpr
 
 
@@ -40,6 +41,10 @@ def reduce_invoke(unit: UnitExpr,
     if missing:
         raise UnitLinkError(
             "invoke: unit imports not satisfied: " + ", ".join(missing))
+    col = _obs_current()
+    if col is not None:
+        col.emit("reduce.invoke", {
+            "imports": len(unit.imports), "defns": len(unit.defns)})
     body = Letrec(unit.defns, unit.init)
     mapping = {name: links[name] for name in unit.imports}
     return substitute(body, mapping)
@@ -110,6 +115,11 @@ def merge_compound(compound: CompoundExpr, first: UnitExpr,
     renames2 = plan_renames(second, compound.second.provides)
     defns2, init2 = _rename_block(second.defns, second.init, renames2)
 
+    col = _obs_current()
+    if col is not None:
+        col.emit("reduce.compound", {
+            "defns": len(defns1) + len(defns2),
+            "renamed": len(renames1) + len(renames2)})
     return UnitExpr(
         imports=compound.imports,
         exports=compound.exports,

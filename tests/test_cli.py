@@ -112,3 +112,104 @@ class TestTraceCompileFigures:
         out = capsys.readouterr().out
         assert "1 compound(s) statically linked" in out
         assert "compound" not in out.split("\n", 1)[1]  # flattened away
+
+
+COMPOUND_PROGRAM = """
+    (invoke (compound (import) (export)
+      (link ((unit (import) (export v) (define v (lambda () 6)) (void))
+             (with) (provides v))
+            ((unit (import v) (export) (* (v) 7))
+             (with v) (provides)))))
+"""
+
+
+@pytest.fixture()
+def compound_file(tmp_path):
+    path = tmp_path / "compound.scm"
+    path.write_text(COMPOUND_PROGRAM)
+    return str(path)
+
+
+class TestObservabilityFlags:
+    def test_trace_flag_writes_valid_jsonl(self, tmp_path, compound_file,
+                                           capsys):
+        from repro.obs import read_jsonl
+
+        out_path = tmp_path / "trace.jsonl"
+        assert main(["--trace", str(out_path), "run", compound_file]) == 0
+        captured = capsys.readouterr()
+        assert "=> 42" in captured.out
+        assert f"-> {out_path}" in captured.err
+        events = read_jsonl(out_path)
+        assert events
+        assert [e.seq for e in events] == list(range(len(events)))
+        kinds = {e.kind for e in events}
+        assert "check.unit" in kinds
+        assert "unit.invoke" in kinds
+
+    def test_demo_covers_all_families(self, tmp_path, compound_file,
+                                      capsys):
+        from repro.obs import read_jsonl
+
+        out_path = tmp_path / "trace.jsonl"
+        assert main(["--trace", str(out_path), "demo",
+                     compound_file]) == 0
+        out = capsys.readouterr().out
+        assert "check: ok" in out
+        assert "dynlink: retrieved" in out
+        assert "machine:" in out
+        assert "=> 42" in out
+        families = {e.family for e in read_jsonl(out_path)}
+        assert {"check", "link", "reduce", "unit", "dynlink"} \
+            <= families
+
+    def test_demo_without_flags(self, compound_file, capsys):
+        assert main(["demo", compound_file]) == 0
+        assert "=> 42" in capsys.readouterr().out
+
+    def test_metrics_flag_prints_json(self, compound_file, capsys):
+        import json
+
+        assert main(["--metrics", "run", compound_file]) == 0
+        snapshot = json.loads(capsys.readouterr().err)
+        assert snapshot["counters"]["check.unit"] == 2
+        assert snapshot["events"] > 0
+
+    def test_metrics_out_writes_file(self, tmp_path, compound_file):
+        import json
+
+        out_path = tmp_path / "metrics.json"
+        assert main(["--metrics-out", str(out_path), "run",
+                     compound_file]) == 0
+        snapshot = json.loads(out_path.read_text())
+        assert "unit.invoke" in snapshot["counters"]
+
+    def test_profile_flag_reports(self, compound_file, capsys):
+        assert main(["--profile", "run", compound_file]) == 0
+        err = capsys.readouterr().err
+        assert "cumulative" in err
+
+    def test_trace_flushed_on_failure(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        bad = tmp_path / "bad.scm"
+        bad.write_text("(unit (import) (export ghost) 1)")
+        out_path = tmp_path / "trace.jsonl"
+        assert main(["--trace", str(out_path), "run", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert out_path.exists()  # partial trace still written
+
+    def test_no_flags_leaves_observability_off(self, compound_file,
+                                               capsys, monkeypatch):
+        from repro import obs
+
+        seen = []
+        original = obs.Collector.emit
+
+        def spy(self, kind, fields=None):
+            seen.append(kind)
+            return original(self, kind, fields)
+
+        monkeypatch.setattr(obs.Collector, "emit", spy)
+        assert main(["run", compound_file]) == 0
+        assert seen == []

@@ -177,3 +177,105 @@ class TestMachineOnStdlibCorpus:
         machine_result = Machine().eval(parse_program(source))
         assert interp_result == expected
         assert machine_result == Lit(expected)
+
+
+# ---------------------------------------------------------------------------
+# The corpus, differentially, under tracing
+# ---------------------------------------------------------------------------
+
+from tests.test_corpus import CASES, _matches  # noqa: E402
+
+
+def _run_interp_traced(case):
+    """Interpreter result plus its trace collector."""
+    from repro import obs
+    from repro.units.check import check_program
+
+    expr = parse_program(case.source)
+    check_program(expr, strict_valuable=not case.lenient)
+    with obs.collecting() as col:
+        value = Interpreter().eval(expr)
+    return value, col
+
+
+def _run_machine_traced(case):
+    """Machine final value, step count, and its trace collector."""
+    from repro import obs
+    from repro.lang.ast import Lit
+    from repro.lang.machine import Machine
+
+    expr = parse_program(case.source)
+    machine = Machine(max_steps=2_000_000)
+    state = machine.load(expr)
+    steps = 0
+    with obs.collecting() as col:
+        while machine.step(state):
+            steps += 1
+    assert isinstance(state.control, Lit)
+    return state.control.value, steps, col
+
+
+def _run_linked_traced(case):
+    """Statically linked (small-step reducer) result plus collector."""
+    from repro import obs
+    from repro.units.linker import link_and_optimize
+
+    expr = parse_program(case.source)
+    with obs.collecting() as col:
+        linked, _stats = link_and_optimize(expr)
+        value = Interpreter().eval(linked)
+    return value, col
+
+
+class TestCorpusUnderTracing:
+    """Sweep the whole corpus through all three semantics with a
+    collector active: the strategies must agree exactly as they do
+    untraced (observability cannot perturb evaluation), the machine's
+    step count must be deterministic, and the traces themselves must be
+    internally consistent."""
+
+    MACHINE_CASES = [c for c in CASES if not c.skip_machine]
+    LINK_CASES = [c for c in CASES if not c.skip_compile]
+
+    @pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+    def test_interp_value_unchanged_by_tracing(self, case):
+        value, col = _run_interp_traced(case)
+        assert _matches(value, case.expect_value)
+        # Trace ordering is total and gap-free.
+        assert [e.seq for e in col.events] == list(range(len(col.events)))
+
+    @pytest.mark.parametrize("case", MACHINE_CASES, ids=lambda c: c.name)
+    def test_machine_agrees_and_steps_are_deterministic(self, case):
+        interp_value, _ = _run_interp_traced(case)
+        value1, steps1, col = _run_machine_traced(case)
+        value2, steps2, _ = _run_machine_traced(case)
+        assert _matches(value1, case.expect_value)
+        assert _matches(interp_value, case.expect_value)
+        assert steps1 == steps2
+        # Every machine step is traced: the reduce.step counter *is*
+        # the step count.
+        assert col.counters.get("reduce.step", 0) == steps1
+
+    @pytest.mark.parametrize("case", LINK_CASES, ids=lambda c: c.name)
+    def test_linker_agrees_under_tracing(self, case):
+        interp_value, _ = _run_interp_traced(case)
+        linked_value, col = _run_linked_traced(case)
+        assert _matches(linked_value, case.expect_value)
+        assert _matches(interp_value, case.expect_value)
+        # Static linking visited exactly the compounds it merged.
+        merges = col.counters.get("reduce.compound", 0)
+        visits = col.counters.get("link.static", 0)
+        assert merges <= visits
+
+    @pytest.mark.parametrize("case", MACHINE_CASES, ids=lambda c: c.name)
+    def test_traced_and_untraced_machine_step_counts_agree(self, case):
+        from repro.lang.machine import Machine
+
+        expr = parse_program(case.source)
+        machine = Machine(max_steps=2_000_000)
+        state = machine.load(expr)
+        untraced_steps = 0
+        while machine.step(state):
+            untraced_steps += 1
+        _, traced_steps, _ = _run_machine_traced(case)
+        assert untraced_steps == traced_steps

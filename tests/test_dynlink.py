@@ -186,3 +186,157 @@ class TestPluginHost:
         interp.apply(la, [5])   # displays 10
         interp.apply(lb, [5])   # displays 6
         assert interp.port.getvalue() == "106"
+
+
+class TestMalformedPersistence:
+    """Regression: archive files are untrusted input — malformed JSON
+    shapes must surface as :class:`ArchiveError`, never as a bare
+    ``KeyError``/``AttributeError`` leaking from the loader."""
+
+    def _load(self, tmp_path, payload: str):
+        path = tmp_path / "units.json"
+        path.write_text(payload)
+        return UnitArchive.load(path)
+
+    def test_top_level_not_an_object(self, tmp_path):
+        with pytest.raises(ArchiveError, match="top level must be"):
+            self._load(tmp_path, '["not", "an", "object"]')
+
+    def test_entry_not_an_object(self, tmp_path):
+        with pytest.raises(ArchiveError, match="expected an object"):
+            self._load(tmp_path, '{"u": "just a string"}')
+
+    def test_entry_missing_source(self, tmp_path):
+        with pytest.raises(ArchiveError, match="missing field.*source"):
+            self._load(tmp_path, '{"u": {"typed": true}}')
+
+    def test_entry_missing_typed(self, tmp_path):
+        with pytest.raises(ArchiveError, match="missing field.*typed"):
+            self._load(tmp_path, '{"u": {"source": "(void)"}}')
+
+    def test_entry_source_not_a_string(self, tmp_path):
+        with pytest.raises(ArchiveError, match="'source' must be"):
+            self._load(tmp_path,
+                       '{"u": {"source": 42, "typed": false}}')
+
+    def test_truncated_json(self, tmp_path):
+        with pytest.raises(ArchiveError, match="cannot load"):
+            self._load(tmp_path, '{"u": {"source"')
+
+    def test_unparseable_signature_claim(self):
+        archive = UnitArchive()
+        archive.put("braggart", "(unit (import) (export) 1)",
+                    typed=False, declared_sig="((((")
+        with pytest.raises(ArchiveError, match="unparseable"):
+            archive.declared_signature("braggart")
+
+
+class TestDynlinkTracing:
+    """Every dynamic-linking failure is traced as ``dynlink.error``
+    (with the failing stage) and every success as ``dynlink.load``."""
+
+    def _events(self, col, kind):
+        return [e.fields for e in col.events if e.kind == kind]
+
+    def test_lookup_failure_traced(self):
+        from repro import obs
+
+        archive = UnitArchive()
+        with obs.collecting() as col:
+            with pytest.raises(ArchiveError):
+                archive.retrieve_typed(
+                    "ghost", parse_sig_text("(sig (import) (export) void)"))
+        errors = self._events(col, "dynlink.error")
+        assert errors == [{"name": "ghost", "stage": "lookup",
+                           "reason": "no archive entry named 'ghost'"}]
+
+    @pytest.mark.parametrize("source,stage", [
+        ("(((", "parse"),
+        ("42", "parse"),
+        ('(unit/t (import) (export) (define x int "s") (void))', "check"),
+        ("(unit/t (import) (export) 42)", "subtype"),
+    ])
+    def test_retrieval_failures_traced_with_stage(self, source, stage):
+        from repro import obs
+
+        archive = UnitArchive()
+        archive.put("bad", source)
+        with obs.collecting() as col:
+            with pytest.raises(ArchiveError):
+                archive.retrieve_typed("bad", parse_sig_text(LOADER_SIG))
+        errors = self._events(col, "dynlink.error")
+        assert len(errors) == 1
+        assert errors[0]["name"] == "bad"
+        assert errors[0]["stage"] == stage
+
+    def test_untyped_interface_failure_traced(self):
+        from repro import obs
+
+        archive = UnitArchive()
+        archive.put("needy", "(unit (import surprise) (export) (void))",
+                    typed=False)
+        with obs.collecting() as col:
+            with pytest.raises(ArchiveError):
+                archive.retrieve_untyped("needy", (), ())
+        errors = self._events(col, "dynlink.error")
+        assert errors[0]["stage"] == "interface"
+
+    def test_persistence_failure_traced(self, tmp_path):
+        from repro import obs
+
+        with obs.collecting() as col:
+            with pytest.raises(ArchiveError):
+                UnitArchive.load(tmp_path / "missing.json")
+        assert self._events(col, "dynlink.error")[0]["stage"] \
+            == "persistence"
+
+    def test_successful_load_traced(self):
+        from repro import obs
+
+        archive = UnitArchive()
+        archive.put("plugin", GOOD_PLUGIN)
+        with obs.collecting() as col:
+            archive.retrieve_typed("plugin", parse_sig_text(LOADER_SIG))
+        loads = self._events(col, "dynlink.load")
+        assert loads == [{"name": "plugin", "typed": True}]
+        assert not self._events(col, "dynlink.error")
+
+    def test_host_install_traced(self):
+        from repro import obs
+
+        interp = Interpreter()
+        host = TestPluginHost().make_host(interp, [])
+        archive = UnitArchive()
+        archive.put("doubler", GOOD_PLUGIN)
+        with obs.collecting() as col:
+            host.load(archive, "doubler")
+        stages = [e.fields.get("stage") for e in col.events
+                  if e.kind == "dynlink.load"]
+        assert "installed" in stages
+
+    def test_host_wiring_bug_becomes_archive_error(self, monkeypatch):
+        # A KeyError escaping the interpreter mid-install must come out
+        # as a typed ArchiveError and be traced, leaving the host clean.
+        from repro import obs
+
+        interp = Interpreter()
+        host = TestPluginHost().make_host(interp, [])
+        archive = UnitArchive()
+        archive.put("doubler", GOOD_PLUGIN)
+        monkeypatch.setattr(
+            interp, "invoke",
+            lambda *a, **k: (_ for _ in ()).throw(KeyError("wiring")))
+        with obs.collecting() as col:
+            with pytest.raises(ArchiveError, match="failed to install"):
+                host.load(archive, "doubler")
+        errors = self._events(col, "dynlink.error")
+        assert errors[-1]["stage"] == "install"
+        assert host.loaded_names() == ()
+
+    def test_untraced_when_no_collector(self):
+        # Failures outside a collecting() block still raise typed
+        # errors; tracing is strictly optional.
+        archive = UnitArchive()
+        with pytest.raises(ArchiveError):
+            archive.retrieve_typed(
+                "ghost", parse_sig_text("(sig (import) (export) void)"))

@@ -1,0 +1,228 @@
+"""Pretty → parse → pretty is a *textual fixpoint*, property-tested.
+
+For both surface syntaxes — the untyped :mod:`repro.lang` parser and
+the typed :mod:`repro.unitc` parser — printing an AST, re-parsing the
+text, and printing again must yield the identical text, across unit,
+compound, and invoke forms (and the core forms nested inside them).
+
+This is deliberately a *text-level* property rather than AST equality:
+a few literals normalize on the first print (``(void)`` reads back as
+an application of ``void``), so the printed form, not the tree, is the
+canonical artifact.  One print must reach the normal form.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.lang.ast import Lambda, Lit, Var
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty, show
+from repro.types.kinds import KOmega
+from repro.types.types import Arrow, INT, STR
+from repro.unitc.ast import (
+    TLambda,
+    TLit,
+    TVar,
+    TypedCompoundExpr,
+    TypedInvokeExpr,
+    TypedLinkClause,
+    TypedUnitExpr,
+)
+from repro.unitc.parser import parse_typed_program
+from repro.unitc.pretty import pretty_texpr, show_texpr
+from repro.units.ast import CompoundExpr, InvokeExpr, LinkClause, UnitExpr
+
+# ---------------------------------------------------------------------------
+# Untyped (lang) generators
+# ---------------------------------------------------------------------------
+
+_name_pool = ["a", "b", "f", "g", "make-it", "ok?", "n-1"]
+_names = st.sampled_from(_name_pool)
+_name_tuples = st.lists(_names, max_size=2, unique=True).map(tuple)
+
+_core = st.one_of(
+    st.integers(-50, 50).map(Lit),
+    st.booleans().map(Lit),
+    st.sampled_from(["", "hi", "a b"]).map(Lit),
+    _names.map(Var),
+)
+
+
+@st.composite
+def _unit_exprs(draw, body=_core):
+    imports = draw(_name_tuples)
+    defns = tuple(draw(st.lists(
+        st.tuples(st.sampled_from(["d1", "d2", "d3"]),
+                  st.one_of(body,
+                            st.builds(Lambda, st.just(("x",)), body))),
+        max_size=3, unique_by=lambda d: d[0])))
+    exports = tuple(n for n, _ in defns if draw(st.booleans()))
+    return UnitExpr(imports, exports, defns, draw(body))
+
+
+@st.composite
+def _compound_exprs(draw, constituent):
+    def clause():
+        return LinkClause(draw(constituent), draw(_name_tuples),
+                          draw(_name_tuples))
+    return CompoundExpr(draw(_name_tuples), draw(_name_tuples),
+                        clause(), clause())
+
+
+@st.composite
+def _invoke_exprs(draw, unit_like):
+    links = draw(st.lists(st.tuples(_names, _core), max_size=2,
+                          unique_by=lambda l: l[0]).map(tuple))
+    return InvokeExpr(draw(unit_like), links)
+
+
+def _unit_forms():
+    units = _unit_exprs()
+    flat = st.one_of(units, _compound_exprs(units))
+    nested = st.one_of(flat, _compound_exprs(flat))
+    return st.one_of(nested, _invoke_exprs(nested))
+
+
+# ---------------------------------------------------------------------------
+# Typed (unitc) generators
+# ---------------------------------------------------------------------------
+
+_types = st.sampled_from([INT, STR, Arrow((INT,), INT),
+                          Arrow((INT, STR), INT)])
+_tdecls = st.lists(st.tuples(st.sampled_from(["t1", "t2"]),
+                             st.just(KOmega())),
+                   max_size=2, unique_by=lambda d: d[0]).map(tuple)
+_vdecls = st.lists(st.tuples(_names, _types), max_size=2,
+                   unique_by=lambda d: d[0]).map(tuple)
+
+_tcore = st.one_of(
+    st.integers(-50, 50).map(TLit),
+    st.booleans().map(TLit),
+    st.sampled_from(["", "hi"]).map(TLit),
+    _names.map(TVar),
+)
+
+
+@st.composite
+def _typed_units(draw, body=_tcore):
+    defns = tuple(draw(st.lists(
+        st.tuples(st.sampled_from(["d1", "d2", "d3"]), _types,
+                  st.one_of(body, st.builds(
+                      TLambda, st.just((("x", INT),)), body))),
+        max_size=2, unique_by=lambda d: d[0])))
+    vexports = tuple((n, ty) for n, ty, _ in defns
+                     if draw(st.booleans()))
+    return TypedUnitExpr(
+        timports=draw(_tdecls), vimports=draw(_vdecls),
+        texports=(), vexports=vexports,
+        datatypes=(), equations=(), defns=defns, init=draw(body))
+
+
+@st.composite
+def _typed_compounds(draw, constituent):
+    def clause():
+        return TypedLinkClause(draw(constituent), draw(_tdecls),
+                               draw(_vdecls), draw(_tdecls),
+                               draw(_vdecls))
+    return TypedCompoundExpr(draw(_tdecls), draw(_vdecls),
+                             draw(_tdecls), draw(_vdecls),
+                             clause(), clause())
+
+
+@st.composite
+def _typed_invokes(draw, unit_like):
+    tlinks = draw(st.lists(st.tuples(st.sampled_from(["t1", "t2"]),
+                                     _types),
+                           max_size=2, unique_by=lambda l: l[0]).map(tuple))
+    vlinks = draw(st.lists(st.tuples(_names, _tcore), max_size=2,
+                           unique_by=lambda l: l[0]).map(tuple))
+    return TypedInvokeExpr(draw(unit_like), tlinks, vlinks)
+
+
+def _typed_forms():
+    units = _typed_units()
+    flat = st.one_of(units, _typed_compounds(units))
+    return st.one_of(flat, _typed_invokes(flat))
+
+
+# ---------------------------------------------------------------------------
+# The fixpoint properties
+# ---------------------------------------------------------------------------
+
+
+class TestLangFixpoint:
+    @settings(max_examples=150, deadline=None)
+    @given(_unit_forms())
+    def test_show_parse_show_fixpoint(self, expr):
+        text = show(expr)
+        reparsed = parse_program(text)
+        assert show(reparsed) == text
+
+    @settings(max_examples=100, deadline=None)
+    @given(_unit_forms())
+    def test_pretty_and_show_parse_alike(self, expr):
+        # The width-formatted printer is just layout: re-parsing it
+        # lands on the same canonical one-line form.
+        canonical = show(parse_program(show(expr)))
+        for width in (20, 60, 100):
+            assert show(parse_program(pretty(expr, width=width))) \
+                == canonical
+
+
+class TestUnitcFixpoint:
+    @settings(max_examples=150, deadline=None)
+    @given(_typed_forms())
+    def test_show_parse_show_fixpoint(self, expr):
+        text = show_texpr(expr)
+        reparsed = parse_typed_program(text)
+        assert show_texpr(reparsed) == text
+
+    @settings(max_examples=100, deadline=None)
+    @given(_typed_forms())
+    def test_pretty_and_show_parse_alike(self, expr):
+        canonical = show_texpr(parse_typed_program(show_texpr(expr)))
+        for width in (20, 60, 100):
+            assert show_texpr(
+                parse_typed_program(pretty_texpr(expr, width=width))) \
+                == canonical
+
+
+# ---------------------------------------------------------------------------
+# Anchors: the paper's own shapes reach the fixpoint too
+# ---------------------------------------------------------------------------
+
+FIXED_SOURCES = [
+    "(unit (import a) (export f) (define f (lambda (x) (+ x a))) (f 1))",
+    """(compound (import) (export v)
+         (link ((unit (import) (export v) (define v 1) (void))
+                (with) (provides v))
+               ((unit (import v) (export) v) (with v) (provides))))""",
+    "(invoke (unit (import a) (export) a) (a 42))",
+]
+
+TYPED_FIXED_SOURCES = [
+    """(unit/t (import (type t) (val x t)) (export (val f (-> t t)))
+         (define f (-> t t) (lambda ((y t)) y)) (f x))""",
+    """(compound/t (import) (export (val v int))
+         (link ((unit/t (import) (export (val v int))
+                  (define v int 1) (void))
+                (with) (provides (val v int)))
+               ((unit/t (import (val v int)) (export) v)
+                (with (val v int)) (provides))))""",
+    "(invoke (unit/t (import (type t) (val x t)) (export) x) (t int) (x 1))",
+]
+
+
+@pytest.mark.parametrize("source", FIXED_SOURCES)
+def test_lang_anchor_sources_reach_fixpoint(source):
+    once = show(parse_program(source))
+    assert show(parse_program(once)) == once
+
+
+@pytest.mark.parametrize("source", TYPED_FIXED_SOURCES)
+def test_unitc_anchor_sources_reach_fixpoint(source):
+    once = show_texpr(parse_typed_program(source))
+    assert show_texpr(parse_typed_program(once)) == once
