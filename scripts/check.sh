@@ -4,7 +4,11 @@
 #   scripts/check.sh            # from the repository root
 #
 # Exits non-zero if the tests fail, if the traced phone-book demo
-# fails, or if the resulting trace does not cover all event families.
+# fails, if the resulting trace does not cover all event families or
+# lacks a real span tree, or if the demo's per-kind event counts drift
+# past the committed baseline (benchmarks/.metrics/baseline.json —
+# regenerate with scripts/update_metrics_baseline.sh after intentional
+# changes).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -30,5 +34,12 @@ assert events, "trace is empty"
 assert not missing, f"trace missing families: {sorted(missing)}"
 print(f"trace ok: {len(events)} events, families {sorted(families)}")
 EOF
+
+echo "==> smoke: trace report (span tree over the demo trace)"
+python -m repro trace report "$trace_file" --min-spans 5
+
+echo "==> gate: event counts vs committed baseline"
+python -m repro trace diff benchmarks/.metrics/baseline.json \
+    "$trace_file" --threshold 0.10
 
 echo "==> all checks passed"

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Refresh benchmarks/.metrics/baseline.json — the per-kind event-count
+# baseline that scripts/check.sh gates against with `repro trace diff`.
+#
+#   scripts/update_metrics_baseline.sh    # from anywhere in the repo
+#
+# Run this after a change that legitimately alters how many events the
+# phone-book demo emits (new spans, new checks, a different reduction
+# count) and commit the regenerated file alongside that change.
+#
+# Only counters are kept: timers vary run to run, so a baseline holding
+# them would never diff cleanly.  `repro trace diff` recognizes this
+# counters-only shape.
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+metrics_file="$(mktemp)"
+trap 'rm -f "$metrics_file"' EXIT
+python -m repro --metrics-out "$metrics_file" demo \
+    examples/phonebook.scm > /dev/null
+
+mkdir -p benchmarks/.metrics
+python - "$metrics_file" <<'EOF'
+import json
+import sys
+
+metrics = json.load(open(sys.argv[1]))
+baseline = {
+    "note": ("per-kind event counts of `repro demo examples/phonebook.scm`;"
+             " regenerate with scripts/update_metrics_baseline.sh"),
+    "counters": dict(sorted(metrics["counters"].items())),
+}
+path = "benchmarks/.metrics/baseline.json"
+with open(path, "w") as out:
+    json.dump(baseline, out, indent=2)
+    out.write("\n")
+print(f"wrote {path}: {len(baseline['counters'])} counters")
+EOF

@@ -6,10 +6,23 @@ Usage::
     python -m repro check FILE          # Figure 10 checks only
     python -m repro typecheck FILE      # typed program: print its type
     python -m repro run-typed FILE      # typed program: check + run
-    python -m repro trace FILE          # small-step reduction trace
+    python -m repro trace steps FILE    # small-step reduction trace
     python -m repro compile FILE        # print the Figure 12 compilation
     python -m repro demo FILE           # every pipeline stage on FILE
     python -m repro figures [N ...]     # run figure reproductions
+
+Trace-analysis toolkit (consumes ``--trace``/``--metrics-out`` files;
+see docs/TRACING.md)::
+
+    python -m repro trace report T.jsonl         # span tree, critical
+                                                 # path, self-time ranks
+    python -m repro trace diff BASE CUR          # per-kind count deltas;
+                                                 # exits 1 past --threshold
+    python -m repro trace flame T.jsonl          # collapsed stacks for
+                                                 # flamegraph tools
+
+``repro trace FILE`` (no tool name) still prints the reduction trace,
+as ``trace steps`` does.
 
 Programs are single expressions in the s-expression surface syntax
 (see the README's grammar summary).  ``run`` prints the program's value
@@ -132,6 +145,65 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_report(args: argparse.Namespace) -> int:
+    """Analyze a recorded JSONL trace: span tree, critical path,
+    per-kind counts, top self-time spans, failures with locations."""
+    from repro import obs
+
+    try:
+        events = obs.read_jsonl(args.trace_file)
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    print(obs.render_report(events, top=args.top,
+                            max_depth=args.max_depth))
+    if args.min_spans:
+        spans = obs.build_spans(events).span_count
+        if spans < args.min_spans:
+            print(f"error: trace has {spans} span(s), expected at least "
+                  f"{args.min_spans}", file=sys.stderr)
+            return 1
+    return 0
+
+
+def cmd_trace_diff(args: argparse.Namespace) -> int:
+    """Diff per-kind event counts between two traces or metrics files;
+    exit nonzero when a count regresses past the threshold."""
+    from repro import obs
+
+    try:
+        base = obs.load_counts(args.base)
+        cur = obs.load_counts(args.current)
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    deltas = obs.diff_counts(base, cur)
+    text, failed = obs.render_diff(deltas, args.threshold,
+                                   strict=args.strict)
+    print(text)
+    return 1 if failed else 0
+
+
+def cmd_trace_flame(args: argparse.Namespace) -> int:
+    """Fold a trace's span tree into collapsed-stack flamegraph input."""
+    from repro import obs
+
+    try:
+        events = obs.read_jsonl(args.trace_file)
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    folded = obs.render_flame(events)
+    if args.output:
+        Path(args.output).write_text(folded + ("\n" if folded else ""),
+                                     encoding="utf-8")
+        print(f"flame: {len(folded.splitlines())} stacks -> {args.output}",
+              file=sys.stderr)
+    elif folded:
+        print(folded)
+    return 0
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     """Print the Figure 12 compilation of a program."""
     expr = _load_script(args)
@@ -233,16 +305,21 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
     from repro.lang.ast import Lit
 
+    from repro.obs import span as _obs_span
+
     machine = Machine(max_steps=args.limit)
     state = machine.load(expr)
     steps = 0
-    for _ in range(args.limit):
-        if not machine.step(state):
-            break
-        steps += 1
-    else:
-        print("error: machine step budget exhausted", file=sys.stderr)
-        return 1
+    # demo drives machine.step() by hand, so the run()/trace() span
+    # never fires here; open the reduce.machine span ourselves.
+    with _obs_span("reduce.machine", {"driver": "demo"}):
+        for _ in range(args.limit):
+            if not machine.step(state):
+                break
+            steps += 1
+        else:
+            print("error: machine step budget exhausted", file=sys.stderr)
+            return 1
     print(f"machine: {steps} steps")
 
     interp = Interpreter()
@@ -306,9 +383,51 @@ def build_parser() -> argparse.ArgumentParser:
     add("check", cmd_check, "run the Figure 10 checks")
     add("typecheck", cmd_typecheck, "type-check a typed program")
     add("run-typed", cmd_run_typed, "check and run a typed program")
-    trace = add("trace", cmd_trace, "print a reduction trace")
-    trace.add_argument("--limit", type=int, default=500,
+
+    trace = sub.add_parser(
+        "trace", help="reduction traces and the trace-analysis toolkit")
+    tsub = trace.add_subparsers(dest="trace_tool", required=True)
+    steps = tsub.add_parser("steps", help="print a reduction trace")
+    steps.add_argument("file", help="program file")
+    steps.add_argument("--lenient", action="store_true",
+                       help="skip the Harper-Stone valuability check")
+    steps.add_argument("--load", action="append", metavar="LIB",
+                       help="prepend a library file's top-level "
+                            "definitions (repeatable)")
+    steps.add_argument("--limit", type=int, default=500,
                        help="maximum reduction steps to show")
+    steps.set_defaults(fn=cmd_trace)
+    report = tsub.add_parser(
+        "report", help="span tree, critical path, and count report "
+                       "for a recorded trace")
+    report.add_argument("trace_file", help="JSONL trace (from --trace)")
+    report.add_argument("--top", type=int, default=10,
+                        help="how many spans to rank by self time")
+    report.add_argument("--max-depth", type=int, default=None,
+                        help="truncate the span tree at this depth")
+    report.add_argument("--min-spans", type=int, default=0,
+                        help="fail unless the trace holds at least this "
+                             "many spans (CI smoke gate)")
+    report.set_defaults(fn=cmd_trace_report)
+    diff = tsub.add_parser(
+        "diff", help="per-kind event-count deltas between two traces "
+                     "or metrics files; nonzero exit on regression")
+    diff.add_argument("base", help="baseline trace JSONL or metrics JSON")
+    diff.add_argument("current", help="current trace JSONL or metrics JSON")
+    diff.add_argument("--threshold", type=float, default=0.10,
+                      help="relative growth tolerated per kind "
+                           "(0.10 = 10%%)")
+    diff.add_argument("--strict", action="store_true",
+                      help="also fail when kinds appear or vanish")
+    diff.set_defaults(fn=cmd_trace_diff)
+    flame = tsub.add_parser(
+        "flame", help="collapsed stacks (flamegraph.pl/speedscope input) "
+                      "from a recorded trace")
+    flame.add_argument("trace_file", help="JSONL trace (from --trace)")
+    flame.add_argument("-o", "--output", default=None,
+                       help="write stacks to a file instead of stdout")
+    flame.set_defaults(fn=cmd_trace_flame)
+
     add("compile", cmd_compile, "print the Figure 12 compilation")
     add("link", cmd_link, "statically link (flatten + optimize)")
     demo = add("demo", cmd_demo,
@@ -359,9 +478,43 @@ def _run_observed(args: argparse.Namespace) -> int:
     return status
 
 
+_TRACE_TOOLS = ("steps", "report", "diff", "flame")
+_VALUE_FLAGS = ("--trace", "--metrics-out")
+
+
+def _normalize_argv(argv: list[str]) -> list[str]:
+    """Back-compat shim: ``repro trace FILE`` means ``trace steps FILE``.
+
+    The ``trace`` subcommand grew tools (``report``/``diff``/``flame``);
+    a bare ``trace FILE`` still has to print the reduction trace, so
+    when the token after ``trace`` is not a tool name we insert
+    ``steps``.  Global flags before the subcommand are skipped
+    (value-taking ones consume their argument unless spelled
+    ``--flag=value``).
+    """
+    out = list(argv)
+    i = 0
+    while i < len(out):
+        tok = out[i]
+        if tok in _VALUE_FLAGS:
+            i += 2
+            continue
+        if tok.startswith("-"):
+            i += 1
+            continue
+        if tok == "trace":
+            nxt = out[i + 1] if i + 1 < len(out) else None
+            if nxt is not None and nxt not in _TRACE_TOOLS \
+                    and nxt not in ("-h", "--help"):
+                out.insert(i + 1, "steps")
+        break
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
-    args = build_parser().parse_args(argv)
+    argv = sys.argv[1:] if argv is None else list(argv)
+    args = build_parser().parse_args(_normalize_argv(argv))
     observed = (args.trace or args.metrics or args.metrics_out
                 or args.profile)
     try:

@@ -30,6 +30,7 @@ from repro.lang.errors import ArchiveError
 from repro.lang.parser import parse_program
 from repro.lang.pretty import show
 from repro.obs import current as _obs_current
+from repro.obs import span as _obs_span
 from repro.types.subtype import sig_subtype
 from repro.types.tyenv import TyEnv
 from repro.types.types import Sig
@@ -40,17 +41,24 @@ from repro.units.ast import UnitExpr
 from repro.units.check import check_unit
 
 
-def _fail(name: str | None, stage: str, message: str) -> "ArchiveError":
+def _fail(name: str | None, stage: str, message: str,
+          loc=None) -> "ArchiveError":
     """Build the typed retrieval error, tracing it as ``dynlink.error``.
 
     Every failure in the dynamic-linking layer goes through here so the
     trace records *where* retrieval broke (lookup, parse, check,
     subtype, persistence) alongside the raised :class:`ArchiveError`.
+    When the failing AST or nested error carries a reader source
+    location, it rides along as ``loc`` so ``repro trace report`` can
+    print ``origin:line:col`` for the failure.
     """
     col = _obs_current()
     if col is not None:
-        col.emit("dynlink.error", {
-            "name": name, "stage": stage, "reason": message})
+        fields: dict[str, object] = {
+            "name": name, "stage": stage, "reason": message}
+        if loc is not None:
+            fields["loc"] = str(loc)
+        col.emit("dynlink.error", fields)
     return ArchiveError(message)
 
 
@@ -136,7 +144,19 @@ class UnitArchive:
         type environment — and its actual signature must be a subtype
         of ``expected``.  Returns the unit syntax and its actual
         signature.
+
+        The whole retrieval is one ``dynlink.load`` span: the receiving
+        context's ``check.*`` judgments nest inside it, and a failed
+        retrieval shows as the span's ``err`` next to the staged
+        ``dynlink.error`` event.
         """
+        with _obs_span("dynlink.load", {"name": name, "typed": True}):
+            return self._retrieve_typed(name, expected, env,
+                                        strict_valuable)
+
+    def _retrieve_typed(self, name: str, expected: Sig,
+                        env: TyEnv | None,
+                        strict_valuable: bool) -> tuple[TypedUnitExpr, Sig]:
         entry = self._lookup(name)
         if not entry.typed:
             raise _fail(name, "kind",
@@ -147,25 +167,25 @@ class UnitArchive:
                                        origin=f"<archive:{name}>")
         except Exception as err:
             raise _fail(name, "parse",
-                        f"archive entry '{name}' failed to parse: {err}")
+                        f"archive entry '{name}' failed to parse: {err}",
+                        loc=getattr(err, "loc", None))
         if not isinstance(expr, TypedUnitExpr):
             raise _fail(name, "parse",
-                        f"archive entry '{name}' is not a unit expression")
+                        f"archive entry '{name}' is not a unit expression",
+                        loc=getattr(expr, "loc", None))
         check_env = env if env is not None else base_tyenv()
         try:
             actual = check_typed_unit(expr, check_env, strict_valuable)
         except Exception as err:
             raise _fail(name, "check",
                         f"archive entry '{name}' failed to type-check in "
-                        f"the receiving context: {err}")
+                        f"the receiving context: {err}",
+                        loc=getattr(err, "loc", None) or expr.loc)
         if not sig_subtype(actual, expected):
             raise _fail(name, "subtype",
                         f"archive entry '{name}' does not satisfy the "
                         f"expected signature: {actual} is not a subtype "
-                        f"of {expected}")
-        col = _obs_current()
-        if col is not None:
-            col.emit("dynlink.load", {"name": name, "typed": True})
+                        f"of {expected}", loc=expr.loc)
         return expr, actual
 
     def retrieve_untyped(self, name: str,
@@ -177,33 +197,42 @@ class UnitArchive:
         The unit may import *fewer* names and export *more* than
         expected (the name-level shadow of signature subtyping).
         """
+        with _obs_span("dynlink.load", {"name": name, "typed": False}):
+            return self._retrieve_untyped(name, expected_imports,
+                                          expected_exports, strict_valuable)
+
+    def _retrieve_untyped(self, name: str,
+                          expected_imports: tuple[str, ...],
+                          expected_exports: tuple[str, ...],
+                          strict_valuable: bool) -> UnitExpr:
         entry = self._lookup(name)
         try:
             expr = parse_program(entry.source, origin=f"<archive:{name}>")
         except Exception as err:
             raise _fail(name, "parse",
-                        f"archive entry '{name}' failed to parse: {err}")
+                        f"archive entry '{name}' failed to parse: {err}",
+                        loc=getattr(err, "loc", None))
         if not isinstance(expr, UnitExpr):
             raise _fail(name, "parse",
-                        f"archive entry '{name}' is not a unit expression")
+                        f"archive entry '{name}' is not a unit expression",
+                        loc=getattr(expr, "loc", None))
         try:
             check_unit(expr, strict_valuable)
         except Exception as err:
             raise _fail(name, "check",
-                        f"archive entry '{name}' failed checking: {err}")
+                        f"archive entry '{name}' failed checking: {err}",
+                        loc=getattr(err, "loc", None) or expr.loc)
         extra = set(expr.imports) - set(expected_imports)
         if extra:
             raise _fail(name, "interface",
                         f"archive entry '{name}' requires unexpected "
-                        f"imports: " + ", ".join(sorted(extra)))
+                        f"imports: " + ", ".join(sorted(extra)),
+                        loc=expr.loc)
         missing = set(expected_exports) - set(expr.exports)
         if missing:
             raise _fail(name, "interface",
                         f"archive entry '{name}' lacks expected exports: "
-                        + ", ".join(sorted(missing)))
-        col = _obs_current()
-        if col is not None:
-            col.emit("dynlink.load", {"name": name, "typed": False})
+                        + ", ".join(sorted(missing)), loc=expr.loc)
         return expr
 
     def _lookup(self, name: str) -> ArchiveEntry:

@@ -72,7 +72,21 @@ class PluginHost:
         problems in the extension's own code as ``RunTimeError`` — and
         each failure is traced as a ``dynlink.error`` event.  A plug-in
         that fails to install leaves the host unchanged.
+
+        The whole load is one ``dynlink.load`` span: the archive's own
+        retrieval span, the receiving-context checks, and the
+        extension's invocation all nest inside it.
         """
+        col = _obs_current()
+        if col is None:
+            return self._load(archive, name, env, None)
+        with col.span("dynlink.load", {
+                "name": name,
+                "host_imports": len(self.value_imports)}) as sp:
+            return self._load(archive, name, env, sp)
+
+    def _load(self, archive: UnitArchive, name: str,
+              env: TyEnv | None, sp) -> object:
         col = _obs_current()
         try:
             expr, _actual = archive.retrieve_typed(
@@ -87,8 +101,11 @@ class PluginHost:
             raise
         except LangError as err:
             if col is not None:
-                col.emit("dynlink.error", {
-                    "name": name, "stage": "install", "reason": str(err)})
+                fields: dict[str, object] = {
+                    "name": name, "stage": "install", "reason": str(err)}
+                if getattr(err, "loc", None) is not None:
+                    fields["loc"] = str(err.loc)
+                col.emit("dynlink.error", fields)
             raise
         except (KeyError, TypeError, AttributeError) as err:
             # A malformed extension or host wiring bug must not leak an
@@ -101,10 +118,8 @@ class PluginHost:
         self.installed[name] = result
         if self._on_install is not None:
             self._on_install(name, result)
-        if col is not None:
-            col.emit("dynlink.load", {
-                "name": name, "stage": "installed",
-                "host_imports": len(self.value_imports)})
+        if sp is not None:
+            sp.annotate(stage="installed")
         return result
 
     def loaded_names(self) -> tuple[str, ...]:

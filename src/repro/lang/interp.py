@@ -166,20 +166,37 @@ class Interpreter:
     # -- unit linking and invocation ------------------------------------
 
     def _eval_compound(self, expr: CompoundExpr, env: Env) -> CompoundUnitValue:
+        col = _obs_current()
+        if col is None:
+            return self._eval_compound_inner(expr, env)
+        # The span contains the constituents' own evaluation (nested
+        # compounds form subtrees) and the per-clause link checks.
+        with col.span("link.compound", {
+                "imports": len(expr.imports),
+                "exports": len(expr.exports)}):
+            return self._eval_compound_inner(expr, env)
+
+    def _eval_compound_inner(self, expr: CompoundExpr,
+                             env: Env) -> CompoundUnitValue:
         first = self._eval(expr.first.expr, env)
         second = self._eval(expr.second.expr, env)
         _require_unit(first, "compound")
         _require_unit(second, "compound")
         _check_clause(first, expr.first.withs, expr.first.provides)
         _check_clause(second, expr.second.withs, expr.second.provides)
-        col = _obs_current()
-        if col is not None:
-            col.emit("link.compound", {
-                "imports": len(expr.imports), "exports": len(expr.exports)})
         return CompoundUnitValue(expr.imports, expr.exports, first, second,
                                  expr.first, expr.second)
 
     def _prepare_invoke(self, expr: InvokeExpr, env: Env):
+        col = _obs_current()
+        if col is None:
+            return self._prepare_invoke_inner(expr, env, None)
+        # The span contains evaluating the invoked expression, the
+        # link expressions, and instantiation (link.edge events).
+        with col.span("unit.invoke", {"links": len(expr.links)}) as sp:
+            return self._prepare_invoke_inner(expr, env, sp)
+
+    def _prepare_invoke_inner(self, expr: InvokeExpr, env: Env, sp):
         unit = self._eval(expr.expr, env)
         _require_unit(unit, "invoke")
         supplied: dict[str, Cell] = {}
@@ -192,10 +209,9 @@ class Interpreter:
         cells = {name: supplied[name] for name in unit.imports}
         for name in unit.exports:
             cells[name] = Cell()
-        col = _obs_current()
-        if col is not None:
-            col.emit("unit.invoke", {
-                "imports": len(unit.imports), "exports": len(unit.exports)})
+        if sp is not None:
+            sp.annotate(imports=len(unit.imports),
+                        exports=len(unit.exports))
         runs = self.instantiate(unit, cells)
         (last_env, last_init) = runs[-1]
         return runs[:-1], last_env, last_init
@@ -218,13 +234,20 @@ class Interpreter:
         for name in unit.exports:
             cells[name] = Cell()
         col = _obs_current()
-        if col is not None:
-            col.emit("unit.invoke", {
-                "imports": len(unit.imports), "exports": len(unit.exports)})
-        result: object = None
-        for init_env, init in self.instantiate(unit, cells):
-            result = self._eval(init, init_env)
-        return result
+        if col is None:
+            result: object = None
+            for init_env, init in self.instantiate(unit, cells):
+                result = self._eval(init, init_env)
+            return result
+        # The span contains instantiation (link.edge events) and the
+        # initialization expressions' evaluation.
+        with col.span("unit.invoke", {
+                "imports": len(unit.imports),
+                "exports": len(unit.exports)}):
+            result = None
+            for init_env, init in self.instantiate(unit, cells):
+                result = self._eval(init, init_env)
+            return result
 
     def instantiate(self, unit: UnitValue,
                     cells: dict[str, Cell]) -> list[tuple[Env, Expr]]:

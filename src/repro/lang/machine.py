@@ -147,6 +147,15 @@ class Machine:
     def run(self, expr: Expr) -> MachineState:
         """Reduce ``expr`` to a final state."""
         state = self.load(expr)
+        col = _obs_current()
+        if col is None:
+            return self._drive(state)
+        # One span per machine run: every reduce.step (and the
+        # reduce.invoke/reduce.compound rule spans) nests under it.
+        with col.span("reduce.machine", {"driver": "run"}):
+            return self._drive(state)
+
+    def _drive(self, state: MachineState) -> MachineState:
         for _ in range(self.max_steps):
             if not self.step(state):
                 return state
@@ -162,6 +171,13 @@ class Machine:
         Used by the figure reproductions to display rewriting in action.
         """
         state = self.load(expr)
+        col = _obs_current()
+        if col is None:
+            return self._trace_terms(state, limit)
+        with col.span("reduce.machine", {"driver": "trace"}):
+            return self._trace_terms(state, limit)
+
+    def _trace_terms(self, state: MachineState, limit: int) -> list[Expr]:
         terms = [state.to_expr()]
         for _ in range(limit):
             if not self.step(state):

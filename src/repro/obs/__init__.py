@@ -23,8 +23,23 @@ per run when ``REPRO_BENCH_METRICS`` is set (see
 ``benchmarks/conftest.py``).
 """
 
+from repro.obs.analyze import (
+    KindDelta,
+    SpanForest,
+    SpanNode,
+    build_spans,
+    critical_path,
+    diff_counts,
+    fold_stacks,
+    kind_counts,
+    load_counts,
+    regressions,
+    top_self_time,
+    validate_spans,
+)
 from repro.obs.collector import (
     Collector,
+    Span,
     activate,
     collecting,
     count,
@@ -32,16 +47,20 @@ from repro.obs.collector import (
     deactivate,
     emit,
     enabled,
+    span,
 )
-from repro.obs.events import FAMILIES, KINDS, TraceEvent, family_of
+from repro.obs.events import FAMILIES, KINDS, SPAN_KEYS, TraceEvent, family_of
 from repro.obs.jsonl import read_jsonl, write_jsonl, write_metrics
 from repro.obs.profiling import ProfileSession, profiled
+from repro.obs.report import render_diff, render_flame, render_report
 
 __all__ = [
     "Collector",
+    "Span",
     "TraceEvent",
     "FAMILIES",
     "KINDS",
+    "SPAN_KEYS",
     "family_of",
     "activate",
     "deactivate",
@@ -50,9 +69,26 @@ __all__ = [
     "enabled",
     "emit",
     "count",
+    "span",
     "read_jsonl",
     "write_jsonl",
     "write_metrics",
     "ProfileSession",
     "profiled",
+    # trace analysis
+    "SpanNode",
+    "SpanForest",
+    "KindDelta",
+    "build_spans",
+    "validate_spans",
+    "critical_path",
+    "top_self_time",
+    "fold_stacks",
+    "kind_counts",
+    "diff_counts",
+    "regressions",
+    "load_counts",
+    "render_report",
+    "render_diff",
+    "render_flame",
 ]

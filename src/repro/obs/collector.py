@@ -21,6 +21,30 @@ no allocation, no attribute chase, no dictionary construction.  Event
 payload dictionaries are only built *inside* the guard, so a disabled
 collector never causes them to exist.  ``tests/test_obs.py`` holds an
 allocation guard asserting this stays true.
+
+Causal spans
+------------
+
+Beyond flat events, a collector records **spans** — scoped intervals
+that nest, mirroring the derivation trees of the paper's semantics (an
+``invoke`` reduction *contains* the compound merges it triggers, a
+compound check *contains* its per-clause sub-judgments):
+
+.. code-block:: python
+
+    col = obs.current()
+    if col is not None:
+        with col.span("check.compound", {"imports": 2}):
+            ...                       # nested emits/spans attach here
+
+A span emits a pair of events of its kind — ``phase:"enter"`` and
+``phase:"exit"`` — stamped with a collector-unique ``span`` id and the
+``parent`` span id, so the recorded trace is a well-formed tree.  The
+exit event carries ``dur`` (cumulative wall seconds) and ``self``
+(cumulative minus time spent in child spans).  Plain events emitted
+while a span is open are stamped with the enclosing ``span`` id.  The
+kind *counter* is bumped once per span (on enter), so counter
+semantics match the pre-span flat events exactly.
 """
 
 from __future__ import annotations
@@ -30,7 +54,7 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Iterator
 
-from repro.obs.events import TraceEvent
+from repro.obs.events import TraceEvent, family_of
 
 _ACTIVE: ContextVar["Collector | None"] = ContextVar(
     "repro_obs_collector", default=None)
@@ -68,6 +92,117 @@ def count(name: str, delta: int = 1) -> None:
         col.count(name, delta)
 
 
+class _NoopSpan:
+    """A shared do-nothing span for the disabled path.
+
+    :func:`span` returns this singleton when no collector is in scope,
+    so ``with obs.span(...)`` costs one contextvar read and nothing
+    else.  Hot paths that want to avoid even building the fields dict
+    should guard with :func:`current` and use :meth:`Collector.span`.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def annotate(self, **fields: object) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+def span(kind: str, fields: dict[str, object] | None = None):
+    """Open a span on the current collector; no-op when observability
+    is off.  Convenience for cold paths (see :class:`_NoopSpan`)."""
+    col = _ACTIVE.get()
+    if col is None:
+        return _NOOP_SPAN
+    return col.span(kind, fields)
+
+
+class Span:
+    """One open causal span.  Created via :meth:`Collector.span`.
+
+    Entering emits the ``phase:"enter"`` event (bumping the kind
+    counter); exiting emits ``phase:"exit"`` with ``dur`` and ``self``
+    seconds (no counter bump).  :meth:`annotate` adds fields to the
+    exit event — useful for results only known when the scope closes.
+    If the body raises, the exit event carries ``err`` with the
+    exception's ``repr``.
+    """
+
+    __slots__ = ("_col", "kind", "fields", "span_id", "parent_id",
+                 "_t_enter", "_child_time", "_notes")
+
+    def __init__(self, col: "Collector", kind: str,
+                 fields: dict[str, object] | None):
+        self._col = col
+        self.kind = kind
+        self.fields = fields
+        self.span_id = -1
+        self.parent_id: int | None = None
+        self._t_enter = 0.0
+        self._child_time = 0.0
+        self._notes: dict[str, object] | None = None
+
+    def annotate(self, **fields: object) -> None:
+        """Attach extra fields to the (future) exit event."""
+        if self._notes is None:
+            self._notes = {}
+        self._notes.update(fields)
+
+    def __enter__(self) -> "Span":
+        col = self._col
+        stack = col._spans
+        self.parent_id = stack[-1].span_id if stack else None
+        self.span_id = col._next_span
+        col._next_span += 1
+        payload: dict[str, object] = dict(self.fields) if self.fields else {}
+        payload["span"] = self.span_id
+        if self.parent_id is not None:
+            payload["parent"] = self.parent_id
+        payload["phase"] = "enter"
+        col._record(self.kind, payload, bump=True)
+        stack.append(self)
+        self._t_enter = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        col = self._col
+        dur = time.perf_counter() - self._t_enter
+        stack = col._spans
+        # Tolerate a corrupted stack rather than masking the body's
+        # exception: only pop if we are the innermost open span.
+        if stack and stack[-1] is self:
+            stack.pop()
+        if stack:
+            stack[-1]._child_time += dur
+        self_time = dur - self._child_time
+        if self_time < 0.0:
+            self_time = 0.0
+        payload: dict[str, object] = {"span": self.span_id}
+        if self.parent_id is not None:
+            payload["parent"] = self.parent_id
+        payload["phase"] = "exit"
+        payload["dur"] = dur
+        payload["self"] = self_time
+        if self._notes:
+            for key, value in self._notes.items():
+                if key not in ("span", "parent", "phase", "dur", "self"):
+                    payload[key] = value
+        if exc is not None:
+            payload["err"] = repr(exc)
+        col._record(self.kind, payload, bump=False)
+        col.timers[self.kind] = col.timers.get(self.kind, 0.0) + self_time
+        col.timer_calls[self.kind] = col.timer_calls.get(self.kind, 0) + 1
+        return None
+
+
 class Collector:
     """Accumulates trace events, monotonic counters, and timers.
 
@@ -89,22 +224,55 @@ class Collector:
         self.max_events = max_events
         self.dropped = 0
         self._seq = 0
+        self._spans: list[Span] = []
+        self._next_span = 0
 
     # -- recording ------------------------------------------------------
 
-    def emit(self, kind: str, fields: dict[str, object] | None = None
-             ) -> TraceEvent | None:
-        """Record one event; returns it (or ``None`` if dropped)."""
+    def _record(self, kind: str, fields: dict[str, object], bump: bool
+                ) -> TraceEvent | None:
+        """Append one event, optionally bumping the kind counter.
+
+        When ``max_events`` is hit the event body is dropped, but the
+        drop itself is *not* silent: it is tallied in ``dropped`` and
+        in the ``trace.dropped`` counter, both surfaced by
+        :meth:`metrics`.
+        """
         seq = self._seq
         self._seq = seq + 1
-        self.counters[kind] = self.counters.get(kind, 0) + 1
+        if bump:
+            self.counters[kind] = self.counters.get(kind, 0) + 1
         if len(self.events) >= self.max_events:
             self.dropped += 1
+            self.counters["trace.dropped"] = \
+                self.counters.get("trace.dropped", 0) + 1
             return None
         event = TraceEvent(kind, seq, time.perf_counter() - self.t0,
-                           fields if fields is not None else {})
+                           fields)
         self.events.append(event)
         return event
+
+    def emit(self, kind: str, fields: dict[str, object] | None = None
+             ) -> TraceEvent | None:
+        """Record one event; returns it (or ``None`` if dropped).
+
+        While a span is open, the event is stamped with the enclosing
+        ``span`` id (unless the caller already set one), attributing it
+        to its causal scope.
+        """
+        if fields is None:
+            fields = {}
+        if self._spans and "span" not in fields:
+            fields["span"] = self._spans[-1].span_id
+        return self._record(kind, fields, bump=True)
+
+    def span(self, kind: str, fields: dict[str, object] | None = None
+             ) -> Span:
+        """Open a causal span of ``kind``; use as a context manager.
+
+        See :class:`Span` for the enter/exit event schema.
+        """
+        return Span(self, kind, fields)
 
     def count(self, name: str, delta: int = 1) -> None:
         """Bump a named monotonic counter."""
@@ -124,10 +292,17 @@ class Collector:
     # -- reading --------------------------------------------------------
 
     def kinds(self) -> dict[str, int]:
-        """Event kinds seen, with occurrence counts (drops included)."""
+        """Event kinds seen, with occurrence counts (drops included).
+
+        Only names in a registered event family count as kinds;
+        bookkeeping counters (``trace.dropped``) and plain
+        :meth:`count` counters are excluded.
+        """
+        from repro.obs.events import FAMILIES
+
         out: dict[str, int] = {}
         for name, value in self.counters.items():
-            if "." in name:
+            if "." in name and family_of(name) in FAMILIES:
                 out[name] = value
         return out
 
@@ -140,6 +315,7 @@ class Collector:
         return {
             "events": len(self.events),
             "dropped": self.dropped,
+            "spans": self._next_span,
             "counters": dict(sorted(self.counters.items())),
             "timers": {
                 name: {"seconds": self.timers[name],

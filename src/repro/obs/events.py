@@ -12,7 +12,15 @@ rewriting machine, and the static linker.
 Event kinds are dotted ``family.action`` strings.  The families are
 fixed (``reduce``, ``link``, ``check``, ``unit``, ``dynlink``); the
 actions within a family are open-ended, but every kind emitted by the
-library is registered in :data:`KINDS` so tools can enumerate them.
+library is registered in :data:`KINDS` so tools can enumerate them
+(``tests/test_obs_registry.py`` lints the source tree for this).
+
+Since the causal-span layer (see :class:`repro.obs.collector.Span`),
+events may carry the reserved *span fields* of :data:`SPAN_KEYS`:
+``span``/``parent`` ids, a ``phase`` marker (``enter``/``exit``) on
+the pair of events a span emits, ``dur``/``self`` seconds on exits,
+and ``err`` when a span's body raised.  ``docs/TRACING.md`` documents
+the full wire schema.
 """
 
 from __future__ import annotations
@@ -21,6 +29,10 @@ from dataclasses import dataclass, field
 
 #: Event families, in pipeline order.
 FAMILIES = ("check", "link", "reduce", "unit", "dynlink")
+
+#: Field names reserved by the span layer (instrumentation sites must
+#: not use these for their own payload keys).
+SPAN_KEYS = ("span", "parent", "phase", "dur", "self", "err")
 
 #: Every event kind the library emits, with a one-line meaning.
 KINDS: dict[str, str] = {
@@ -36,6 +48,7 @@ KINDS: dict[str, str] = {
     "link.edge": "one import of a constituent resolved to a source",
     "link.static": "the static linker visited a compound",
     # Small-step reduction (Figures 8 and 11)
+    "reduce.machine": "one whole machine run (a span over its steps)",
     "reduce.step": "one rewriting step of the machine",
     "reduce.invoke": "the invoke reduction rule fired",
     "reduce.compound": "the compound-merge reduction rule fired",

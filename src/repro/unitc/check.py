@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from repro.lang.errors import TypeCheckError
 from repro.obs import current as _obs_current
+from repro.obs import span as _obs_span
 from repro.types.kinds import OMEGA, kind_equal
 from repro.types.pretty import show_type
 from repro.types.subtype import join, sig_subtype, subtype
@@ -326,9 +327,26 @@ def _require_distinct(names, what: str, loc=None) -> None:
         seen.add(name)
 
 
+def _loc_fields(loc, **fields: object) -> dict[str, object]:
+    """Span payload with the reader source location, when known."""
+    if loc is not None:
+        fields["loc"] = str(loc)
+    return fields
+
+
 def check_typed_unit(unit: TypedUnitExpr, env: TyEnv,
                      strict_valuable: bool = True) -> Sig:
     """The unit rule of Figures 15 and 19; returns the unit's signature."""
+    with _obs_span("check.unit", _loc_fields(
+            unit.loc, typed=True, timports=len(unit.timports),
+            vimports=len(unit.vimports), texports=len(unit.texports),
+            vexports=len(unit.vexports), defns=len(unit.defns),
+            equations=len(unit.equations))):
+        return _check_typed_unit(unit, env, strict_valuable)
+
+
+def _check_typed_unit(unit: TypedUnitExpr, env: TyEnv,
+                      strict_valuable: bool = True) -> Sig:
     # --- distinctness ----------------------------------------------------
     tnames = (tuple(n for n, _ in unit.timports) + unit.defined_types)
     _require_distinct(tnames, "unit type names", unit.loc)
@@ -466,13 +484,6 @@ def check_typed_unit(unit: TypedUnitExpr, env: TyEnv,
         expand_type(init_ty, local_equations),
         depends)
     check_sig_wf(sig, env)
-    col = _obs_current()
-    if col is not None:
-        col.emit("check.unit", {
-            "typed": True, "timports": len(unit.timports),
-            "vimports": len(unit.vimports), "texports": len(unit.texports),
-            "vexports": len(unit.vexports), "defns": len(unit.defns),
-            "equations": len(unit.equations)})
     return sig
 
 
@@ -503,6 +514,14 @@ def _definition_valuable(expr: TExpr, unstable: frozenset[str],
 def check_typed_invoke(invoke: TypedInvokeExpr, env: TyEnv,
                        strict_valuable: bool = True) -> Type:
     """The invoke rule of Figures 15 and 19; returns the result type."""
+    with _obs_span("check.invoke", _loc_fields(
+            invoke.loc, typed=True, tlinks=len(invoke.tlinks),
+            vlinks=len(invoke.vlinks))):
+        return _check_typed_invoke(invoke, env, strict_valuable)
+
+
+def _check_typed_invoke(invoke: TypedInvokeExpr, env: TyEnv,
+                        strict_valuable: bool = True) -> Type:
     sig = check_texpr(invoke.expr, env, strict_valuable)
     if not isinstance(sig, Sig):
         raise TypeCheckError(
@@ -548,12 +567,6 @@ def check_typed_invoke(invoke: TypedInvokeExpr, env: TyEnv,
 
     result = subst_type(sig.init, type_mapping)
     check_type_wf(result, env)
-    col = _obs_current()
-    if col is not None:
-        # Every import matched a supplied link at a compatible type.
-        col.emit("check.invoke", {
-            "typed": True, "tlinks": len(invoke.tlinks),
-            "vlinks": len(invoke.vlinks)})
     return result
 
 
@@ -598,6 +611,15 @@ def _decl_subset(sub_t, sub_v, sources_t: dict, sources_v: dict,
 def check_typed_compound(compound: TypedCompoundExpr, env: TyEnv,
                          strict_valuable: bool = True) -> Sig:
     """The compound rule of Figures 15 and 19; returns the signature."""
+    with _obs_span("check.compound", _loc_fields(
+            compound.loc, typed=True,
+            imports=len(compound.timports) + len(compound.vimports),
+            exports=len(compound.texports) + len(compound.vexports))):
+        return _check_typed_compound(compound, env, strict_valuable)
+
+
+def _check_typed_compound(compound: TypedCompoundExpr, env: TyEnv,
+                          strict_valuable: bool = True) -> Sig:
     first, second = compound.first, compound.second
 
     # --- distinctness across the shared namespace --------------------------
@@ -656,7 +678,8 @@ def check_typed_compound(compound: TypedCompoundExpr, env: TyEnv,
                                     ("second", sig2, ascribed2)):
         ok = sig_subtype(actual, ascribed)
         if col is not None:
-            col.emit("check.subtype", {"which": which, "ok": ok})
+            col.emit("check.subtype", _loc_fields(
+                compound.loc, which=which, ok=ok))
         if not ok:
             raise TypeCheckError(
                 f"compound: the {which} constituent's signature does not "
@@ -670,9 +693,4 @@ def check_typed_compound(compound: TypedCompoundExpr, env: TyEnv,
     sig = Sig(compound.timports, compound.vimports,
               compound.texports, compound.vexports, sig2.init, depends)
     check_sig_wf(sig, env)
-    if col is not None:
-        col.emit("check.compound", {
-            "typed": True,
-            "imports": len(compound.timports) + len(compound.vimports),
-            "exports": len(compound.texports) + len(compound.vexports)})
     return sig

@@ -35,10 +35,10 @@ def check_unite_program(expr: TExpr, env: TyEnv | None = None,
     if col is None:
         return check_texpr(expr, env if env is not None else base_tyenv(),
                            strict_valuable)
-    with col.timed("check.unite"):
+    with col.span("check.unite") as sp:
         ty = check_texpr(expr, env if env is not None else base_tyenv(),
                          strict_valuable)
-    col.emit("check.unite", {"type": str(type(ty).__name__)})
+        sp.annotate(type=str(type(ty).__name__))
     return ty
 
 

@@ -31,9 +31,18 @@ from repro.lang.ast import (
     Var,
 )
 from repro.lang.errors import CheckError
-from repro.obs import current as _obs_current
+from repro.obs import span as _obs_span
 from repro.units.ast import CompoundExpr, InvokeExpr, UnitExpr
 from repro.units.valuable import is_valuable
+
+
+def _span_fields(expr: Expr, **fields: object) -> dict[str, object]:
+    """Span payload with the reader source location, when the AST
+    carries one (``repro trace report`` prints it for failures)."""
+    loc = getattr(expr, "loc", None)
+    if loc is not None:
+        fields["loc"] = str(loc)
+    return fields
 
 
 def _require_distinct(names: tuple[str, ...], what: str, expr: Expr) -> None:
@@ -100,29 +109,27 @@ def check_unit(expr: UnitExpr, strict_valuable: bool = True) -> None:
     are distinct and drawn from the defined names; every definition
     expression is valuable (unless relaxed); subexpressions check.
     """
-    _require_distinct(expr.imports + expr.defined,
-                      "unit import/definition", expr)
-    _require_distinct(expr.exports, "unit export", expr)
-    defined = set(expr.defined)
-    for name in expr.exports:
-        if name not in defined:
-            raise CheckError(
-                f"unit: exported variable '{name}' is not defined",
-                expr.loc)
-    unstable = frozenset(expr.imports) | frozenset(expr.defined)
-    for name, rhs in expr.defns:
-        if strict_valuable and not is_valuable(rhs, unstable):
-            raise CheckError(
-                f"unit: definition of '{name}' is not valuable "
-                f"(it may diverge, have effects, or prematurely "
-                f"reference a unit variable)", expr.loc)
-        check_expr(rhs, strict_valuable)
-    check_expr(expr.init, strict_valuable)
-    col = _obs_current()
-    if col is not None:
-        col.emit("check.unit", {
-            "imports": len(expr.imports), "exports": len(expr.exports),
-            "defns": len(expr.defns)})
+    with _obs_span("check.unit", _span_fields(
+            expr, imports=len(expr.imports), exports=len(expr.exports),
+            defns=len(expr.defns))):
+        _require_distinct(expr.imports + expr.defined,
+                          "unit import/definition", expr)
+        _require_distinct(expr.exports, "unit export", expr)
+        defined = set(expr.defined)
+        for name in expr.exports:
+            if name not in defined:
+                raise CheckError(
+                    f"unit: exported variable '{name}' is not defined",
+                    expr.loc)
+        unstable = frozenset(expr.imports) | frozenset(expr.defined)
+        for name, rhs in expr.defns:
+            if strict_valuable and not is_valuable(rhs, unstable):
+                raise CheckError(
+                    f"unit: definition of '{name}' is not valuable "
+                    f"(it may diverge, have effects, or prematurely "
+                    f"reference a unit variable)", expr.loc)
+            check_expr(rhs, strict_valuable)
+        check_expr(expr.init, strict_valuable)
 
 
 def check_compound(expr: CompoundExpr, strict_valuable: bool = True) -> None:
@@ -133,6 +140,17 @@ def check_compound(expr: CompoundExpr, strict_valuable: bool = True) -> None:
     *other* clause's provides; the exports are a subset of the union of
     the provides sets; constituent expressions check.
     """
+    xi = expr.imports
+    xp1 = expr.first.provides
+    xp2 = expr.second.provides
+    with _obs_span("check.compound", _span_fields(
+            expr, imports=len(xi), exports=len(expr.exports),
+            provides=len(xp1) + len(xp2))):
+        _check_compound_premises(expr, strict_valuable)
+
+
+def _check_compound_premises(expr: CompoundExpr,
+                             strict_valuable: bool) -> None:
     xi = expr.imports
     xp1 = expr.first.provides
     xp2 = expr.second.provides
@@ -162,23 +180,17 @@ def check_compound(expr: CompoundExpr, strict_valuable: bool = True) -> None:
                 f"by either constituent", expr.loc)
     check_expr(expr.first.expr, strict_valuable)
     check_expr(expr.second.expr, strict_valuable)
-    col = _obs_current()
-    if col is not None:
-        col.emit("check.compound", {
-            "imports": len(xi), "exports": len(expr.exports),
-            "provides": len(xp1) + len(xp2)})
 
 
 def check_invoke(expr: InvokeExpr, strict_valuable: bool = True) -> None:
     """Figure 10, the ``invoke`` rule: link names distinct, parts check."""
-    _require_distinct(tuple(name for name, _ in expr.links),
-                      "invoke link", expr)
-    check_expr(expr.expr, strict_valuable)
-    for _, rhs in expr.links:
-        check_expr(rhs, strict_valuable)
-    col = _obs_current()
-    if col is not None:
-        col.emit("check.invoke", {"links": len(expr.links)})
+    with _obs_span("check.invoke",
+                   _span_fields(expr, links=len(expr.links))):
+        _require_distinct(tuple(name for name, _ in expr.links),
+                          "invoke link", expr)
+        check_expr(expr.expr, strict_valuable)
+        for _, rhs in expr.links:
+            check_expr(rhs, strict_valuable)
 
 
 def check_program(expr: Expr, strict_valuable: bool = True) -> Expr:

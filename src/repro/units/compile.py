@@ -60,7 +60,7 @@ from repro.lang.ast import (
     seq_of,
 )
 from repro.lang.subst import fresh_like, free_vars
-from repro.obs import current as _obs_current
+from repro.obs import span as _obs_span
 from repro.units.ast import CompoundExpr, InvokeExpr, LinkClause, UnitExpr
 
 # ---------------------------------------------------------------------------
@@ -188,11 +188,13 @@ def _rewrite(expr: Expr, cells: dict[str, str]) -> Expr:
 
 def compile_unit(unit: UnitExpr) -> Expr:
     """Transform an atomic unit into its table-protocol function."""
-    col = _obs_current()
-    if col is not None:
-        col.emit("unit.compile", {
+    with _obs_span("unit.compile", {
             "form": "unit", "imports": len(unit.imports),
-            "exports": len(unit.exports), "defns": len(unit.defns)})
+            "exports": len(unit.exports), "defns": len(unit.defns)}):
+        return _compile_unit(unit)
+
+
+def _compile_unit(unit: UnitExpr) -> Expr:
     avoid = set(free_vars(unit)) | set(unit.imports) | set(unit.defined)
     itab = fresh_like("import-table", avoid)
     avoid.add(itab)
@@ -259,11 +261,13 @@ def _nested_let(bindings: list[tuple[str, Expr]], body: Expr) -> Expr:
 
 def compile_compound(compound: CompoundExpr) -> Expr:
     """Transform a compound into a wiring function over tables."""
-    col = _obs_current()
-    if col is not None:
-        col.emit("unit.compile", {
+    with _obs_span("unit.compile", {
             "form": "compound", "imports": len(compound.imports),
-            "exports": len(compound.exports)})
+            "exports": len(compound.exports)}):
+        return _compile_compound(compound)
+
+
+def _compile_compound(compound: CompoundExpr) -> Expr:
     avoid = set(free_vars(compound))
     names = {}
     for base in ("import-table", "export-table", "ns",
@@ -332,10 +336,12 @@ def compile_compound(compound: CompoundExpr) -> Expr:
 
 def compile_invoke(invoke: InvokeExpr) -> Expr:
     """Transform an invoke into table construction plus a call."""
-    col = _obs_current()
-    if col is not None:
-        col.emit("unit.compile", {
-            "form": "invoke", "links": len(invoke.links)})
+    with _obs_span("unit.compile", {
+            "form": "invoke", "links": len(invoke.links)}):
+        return _compile_invoke(invoke)
+
+
+def _compile_invoke(invoke: InvokeExpr) -> Expr:
     avoid = set(free_vars(invoke))
     itab = fresh_like("invoke-imports", avoid)
     avoid.add(itab)

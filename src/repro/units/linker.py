@@ -140,9 +140,11 @@ def _flatten(expr: Expr, stats: LinkStats,
         col = _obs_current()
         if isinstance(first, UnitExpr) and isinstance(second, UnitExpr):
             stats.merged += 1
-            if col is not None:
-                col.emit("link.static", {"merged": True})
-            return merge_compound(rebuilt, first, second)
+            if col is None:
+                return merge_compound(rebuilt, first, second)
+            # Span: the reduce.compound merge it triggers nests inside.
+            with col.span("link.static", {"merged": True}):
+                return merge_compound(rebuilt, first, second)
         stats.left_dynamic += 1
         if col is not None:
             col.emit("link.static", {"merged": False})

@@ -42,12 +42,18 @@ def reduce_invoke(unit: UnitExpr,
         raise UnitLinkError(
             "invoke: unit imports not satisfied: " + ", ".join(missing))
     col = _obs_current()
-    if col is not None:
-        col.emit("reduce.invoke", {
-            "imports": len(unit.imports), "defns": len(unit.defns)})
-    body = Letrec(unit.defns, unit.init)
-    mapping = {name: links[name] for name in unit.imports}
-    return substitute(body, mapping)
+    if col is None:
+        body = Letrec(unit.defns, unit.init)
+        mapping = {name: links[name] for name in unit.imports}
+        return substitute(body, mapping)
+    # A span, not a flat event: the substitution work this rule
+    # triggers (and any nested reductions the driver performs inside
+    # it) shows up as this node's subtree in `repro trace report`.
+    with col.span("reduce.invoke", {
+            "imports": len(unit.imports), "defns": len(unit.defns)}):
+        body = Letrec(unit.defns, unit.init)
+        mapping = {name: links[name] for name in unit.imports}
+        return substitute(body, mapping)
 
 
 def _rename_block(defns: tuple[tuple[str, Expr], ...], init: Expr,
@@ -90,6 +96,17 @@ def merge_compound(compound: CompoundExpr, first: UnitExpr,
                 f"compound: {which} constituent does not provide: "
                 + ", ".join(missing))
 
+    col = _obs_current()
+    if col is None:
+        return _merge_bodies(compound, first, second, None)
+    with col.span("reduce.compound", {
+            "defns": len(first.defns) + len(second.defns)}) as sp:
+        return _merge_bodies(compound, first, second, sp)
+
+
+def _merge_bodies(compound: CompoundExpr, first: UnitExpr,
+                  second: UnitExpr, sp) -> UnitExpr:
+    """The rename-and-concatenate work of the compound rule."""
     linkage = (set(compound.imports) | set(compound.first.provides)
                | set(compound.second.provides))
     taken = set(linkage)
@@ -115,11 +132,8 @@ def merge_compound(compound: CompoundExpr, first: UnitExpr,
     renames2 = plan_renames(second, compound.second.provides)
     defns2, init2 = _rename_block(second.defns, second.init, renames2)
 
-    col = _obs_current()
-    if col is not None:
-        col.emit("reduce.compound", {
-            "defns": len(defns1) + len(defns2),
-            "renamed": len(renames1) + len(renames2)})
+    if sp is not None:
+        sp.annotate(renamed=len(renames1) + len(renames2))
     return UnitExpr(
         imports=compound.imports,
         exports=compound.exports,

@@ -233,10 +233,23 @@ class TestMalformedPersistence:
 
 class TestDynlinkTracing:
     """Every dynamic-linking failure is traced as ``dynlink.error``
-    (with the failing stage) and every success as ``dynlink.load``."""
+    (with the failing stage) and every success as ``dynlink.load``.
+
+    Since the causal-span layer, ``dynlink.load`` is a *span* (an
+    enter/exit event pair) and error events are stamped with the
+    enclosing span id, so these assertions compare payload subsets
+    rather than exact dicts.
+    """
 
     def _events(self, col, kind):
         return [e.fields for e in col.events if e.kind == kind]
+
+    @staticmethod
+    def _payload(fields):
+        """Fields minus the span-layer stamps."""
+        from repro.obs import SPAN_KEYS
+
+        return {k: v for k, v in fields.items() if k not in SPAN_KEYS}
 
     def test_lookup_failure_traced(self):
         from repro import obs
@@ -247,8 +260,15 @@ class TestDynlinkTracing:
                 archive.retrieve_typed(
                     "ghost", parse_sig_text("(sig (import) (export) void)"))
         errors = self._events(col, "dynlink.error")
-        assert errors == [{"name": "ghost", "stage": "lookup",
-                           "reason": "no archive entry named 'ghost'"}]
+        assert [self._payload(e) for e in errors] \
+            == [{"name": "ghost", "stage": "lookup",
+                 "reason": "no archive entry named 'ghost'"}]
+        # The error happened inside the dynlink.load retrieval span,
+        # whose exit records the failure too.
+        assert "span" in errors[0]
+        exits = [e for e in self._events(col, "dynlink.load")
+                 if e.get("phase") == "exit"]
+        assert exits and "err" in exits[0]
 
     @pytest.mark.parametrize("source,stage", [
         ("(((", "parse"),
@@ -298,7 +318,16 @@ class TestDynlinkTracing:
         with obs.collecting() as col:
             archive.retrieve_typed("plugin", parse_sig_text(LOADER_SIG))
         loads = self._events(col, "dynlink.load")
-        assert loads == [{"name": "plugin", "typed": True}]
+        # One span: an enter/exit pair, counted once.
+        assert [e.get("phase") for e in loads] == ["enter", "exit"]
+        assert self._payload(loads[0]) == {"name": "plugin", "typed": True}
+        assert "err" not in loads[1]
+        assert col.counters["dynlink.load"] == 1
+        # The receiving-context check nests inside the retrieval span.
+        forest = obs.build_spans(col.events)
+        [root] = forest.roots
+        assert root.kind == "dynlink.load"
+        assert "check.unit" in {n.kind for n in root.walk()}
         assert not self._events(col, "dynlink.error")
 
     def test_host_install_traced(self):

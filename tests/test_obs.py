@@ -185,10 +185,14 @@ class TestEvents:
 
 
 # JSON-serializable field values (no NaN: NaN != NaN breaks equality).
+# Nested lists *and* objects: span exits carry structured annotations,
+# so the wire format must round-trip arbitrary JSON nesting.
 _field_values = st.recursive(
     st.one_of(st.none(), st.booleans(), st.integers(-2**31, 2**31),
               st.floats(allow_nan=False, allow_infinity=False), st.text()),
-    lambda children: st.lists(children, max_size=3),
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(st.text(min_size=1), children, max_size=3)),
     max_leaves=6)
 _fields = st.dictionaries(
     st.text(min_size=1).filter(lambda k: k not in ("kind", "seq", "t")),
@@ -245,6 +249,97 @@ class TestJsonl:
         write_metrics(col, path)
         assert json.loads(path.read_text())["counters"] \
             == {"reduce.step": 1}
+
+
+class TestSpans:
+    def test_module_level_span_is_noop_when_disabled(self):
+        assert obs.current() is None
+        with obs.span("reduce.machine", {"driver": "test"}) as sp:
+            sp.annotate(ignored=True)
+        assert obs.current() is None
+        # The disabled path hands back a shared singleton every time.
+        assert obs.span("reduce.machine") is obs.span("check.unit")
+
+    def test_enter_exit_pair_and_ids(self):
+        col = Collector()
+        with col.span("link.static", {"merged": True}):
+            col.emit("link.edge", {"name": "f"})
+        shape = [(e.kind, e.fields.get("phase")) for e in col.events]
+        assert shape == [("link.static", "enter"), ("link.edge", None),
+                         ("link.static", "exit")]
+        enter, edge, exit_ = col.events
+        assert enter.fields["span"] == exit_.fields["span"] == 0
+        assert "parent" not in enter.fields      # a root span
+        assert enter.fields["merged"] is True
+        assert edge.fields["span"] == 0          # stamped with its scope
+        assert exit_.fields["dur"] >= exit_.fields["self"] >= 0.0
+
+    def test_nested_spans_record_parent_and_self_time(self):
+        col = Collector()
+        with col.span("reduce.machine"):
+            with col.span("reduce.compound"):
+                pass
+        enter_outer, enter_inner, exit_inner, exit_outer = col.events
+        assert enter_inner.fields["parent"] == enter_outer.fields["span"]
+        assert exit_outer.fields["dur"] >= exit_inner.fields["dur"]
+        assert exit_outer.fields["self"] \
+            <= exit_outer.fields["dur"] - exit_inner.fields["dur"] + 1e-9
+
+    def test_counter_bumps_on_enter_only(self):
+        col = Collector()
+        with col.span("check.unit"):
+            pass
+        assert col.counters["check.unit"] == 1
+        assert col.kinds()["check.unit"] == 1
+
+    def test_exception_recorded_on_exit_and_propagates(self):
+        col = Collector()
+        with pytest.raises(ValueError, match="boom"):
+            with col.span("dynlink.load", {"name": "p"}):
+                raise ValueError("boom")
+        exit_ = col.events[-1]
+        assert exit_.fields["phase"] == "exit"
+        assert "ValueError" in exit_.fields["err"]
+
+    def test_annotate_lands_on_exit_event(self):
+        col = Collector()
+        with col.span("unit.invoke") as sp:
+            sp.annotate(exports=3, imports=1)
+        exit_ = col.events[-1]
+        assert exit_.fields["exports"] == 3
+        assert exit_.fields["imports"] == 1
+        # Reserved span keys cannot be smuggled in through annotate.
+        with col.span("unit.invoke") as sp:
+            sp.annotate(dur="lies")
+        assert col.events[-1].fields["dur"] != "lies"
+
+    def test_self_time_accumulates_into_timers(self):
+        col = Collector()
+        with col.span("reduce.machine"):
+            pass
+        with col.span("reduce.machine"):
+            pass
+        assert col.timer_calls["reduce.machine"] == 2
+        assert col.timers["reduce.machine"] >= 0.0
+
+    def test_metrics_reports_span_count(self):
+        col = Collector()
+        with col.span("reduce.machine"):
+            with col.span("reduce.compound"):
+                pass
+        assert col.metrics()["spans"] == 2
+
+    def test_dropped_events_are_not_silent(self):
+        col = Collector(max_events=1)
+        col.emit("reduce.step")
+        col.emit("reduce.step")
+        col.emit("reduce.step")
+        assert col.dropped == 2
+        assert col.counters["trace.dropped"] == 2
+        assert col.metrics()["counters"]["trace.dropped"] == 2
+        # The bookkeeping counter is not an event kind.
+        assert "trace.dropped" not in col.kinds()
+        assert "trace" not in col.families()
 
 
 HOT_PROGRAM = """
