@@ -5,10 +5,11 @@
 #
 # Exits non-zero if the tests fail, if the traced phone-book demo
 # fails, if the resulting trace does not cover all event families or
-# lacks a real span tree, or if the demo's per-kind event counts drift
+# lacks a real span tree, if the demo's per-kind event counts drift
 # past the committed baseline (benchmarks/.metrics/baseline.json —
 # regenerate with scripts/update_metrics_baseline.sh after intentional
-# changes).
+# changes), if the demo records no cache hits, or if the quick bench
+# smoke finds the caches inert.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -20,19 +21,26 @@ python -m pytest -x -q
 
 echo "==> smoke: traced phone-book demo"
 trace_file="$(mktemp)"
-trap 'rm -f "$trace_file"' EXIT
-python -m repro --trace "$trace_file" demo examples/phonebook.scm
+metrics_file="$(mktemp)"
+trap 'rm -f "$trace_file" "$metrics_file"' EXIT
+python -m repro --trace "$trace_file" --metrics-out "$metrics_file" \
+    demo examples/phonebook.scm
 
-python - "$trace_file" <<'EOF'
+python - "$trace_file" "$metrics_file" <<'EOF'
+import json
 import sys
 from repro.obs import read_jsonl
 
 events = read_jsonl(sys.argv[1])
 families = {e.family for e in events}
-missing = {"check", "link", "reduce", "unit", "dynlink"} - families
+missing = {"check", "link", "reduce", "unit", "dynlink", "cache"} - families
 assert events, "trace is empty"
 assert not missing, f"trace missing families: {sorted(missing)}"
-print(f"trace ok: {len(events)} events, families {sorted(families)}")
+counters = json.load(open(sys.argv[2]))["counters"]
+assert counters.get("cache.hit", 0) >= 1, \
+    f"demo recorded no cache hits: {counters}"
+print(f"trace ok: {len(events)} events, families {sorted(families)}, "
+      f"{counters['cache.hit']} cache hit(s)")
 EOF
 
 echo "==> smoke: trace report (span tree over the demo trace)"
@@ -41,5 +49,11 @@ python -m repro trace report "$trace_file" --min-spans 5
 echo "==> gate: event counts vs committed baseline"
 python -m repro trace diff benchmarks/.metrics/baseline.json \
     "$trace_file" --threshold 0.10
+
+echo "==> smoke: bench --quick (cached vs --no-term-cache)"
+bench_out="$(mktemp)"
+bench_snap="$(mktemp)"
+trap 'rm -f "$trace_file" "$metrics_file" "$bench_out" "$bench_snap"' EXIT
+python -m repro bench --quick --out "$bench_out" --snapshot "$bench_snap"
 
 echo "==> all checks passed"

@@ -1,0 +1,258 @@
+"""The benchmark trajectory: cached vs ``--no-term-cache`` pipelines.
+
+``repro bench`` times the whole untyped pipeline — Figure 10 checking,
+static linking, Figure 12 compilation, and big-step evaluation — over
+parameterized workloads, in three configurations:
+
+* **uncached** — the term-performance layer off (what
+  ``--no-term-cache`` runs): no memoized free variables, no
+  substitution short-circuits, no hash-consing, no content caches;
+* **cached (cold)** — the default configuration with *empty* caches,
+  what the first invocation on a program pays;
+* **cached (warm)** — the same, after a priming pass populated the
+  content-addressed caches, what reruns and structurally shared
+  programs pay.
+
+Workloads:
+
+* ``chain-N`` — N linked units, each importing its predecessor (the
+  ``bench_scalability.py`` shape): all units distinct, so the win is
+  the memo layer (free-variable sets, substitution short-circuits) and
+  hash-consed generated code, not content reuse;
+* ``sharing-N`` — N copies of one 24-definition library unit linked
+  into a program (the paper's footnote-8 code-sharing scenario): the
+  content-addressed compile/check caches collapse the copies, so even
+  a cold run compiles the library once;
+* ``phonebook`` — ``examples/phonebook.scm``, the paper's running
+  example, as a realistic small program.
+
+Each case reports best-of-``repeats`` wall seconds per configuration,
+per-stage breakdowns, and the speedups ``uncached / cached`` and
+``uncached / warm``.  Results go to ``BENCH_results.json``; a counters
+snapshot (``--snapshot``) records the ``cache.*`` hit/miss activity in
+the format ``repro trace diff`` reads.  docs/PERFORMANCE.md explains
+how to read both.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.lang import terms as _terms
+from repro.lang.ast import Expr
+from repro.lang.interp import Interpreter
+from repro.lang.parser import parse_script
+from repro.linking.graph import LinkGraph
+from repro.units.ast import InvokeExpr
+from repro.units.cache import unit_cache_scope
+from repro.units.check import check_program
+from repro.units.compile import compile_expr
+from repro.units.linker import link_and_optimize
+
+STAGES = ("check", "link", "compile", "eval")
+
+
+# ---------------------------------------------------------------------------
+# Workload builders.  Each returns a *fresh* AST per call: memo fields
+# live on nodes, so reusing one AST would leak warmth into cold runs.
+# ---------------------------------------------------------------------------
+
+
+def chain_program(n: int) -> Expr:
+    """N linked units, v_k = v_{k-1} + 1, plus a driver (all distinct)."""
+    graph = LinkGraph(exports=())
+    graph.add_box(
+        "u0",
+        "(unit (import) (export v0) (define v0 (lambda () 1)) (void))")
+    for k in range(1, n):
+        graph.add_box(f"u{k}", f"""
+            (unit (import v{k - 1}) (export v{k})
+              (define v{k} (lambda () (+ (v{k - 1}) 1)))
+              (void))
+        """)
+    graph.add_box("driver",
+                  f"(unit (import v{n - 1}) (export) (v{n - 1}))")
+    return InvokeExpr(graph.to_compound_expr(), ())
+
+
+def _library_source(defns: int) -> str:
+    parts = ["(define g0 (lambda (x) (+ x 1)))"]
+    for i in range(1, defns):
+        parts.append(f"(define g{i} (lambda (x) (g{i - 1} (+ x 1))))")
+    body = "\n  ".join(parts)
+    return f"(unit (import) (export)\n  {body}\n  (g{defns - 1} 0))"
+
+
+def sharing_program(n: int, defns: int = 24) -> Expr:
+    """N copies of one library unit linked into a program.
+
+    Every copy is structurally identical, so the content-addressed
+    caches check and compile the library once and reuse it n-1 times —
+    cold, within a single run.
+    """
+    source = _library_source(defns)
+    graph = LinkGraph(exports=())
+    for k in range(n):
+        graph.add_box(f"c{k}", source)
+    graph.add_box("driver", "(unit (import) (export) 42)")
+    return InvokeExpr(graph.to_compound_expr(), ())
+
+
+def _phonebook_path() -> Path:
+    return Path(__file__).resolve().parents[2] / "examples" / "phonebook.scm"
+
+
+def phonebook_program() -> Expr:
+    return parse_script(_phonebook_path().read_text(),
+                        origin=str(_phonebook_path()))
+
+
+# ---------------------------------------------------------------------------
+# Timing
+# ---------------------------------------------------------------------------
+
+
+def _pipeline(program: Expr) -> dict[str, float]:
+    """Run check -> link -> compile -> eval, returning stage seconds."""
+    stages: dict[str, float] = {}
+    t0 = time.perf_counter()
+    check_program(program, strict_valuable=False)
+    t1 = time.perf_counter()
+    link_and_optimize(program)
+    t2 = time.perf_counter()
+    compile_expr(program)
+    t3 = time.perf_counter()
+    Interpreter().eval(program)
+    t4 = time.perf_counter()
+    stages["check"] = t1 - t0
+    stages["link"] = t2 - t1
+    stages["compile"] = t3 - t2
+    stages["eval"] = t4 - t3
+    stages["total"] = t4 - t0
+    return stages
+
+
+def _best(runs: list[dict[str, float]]) -> dict[str, float]:
+    """The run with the smallest total (stages kept coherent)."""
+    return min(runs, key=lambda r: r["total"])
+
+
+def _time_case(name: str, build: Callable[[], Expr],
+               repeats: int) -> dict[str, object]:
+    uncached_runs = []
+    prev = _terms.set_caching(False)
+    try:
+        for _ in range(repeats):
+            uncached_runs.append(_pipeline(build()))
+    finally:
+        _terms.set_caching(prev)
+
+    cold_runs = []
+    for _ in range(repeats):
+        _terms.clear_intern_table()
+        with unit_cache_scope():
+            cold_runs.append(_pipeline(build()))
+
+    warm_runs = []
+    with unit_cache_scope():
+        _pipeline(build())  # priming pass
+        for _ in range(repeats):
+            warm_runs.append(_pipeline(build()))
+
+    uncached, cold, warm = (_best(uncached_runs), _best(cold_runs),
+                            _best(warm_runs))
+    return {
+        "case": name,
+        "repeats": repeats,
+        "uncached_s": round(uncached["total"], 6),
+        "cached_s": round(cold["total"], 6),
+        "warm_s": round(warm["total"], 6),
+        "speedup": round(uncached["total"] / cold["total"], 3),
+        "warm_speedup": round(uncached["total"] / warm["total"], 3),
+        "stages": {
+            "uncached": {k: round(uncached[k], 6) for k in STAGES},
+            "cached": {k: round(cold[k], 6) for k in STAGES},
+            "warm": {k: round(warm[k], 6) for k in STAGES},
+        },
+    }
+
+
+def _cache_counters(build: Callable[[], Expr]):
+    """One primed, traced pipeline pass; returns (collector, counters).
+
+    Untimed — its only job is recording the ``cache.*`` hit/miss
+    activity a warm run produces, for the metrics snapshot.
+    """
+    from repro import obs
+
+    collector = obs.Collector()
+    with unit_cache_scope():
+        _pipeline(build())
+        with obs.collecting(collector):
+            _pipeline(build())
+    return collector
+
+
+def run_bench(quick: bool = False, out: str = "BENCH_results.json",
+              snapshot: str | None = None) -> int:
+    """The ``repro bench`` driver.  Returns a process exit status."""
+    sys.setrecursionlimit(max(sys.getrecursionlimit(), 40000))
+    if quick:
+        cases: list[tuple[str, Callable[[], Expr]]] = [
+            ("chain-032", lambda: chain_program(32)),
+            ("sharing-016", lambda: sharing_program(16)),
+        ]
+        repeats = 1
+    else:
+        cases = [
+            ("chain-064", lambda: chain_program(64)),
+            ("chain-128", lambda: chain_program(128)),
+            ("chain-256", lambda: chain_program(256)),
+            ("sharing-032", lambda: sharing_program(32)),
+            ("sharing-064", lambda: sharing_program(64)),
+        ]
+        repeats = 3
+    if _phonebook_path().exists():
+        cases.append(("phonebook", phonebook_program))
+
+    results = []
+    for name, build in cases:
+        print(f"bench: {name} ({repeats} repeat(s)) ...", flush=True)
+        results.append(_time_case(name, build, repeats))
+        r = results[-1]
+        print(f"  uncached {r['uncached_s']:.3f}s   "
+              f"cached {r['cached_s']:.3f}s ({r['speedup']}x)   "
+              f"warm {r['warm_s']:.3f}s ({r['warm_speedup']}x)")
+
+    collector = _cache_counters(
+        cases[0][1] if quick else (lambda: chain_program(64)))
+    counters = {kind: count
+                for kind, count in sorted(collector.counters.items())}
+
+    payload = {
+        "schema": "bench1",
+        "quick": quick,
+        "repeats": repeats,
+        "cases": results,
+        "warm_counters": counters,
+    }
+    Path(out).write_text(json.dumps(payload, indent=2) + "\n",
+                         encoding="utf-8")
+    print(f"bench: results -> {out}")
+    if snapshot:
+        from repro import obs
+
+        Path(snapshot).parent.mkdir(parents=True, exist_ok=True)
+        obs.write_metrics(collector, snapshot)
+        print(f"bench: counters snapshot -> {snapshot}")
+    hits = sum(count for kind, count in counters.items()
+               if kind == "cache.hit")
+    if hits == 0:
+        print("bench: error: warm pass recorded no cache hits",
+              file=sys.stderr)
+        return 1
+    return 0

@@ -40,6 +40,22 @@ edges, checks, compiles, invokes, dynamic-link loads) as JSON Lines;
 (``--metrics-out FILE`` writes it to a file instead); ``--profile``
 prints a cProfile report on stderr.  All three are off by default and
 cost nothing when off.
+
+Caching (any subcommand)::
+
+    python -m repro --no-term-cache run examples/phonebook.scm
+    python -m repro --cache-dir .repro-cache demo examples/phonebook.scm
+    python -m repro bench --quick
+
+Every invocation runs with the term-performance layer on (memoized
+free variables and substitution, hash-consing) and a fresh
+content-addressed unit cache (check/compile/parse reuse for
+structurally identical units; ``cache.*`` trace events report hits).
+``--no-term-cache`` disables all of it — the escape hatch and the
+differential-testing baseline.  ``--cache-dir DIR`` (or the
+``REPRO_CACHE_DIR`` environment variable) adds an on-disk tier so
+compiled units persist across invocations.  ``bench`` measures the
+difference and writes ``BENCH_results.json`` (docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -285,6 +301,13 @@ def cmd_demo(args: argparse.Namespace) -> int:
     linked, stats = link_and_optimize(expr)
     print(f"link: {stats}")
 
+    # Re-check the linked program (lenient mode, as the archive's
+    # retrieval check below runs): linking must preserve
+    # well-formedness, and under the default cache scope this primes
+    # the check cache the retrieval then hits.
+    check_program(linked, strict_valuable=False)
+    print("recheck: linked program ok")
+
     compiled = compile_expr(expr)
     print(f"compile: {type(compiled).__name__}")
 
@@ -339,6 +362,14 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Benchmark the pipeline cached vs uncached; write the results."""
+    from repro.bench import run_bench
+
+    return run_bench(quick=args.quick, out=args.out,
+                     snapshot=args.snapshot)
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     """Run figure reproductions and print their reports."""
     from repro.figures import FIGURES, get_figure
@@ -365,6 +396,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the metrics JSON to FILE")
     parser.add_argument("--profile", action="store_true",
                         help="print a cProfile report on stderr")
+    parser.add_argument("--no-term-cache", action="store_true",
+                        help="disable term memoization, hash-consing, and "
+                             "the content-addressed unit caches")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="persist compiled units under DIR across "
+                             "invocations (default: $REPRO_CACHE_DIR)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add(name, fn, help_text, with_file=True):
@@ -435,6 +472,18 @@ def build_parser() -> argparse.ArgumentParser:
                "archive, machine, interpreter) on one program")
     demo.add_argument("--limit", type=int, default=1_000_000,
                       help="maximum machine reduction steps")
+    bench = sub.add_parser(
+        "bench", help="time the pipeline cached vs --no-term-cache and "
+                      "write BENCH_results.json")
+    bench.add_argument("--quick", action="store_true",
+                       help="small sizes, one repeat (CI smoke)")
+    bench.add_argument("--out", metavar="FILE",
+                       default="BENCH_results.json",
+                       help="where to write the results JSON")
+    bench.add_argument("--snapshot", metavar="FILE", default=None,
+                       help="also write a counters snapshot (with "
+                            "cache.* activity) usable by 'trace diff'")
+    bench.set_defaults(fn=cmd_bench)
     repl = sub.add_parser("repl", help="interactive session")
     repl.set_defaults(fn=cmd_repl)
     figures = sub.add_parser("figures", help="run figure reproductions")
@@ -479,7 +528,7 @@ def _run_observed(args: argparse.Namespace) -> int:
 
 
 _TRACE_TOOLS = ("steps", "report", "diff", "flame")
-_VALUE_FLAGS = ("--trace", "--metrics-out")
+_VALUE_FLAGS = ("--trace", "--metrics-out", "--cache-dir")
 
 
 def _normalize_argv(argv: list[str]) -> list[str]:
@@ -513,14 +562,31 @@ def _normalize_argv(argv: list[str]) -> list[str]:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
+    import os
+    from contextlib import ExitStack
+
+    from repro.lang import terms as _terms
+    from repro.units.cache import unit_cache_scope
+
     argv = sys.argv[1:] if argv is None else list(argv)
     args = build_parser().parse_args(_normalize_argv(argv))
     observed = (args.trace or args.metrics or args.metrics_out
                 or args.profile)
     try:
-        if observed:
-            return _run_observed(args)
-        return args.fn(args)
+        with ExitStack() as stack:
+            if args.no_term_cache:
+                prev = _terms.set_caching(False)
+                stack.callback(_terms.set_caching, prev)
+            else:
+                # One invocation = one fresh cache scope: in-process
+                # callers of main() (tests, scripting) never see one
+                # another's cache state.
+                cache_dir = (args.cache_dir
+                             or os.environ.get("REPRO_CACHE_DIR") or None)
+                stack.enter_context(unit_cache_scope(cache_dir))
+            if observed:
+                return _run_observed(args)
+            return args.fn(args)
     except LangError as err:
         print(f"error: {err}", file=sys.stderr)
         return 1

@@ -37,6 +37,7 @@ from repro.types.types import Sig
 from repro.unitc.ast import TypedUnitExpr
 from repro.unitc.check import base_tyenv, check_typed_unit
 from repro.unitc.parser import parse_typed_program
+from repro.units import cache as _cache
 from repro.units.ast import UnitExpr
 from repro.units.check import check_unit
 
@@ -206,8 +207,13 @@ class UnitArchive:
                           expected_exports: tuple[str, ...],
                           strict_valuable: bool) -> UnitExpr:
         entry = self._lookup(name)
+        origin = f"<archive:{name}>"
         try:
-            expr = parse_program(entry.source, origin=f"<archive:{name}>")
+            # Repeated loads of the same entry parse once; the key
+            # includes the origin so cached locations stay truthful.
+            expr = _cache.cached_parse(
+                origin + "\x00" + entry.source,
+                lambda: parse_program(entry.source, origin=origin))
         except Exception as err:
             raise _fail(name, "parse",
                         f"archive entry '{name}' failed to parse: {err}",

@@ -104,6 +104,7 @@ class Machine:
     def __init__(self, max_steps: int = 1_000_000):
         self.max_steps = max_steps
         self._prims = self._build_prim_table()
+        self._prim_names = frozenset(self._prims)
 
     @staticmethod
     def _build_prim_table() -> dict[str, Primitive]:
@@ -311,7 +312,7 @@ class Machine:
         letrec semantics of the interpreter.
         """
         taken = {name for name, _ in state.store}
-        taken |= set(self._prims)
+        taken |= self._prim_names
         taken |= free_vars(expr)
         renames: dict[str, Expr] = {}
         fresh_names: list[str] = []

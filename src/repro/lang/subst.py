@@ -17,12 +17,26 @@ Binding structure of the unit forms:
   linking specifications resolved at reduction time.
 * ``invoke``: the link names are labels for the invoked unit's imports,
   not binders in the invoking program.
+
+Performance: because AST nodes are immutable, a node's free-variable
+set never changes — :func:`free_vars` memoizes it on the node (the
+``_fv`` field written via ``object.__setattr__``), and substitution
+uses the memo for an identity short-circuit: a subtree with no free
+occurrence of any substituted variable is returned *unchanged* instead
+of being rebuilt.  Both are controlled by the global caching switch in
+:mod:`repro.lang.terms` (``--no-term-cache`` forces the old
+recompute-and-rebuild path for differential testing).  Substitution
+under a binder is a single batched parallel pass: binder renamings are
+merged into the live mapping rather than applied in a separate
+traversal.
 """
 
 from __future__ import annotations
 
 import itertools
+import re
 
+from repro.lang import terms as _terms
 from repro.lang.ast import (
     App,
     Expr,
@@ -51,16 +65,37 @@ def gensym(base: str) -> str:
     return f"{base}%{next(_counter)}"
 
 
+#: A machine-generated suffix chain: one or more ``%<digits>`` groups
+#: at the *end* of a name.  Only these are stripped when re-freshening,
+#: so a fresh name derived from a fresh name reuses the original base
+#: (``h%5`` -> ``h%12``, never ``h%5%12``) while user identifiers that
+#: legitimately contain ``%`` (the reader allows it) are preserved in
+#: full (``x%y`` -> ``x%y%12``, not ``x%12``).
+_GENSYM_SUFFIX = re.compile(r"(%\d+)+$")
+
+
 def fresh_like(base: str, avoid: set[str]) -> str:
     """Generate a name based on ``base`` avoiding everything in ``avoid``."""
-    candidate = gensym(base.split("%")[0])
+    stem = _GENSYM_SUFFIX.sub("", base) or base
+    candidate = gensym(stem)
     while candidate in avoid:
-        candidate = gensym(base.split("%")[0])
+        candidate = gensym(stem)
     return candidate
 
 
 def free_vars(expr: Expr) -> frozenset[str]:
-    """The free variables of an expression."""
+    """The free variables of an expression (memoized per node)."""
+    if _terms._enabled:
+        cached = expr.__dict__.get("_fv")
+        if cached is not None:
+            return cached
+        out = _free_vars(expr)
+        object.__setattr__(expr, "_fv", out)
+        return out
+    return _free_vars(expr)
+
+
+def _free_vars(expr: Expr) -> frozenset[str]:
     if isinstance(expr, Lit):
         return frozenset()
     if isinstance(expr, Var):
@@ -115,9 +150,15 @@ def substitute(expr: Expr, mapping: dict[str, Expr]) -> Expr:
 
     ``mapping`` maps variable names to replacement expressions (usually
     value syntax).  Binders that would capture a free variable of a
-    replacement are renamed first.
+    replacement are renamed first.  When caching is on, a term with no
+    free occurrence of any mapped variable is returned unchanged
+    (identity, not just equality) — renaming only ever protects
+    replacements that are actually inserted, so an untouched subtree
+    is already the correct result.
     """
     if not mapping:
+        return expr
+    if _terms._enabled and free_vars(expr).isdisjoint(mapping):
         return expr
     replacement_fvs: set[str] = set()
     for replacement in mapping.values():
@@ -126,14 +167,16 @@ def substitute(expr: Expr, mapping: dict[str, Expr]) -> Expr:
 
 
 def _subst(expr: Expr, mapping: dict[str, Expr], rfvs: set[str]) -> Expr:
+    if _terms._enabled and free_vars(expr).isdisjoint(mapping):
+        return expr
     if isinstance(expr, Lit):
         return expr
     if isinstance(expr, Var):
         return mapping.get(expr.name, expr)
     if isinstance(expr, Lambda):
-        params, body, live = _enter_binder(list(expr.params), expr.body,
-                                           mapping, rfvs)
-        return Lambda(tuple(params), _subst(body, live, rfvs), expr.loc)
+        params, body, live, live_rfvs = _enter_binder(
+            list(expr.params), expr.body, mapping, rfvs)
+        return Lambda(tuple(params), _subst(body, live, live_rfvs), expr.loc)
     if isinstance(expr, App):
         return App(_subst(expr.fn, mapping, rfvs),
                    tuple(_subst(a, mapping, rfvs) for a in expr.args),
@@ -144,15 +187,16 @@ def _subst(expr: Expr, mapping: dict[str, Expr], rfvs: set[str]) -> Expr:
                   _subst(expr.orelse, mapping, rfvs), expr.loc)
     if isinstance(expr, Let):
         new_rhs = [_subst(rhs, mapping, rfvs) for _, rhs in expr.bindings]
-        names, body, live = _enter_binder(
+        names, body, live, live_rfvs = _enter_binder(
             [name for name, _ in expr.bindings], expr.body, mapping, rfvs)
         return Let(tuple(zip(names, new_rhs)),
-                   _subst(body, live, rfvs), expr.loc)
+                   _subst(body, live, live_rfvs), expr.loc)
     if isinstance(expr, Letrec):
         names = [name for name, _ in expr.bindings]
         scoped = Seq(tuple([rhs for _, rhs in expr.bindings] + [expr.body]))
-        new_names, new_scoped, live = _enter_binder(names, scoped, mapping, rfvs)
-        new_scoped = _subst(new_scoped, live, rfvs)
+        new_names, new_scoped, live, live_rfvs = _enter_binder(
+            names, scoped, mapping, rfvs)
+        new_scoped = _subst(new_scoped, live, live_rfvs)
         assert isinstance(new_scoped, Seq)
         parts = new_scoped.exprs
         return Letrec(tuple(zip(new_names, parts[:-1])), parts[-1], expr.loc)
@@ -193,28 +237,35 @@ def _enter_binder(names: list[str], scope: Expr, mapping: dict[str, Expr],
                   rfvs: set[str]):
     """Prepare to substitute under a binder for ``names`` scoping ``scope``.
 
-    Returns possibly renamed names, the scope with binder renamings
-    applied, and the mapping restricted to variables still free.
+    Returns possibly renamed names, the scope, the mapping to apply to
+    the scope, and that mapping's replacement free variables.  Binder
+    renamings (needed when a binder would capture a replacement) are
+    *merged into* the returned mapping instead of being applied in a
+    separate substitution pass: the renamed binders and the live
+    mapping have disjoint domains, and parallel substitution never
+    descends into replacements, so one pass gives the same result as
+    rename-then-substitute.
     """
     live = {k: v for k, v in mapping.items() if k not in names}
     if not live:
-        return names, scope, live
+        return names, scope, live, rfvs
     needs_rename = [name for name in names if name in rfvs]
     if needs_rename:
         avoid = rfvs | set(names) | set(free_vars(scope)) | set(live)
-        renames: dict[str, Expr] = {}
+        merged = dict(live)
+        merged_rfvs = set(rfvs)
         new_names = []
         for name in names:
             if name in rfvs:
                 fresh = fresh_like(name, avoid)
                 avoid.add(fresh)
-                renames[name] = Var(fresh)
+                merged[name] = Var(fresh)
+                merged_rfvs.add(fresh)
                 new_names.append(fresh)
             else:
                 new_names.append(name)
-        scope = substitute(scope, renames)
-        return new_names, scope, live
-    return names, scope, live
+        return new_names, scope, merged, merged_rfvs
+    return names, scope, live, rfvs
 
 
 def _subst_unit(expr: UnitExpr, mapping: dict[str, Expr],
@@ -234,28 +285,30 @@ def _subst_unit(expr: UnitExpr, mapping: dict[str, Expr],
         return expr
     interface = set(expr.imports) | set(expr.exports)
     captured = [name for name in bound if name in rfvs]
-    renames: dict[str, Expr] = {}
+    merged = live
+    merged_rfvs = rfvs
+    renamed: dict[str, str] = {}
     if captured:
         avoid = rfvs | set(bound) | set(live)
         for _, rhs in expr.defns:
             avoid |= free_vars(rhs)
         avoid |= free_vars(expr.init)
+        merged = dict(live)
+        merged_rfvs = set(rfvs)
         for name in captured:
             if name in interface:
                 raise ValueError(
                     f"substitution would capture interface name {name}")
             fresh = fresh_like(name, avoid)
             avoid.add(fresh)
-            renames[name] = Var(fresh)
-    def rename_defn_name(name: str) -> str:
-        target = renames.get(name)
-        return target.name if isinstance(target, Var) else name
+            merged[name] = Var(fresh)
+            merged_rfvs.add(fresh)
+            renamed[name] = fresh
 
     new_defns = tuple(
-        (rename_defn_name(name),
-         _subst(substitute(rhs, renames), live, rfvs))
+        (renamed.get(name, name), _subst(rhs, merged, merged_rfvs))
         for name, rhs in expr.defns)
-    new_init = _subst(substitute(expr.init, renames), live, rfvs)
+    new_init = _subst(expr.init, merged, merged_rfvs)
     return UnitExpr(expr.imports, expr.exports, new_defns, new_init, expr.loc)
 
 

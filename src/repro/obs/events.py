@@ -27,8 +27,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-#: Event families, in pipeline order.
-FAMILIES = ("check", "link", "reduce", "unit", "dynlink")
+#: Event families, in pipeline order.  ``cache`` is the odd one out:
+#: its events describe the *implementation* (content-addressed reuse of
+#: check/compile/parse results), not the semantics, and differential
+#: tests exclude the family when comparing traces.
+FAMILIES = ("check", "link", "reduce", "unit", "dynlink", "cache")
 
 #: Field names reserved by the span layer (instrumentation sites must
 #: not use these for their own payload keys).
@@ -58,6 +61,10 @@ KINDS: dict[str, str] = {
     # Dynamic linking (Section 3.4, Figure 7)
     "dynlink.load": "an archived unit was retrieved and verified",
     "dynlink.error": "archive retrieval or plug-in installation failed",
+    # Content-addressed caches (repro.units.cache)
+    "cache.hit": "a cache returned a stored result for a term digest",
+    "cache.miss": "a cache had no entry and the result was computed",
+    "cache.evict": "a bounded cache dropped its least-recent entry",
 }
 
 

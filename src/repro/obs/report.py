@@ -120,6 +120,37 @@ def _failures(events: Sequence[TraceEvent]) -> list[str]:
     return lines
 
 
+def _cache_efficiency(events: Sequence[TraceEvent]) -> list[str]:
+    """Per-cache hit/miss/eviction lines, empty without cache events.
+
+    Ratios come from the events' ``cache`` field, so the section works
+    on any recorded trace (live collector or reloaded JSONL).
+    """
+    stats: dict[str, dict[str, int]] = {}
+    for event in events:
+        if family_of(event.kind) != "cache":
+            continue
+        name = str(event.fields.get("cache", "?"))
+        per = stats.setdefault(name, {"hit": 0, "miss": 0, "evict": 0})
+        action = event.kind.split(".", 1)[1]
+        if action in per:
+            per[action] += 1
+    if not stats:
+        return []
+    lines = ["cache efficiency:"]
+    width = max(len(name) for name in stats)
+    for name in sorted(stats):
+        per = stats[name]
+        lookups = per["hit"] + per["miss"]
+        ratio = f"{per['hit'] / lookups:6.1%}" if lookups else "   n/a"
+        line = (f"  {name.ljust(width)}  {per['hit']:>6} hit  "
+                f"{per['miss']:>6} miss  {ratio} hit rate")
+        if per["evict"]:
+            line += f"  ({per['evict']} evicted)"
+        lines.append(line)
+    return lines
+
+
 def render_report(events: Sequence[TraceEvent], top: int = 10,
                   max_depth: int | None = None) -> str:
     """The full ``repro trace report`` text for one recorded trace."""
@@ -140,6 +171,10 @@ def render_report(events: Sequence[TraceEvent], top: int = 10,
     out.append("events by kind:")
     out.extend(_counts_table(counts))
     out.append("")
+    efficiency = _cache_efficiency(events)
+    if efficiency:
+        out.extend(efficiency)
+        out.append("")
     out.append("span tree  (* = critical path; cum/self in ms):")
     out.extend(render_tree(forest, max_depth))
     path = critical_path(forest)

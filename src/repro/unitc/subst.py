@@ -13,10 +13,17 @@ operations:
 Replacement names are globally fresh (:func:`repro.lang.subst.gensym`),
 so renaming can never capture; substitution stops at binders that
 shadow the substituted name.
+
+Mirroring :mod:`repro.lang.subst`, value substitution is memoized:
+:func:`free_value_vars` caches each node's free *value* variables on
+the (immutable) node, and :func:`subst_values_texpr` returns a subtree
+unchanged when it contains no free occurrence of any mapped variable.
+Both honor the global caching switch in :mod:`repro.lang.terms`.
 """
 
 from __future__ import annotations
 
+from repro.lang import terms as _terms
 from repro.types.types import TyVar, Type
 from repro.unite.expand import expand_texpr, expand_type
 from repro.unitc.ast import (
@@ -59,9 +66,86 @@ def rename_types_texpr(expr: TExpr, renames: dict[str, str]) -> TExpr:
         expr, {old: TyVar(new) for old, new in renames.items()})
 
 
+def free_value_vars(expr: TExpr) -> frozenset[str]:
+    """The free *value* variables of a typed expression (memoized).
+
+    Type variables and annotations are ignored — this is the value
+    namespace only, matching the binders :func:`subst_values_texpr`
+    respects (lambda parameters, let/letrec bindings, and a typed
+    unit's value imports and defined values, including the five
+    operations each datatype introduces).
+    """
+    if _terms._enabled:
+        cached = expr.__dict__.get("_fvv")
+        if cached is not None:
+            return cached
+        out = _free_value_vars(expr)
+        object.__setattr__(expr, "_fvv", out)
+        return out
+    return _free_value_vars(expr)
+
+
+def _free_value_vars(expr: TExpr) -> frozenset[str]:
+    if isinstance(expr, TLit):
+        return frozenset()
+    if isinstance(expr, TVar):
+        return frozenset((expr.name,))
+    if isinstance(expr, TLambda):
+        return free_value_vars(expr.body) - {n for n, _ in expr.params}
+    if isinstance(expr, TApp):
+        out = free_value_vars(expr.fn)
+        for arg in expr.args:
+            out |= free_value_vars(arg)
+        return out
+    if isinstance(expr, TIf):
+        return (free_value_vars(expr.test) | free_value_vars(expr.then)
+                | free_value_vars(expr.orelse))
+    if isinstance(expr, TLet):
+        bound = {n for n, _ in expr.bindings}
+        out = frozenset()
+        for _, rhs in expr.bindings:
+            out |= free_value_vars(rhs)
+        return out | (free_value_vars(expr.body) - bound)
+    if isinstance(expr, TLetrec):
+        bound = {n for n, _, _ in expr.bindings}
+        out = free_value_vars(expr.body)
+        for _, _, rhs in expr.bindings:
+            out |= free_value_vars(rhs)
+        return out - bound
+    if isinstance(expr, (TSeq, TTuple)):
+        out = frozenset()
+        for sub in expr.exprs:
+            out |= free_value_vars(sub)
+        return out
+    if isinstance(expr, TSet):
+        return frozenset((expr.name,)) | free_value_vars(expr.expr)
+    if isinstance(expr, (TProj, TBox, TUnbox)):
+        return free_value_vars(expr.expr)
+    if isinstance(expr, TSetBox):
+        return free_value_vars(expr.box) | free_value_vars(expr.expr)
+    if isinstance(expr, TypedUnitExpr):
+        bound = {n for n, _ in expr.vimports} | set(expr.defined_values)
+        out = frozenset()
+        for _, _, rhs in expr.defns:
+            out |= free_value_vars(rhs)
+        out |= free_value_vars(expr.init)
+        return out - bound
+    if isinstance(expr, TypedCompoundExpr):
+        return (free_value_vars(expr.first.expr)
+                | free_value_vars(expr.second.expr))
+    if isinstance(expr, TypedInvokeExpr):
+        out = free_value_vars(expr.expr)
+        for _, rhs in expr.vlinks:
+            out |= free_value_vars(rhs)
+        return out
+    raise TypeError(f"free_value_vars: unknown expression {expr!r}")
+
+
 def subst_values_texpr(expr: TExpr, mapping: dict[str, TExpr]) -> TExpr:
     """Substitute closed typed expressions for free value variables."""
     if not mapping:
+        return expr
+    if _terms._enabled and free_value_vars(expr).isdisjoint(mapping):
         return expr
     if isinstance(expr, TLit):
         return expr

@@ -1,0 +1,276 @@
+"""Content-addressed caches for compiled and checked units.
+
+Units are syntax, and structurally identical syntax compiles and
+checks identically — so the Figure 12 compiler, the Figure 10 checker,
+and the dynamic-linking archive can reuse results keyed by the stable
+:func:`repro.lang.terms.term_key` digest.  Three stores live here:
+
+* the **compile cache** — ``term_key(unit-form) -> compiled core
+  expression`` (compiled code is closed over its generated names, so a
+  cached body is reusable in any context, exactly the code sharing the
+  paper's footnote 8 describes);
+* the **check cache** — ``(term_key, strict?) -> passed`` for
+  successful :func:`repro.units.check.check_unit` runs (failures are
+  never cached: the error message and trace event must re-fire);
+* the **parse cache** — ``sha256(source) -> unit syntax`` for archive
+  retrievals, so repeatedly loading the same serialized unit parses
+  once.
+
+Scoping: the caches are **inactive by default** and enabled per scope
+with :func:`unit_cache_scope` — the CLI wraps each invocation in a
+fresh scope (one invocation behaves like one process), benches and
+tests open their own.  This keeps library semantics and trace-event
+counts bit-for-bit stable for any caller that did not opt in.
+``--no-term-cache`` (the :mod:`repro.lang.terms` switch) also disables
+them.
+
+Every lookup emits exactly one ``cache.hit`` or ``cache.miss`` event
+(guarded, so nothing is built when observability is off) carrying the
+cache's name; LRU evictions emit ``cache.evict``.  The on-disk tier
+(for compiled units, enabled by ``--cache-dir`` or the
+``REPRO_CACHE_DIR`` environment variable) stores pretty-printed
+compiled code under a directory versioned by the digest schema, so a
+schema change strands old entries instead of misreading them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.lang import terms as _terms
+from repro.lang.ast import Expr
+from repro.obs import current as _obs_current
+
+_MISS = object()
+
+
+class TermCache:
+    """A bounded LRU map from digests to results.
+
+    Pure storage: event emission happens in the ``cached_*`` helpers
+    below (one event per *logical* lookup, even when a memory miss
+    falls through to the disk tier), except eviction, which only this
+    class can see.
+    """
+
+    def __init__(self, name: str, maxsize: int):
+        self.name = name
+        self.maxsize = maxsize
+        self._table: "OrderedDict[object, object]" = OrderedDict()
+
+    def get(self, key: object) -> object:
+        found = self._table.get(key, _MISS)
+        if found is not _MISS:
+            self._table.move_to_end(key)
+        return found
+
+    def put(self, key: object, value: object) -> None:
+        self._table[key] = value
+        self._table.move_to_end(key)
+        if len(self._table) > self.maxsize:
+            self._table.popitem(last=False)
+            col = _obs_current()
+            if col is not None:
+                col.emit("cache.evict", {"cache": self.name})
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        self._table.clear()
+
+
+COMPILE_CACHE = TermCache("compile", maxsize=1024)
+CHECK_CACHE = TermCache("check", maxsize=4096)
+PARSE_CACHE = TermCache("dynlink", maxsize=256)
+
+_ALL = (COMPILE_CACHE, CHECK_CACHE, PARSE_CACHE)
+
+#: Activation flag — see the module docstring.  Off by default.
+_active = False
+
+#: Directory of the on-disk compiled-unit tier, or ``None``.
+_disk_dir: Path | None = None
+
+
+def unit_caches_active() -> bool:
+    """Are the content-addressed caches consulted right now?"""
+    return _active and _terms._enabled
+
+
+def clear_unit_caches() -> None:
+    """Empty every in-memory store (the disk tier is untouched)."""
+    for cache in _ALL:
+        cache.clear()
+
+
+@contextmanager
+def unit_cache_scope(disk_dir: str | Path | None = None
+                     ) -> Iterator[None]:
+    """Activate fresh caches for the dynamic extent of the block.
+
+    Entering installs empty stores (and optionally a disk directory);
+    exiting restores whatever was active before, so scopes nest and a
+    library caller can never observe another caller's cache state.
+    """
+    global _active, _disk_dir
+    saved_tables = [cache._table for cache in _ALL]
+    saved_active, saved_disk = _active, _disk_dir
+    for cache in _ALL:
+        cache._table = OrderedDict()
+    _active = True
+    _disk_dir = Path(disk_dir) if disk_dir is not None else None
+    try:
+        yield
+    finally:
+        for cache, table in zip(_ALL, saved_tables):
+            cache._table = table
+        _active, _disk_dir = saved_active, saved_disk
+
+
+def _emit_hit(name: str, tier: str) -> None:
+    col = _obs_current()
+    if col is not None:
+        col.emit("cache.hit", {"cache": name, "tier": tier})
+
+
+def _emit_miss(name: str) -> None:
+    col = _obs_current()
+    if col is not None:
+        col.emit("cache.miss", {"cache": name})
+
+
+# ---------------------------------------------------------------------------
+# The compile cache (memory + optional disk tier)
+# ---------------------------------------------------------------------------
+
+
+def _disk_path(key: str) -> Path | None:
+    if _disk_dir is None:
+        return None
+    return _disk_dir / f"v1-{_terms.SCHEMA}" / "compile" / f"{key}.scm"
+
+
+def _disk_read(key: str) -> Expr | None:
+    path = _disk_path(key)
+    if path is None:
+        return None
+    from repro.lang.parser import parse_program
+
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    try:
+        return parse_program(text, origin=str(path))
+    except Exception:
+        # A corrupt or stale entry is a miss, not an error; drop it so
+        # the recomputed result can take its slot.
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def _disk_write(key: str, expr: Expr) -> None:
+    path = _disk_path(key)
+    if path is None:
+        return
+    from repro.lang.pretty import show
+
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(show(expr) + "\n", encoding="utf-8")
+    except OSError:
+        pass  # a read-only cache dir degrades to memory-only
+
+
+def cached_compile(expr: Expr, compute: Callable[[], Expr]) -> Expr:
+    """Compile through the content-addressed cache.
+
+    Hits return the stored node itself, so structurally identical
+    units across a program share one compiled body (the paper's
+    footnote-8 code sharing, for free).  Keying digests only the
+    *input* unit — never the (much larger) compiled output.
+    """
+    if not unit_caches_active():
+        return compute()
+    key = _terms.try_term_key(expr)
+    if key is None:
+        return compute()
+    found = COMPILE_CACHE.get(key)
+    if found is not _MISS:
+        _emit_hit("compile", "memory")
+        return found  # type: ignore[return-value]
+    loaded = _disk_read(key)
+    if loaded is not None:
+        _emit_hit("compile", "disk")
+        COMPILE_CACHE.put(key, loaded)
+        return loaded
+    _emit_miss("compile")
+    out = compute()
+    COMPILE_CACHE.put(key, out)
+    _disk_write(key, out)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The check cache (successes only)
+# ---------------------------------------------------------------------------
+
+
+def checked_ok(expr: Expr, strict_valuable: bool) -> bool:
+    """Did a structurally identical unit already pass this check?
+
+    Emits the hit/miss event; a ``True`` return means the caller may
+    skip re-checking.  Inactive caches answer ``False`` silently.
+    """
+    if not unit_caches_active():
+        return False
+    key = _terms.try_term_key(expr)
+    if key is None:
+        return False
+    if CHECK_CACHE.get((key, strict_valuable)) is not _MISS:
+        _emit_hit("check", "memory")
+        return True
+    _emit_miss("check")
+    return False
+
+
+def record_checked(expr: Expr, strict_valuable: bool) -> None:
+    """Record that ``expr`` passed checking (no event: not a lookup)."""
+    if not unit_caches_active():
+        return
+    key = _terms.try_term_key(expr)
+    if key is not None:
+        CHECK_CACHE.put((key, strict_valuable), True)
+
+
+# ---------------------------------------------------------------------------
+# The archive parse cache
+# ---------------------------------------------------------------------------
+
+
+def cached_parse(source: str, compute: Callable[[], Expr]) -> Expr:
+    """Parse archived unit source through the cache.
+
+    Keyed by the full text handed in — callers prepend any context
+    (like the parse origin) that the cached syntax must agree with.
+    """
+    if not unit_caches_active():
+        return compute()
+    import hashlib
+
+    key = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    found = PARSE_CACHE.get(key)
+    if found is not _MISS:
+        _emit_hit("dynlink", "memory")
+        return found  # type: ignore[return-value]
+    _emit_miss("dynlink")
+    out = compute()
+    PARSE_CACHE.put(key, out)
+    return out

@@ -32,6 +32,7 @@ from repro.lang.ast import (
 )
 from repro.lang.errors import CheckError
 from repro.obs import span as _obs_span
+from repro.units import cache as _cache
 from repro.units.ast import CompoundExpr, InvokeExpr, UnitExpr
 from repro.units.valuable import is_valuable
 
@@ -112,6 +113,12 @@ def check_unit(expr: UnitExpr, strict_valuable: bool = True) -> None:
     with _obs_span("check.unit", _span_fields(
             expr, imports=len(expr.imports), exports=len(expr.exports),
             defns=len(expr.defns))):
+        # Checking is a pure function of the unit's structure, so a
+        # structurally identical unit that already passed need not be
+        # re-walked.  The span above still fires: event counts are the
+        # same with caching on or off.  Failures are never recorded.
+        if _cache.checked_ok(expr, strict_valuable):
+            return
         _require_distinct(expr.imports + expr.defined,
                           "unit import/definition", expr)
         _require_distinct(expr.exports, "unit export", expr)
@@ -130,6 +137,7 @@ def check_unit(expr: UnitExpr, strict_valuable: bool = True) -> None:
                     f"reference a unit variable)", expr.loc)
             check_expr(rhs, strict_valuable)
         check_expr(expr.init, strict_valuable)
+        _cache.record_checked(expr, strict_valuable)
 
 
 def check_compound(expr: CompoundExpr, strict_valuable: bool = True) -> None:

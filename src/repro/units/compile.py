@@ -59,25 +59,62 @@ from repro.lang.ast import (
     Var,
     seq_of,
 )
+from repro.lang import terms as _terms
 from repro.lang.subst import fresh_like, free_vars
 from repro.obs import span as _obs_span
+from repro.units import cache as _cache
 from repro.units.ast import CompoundExpr, InvokeExpr, LinkClause, UnitExpr
 
 # ---------------------------------------------------------------------------
 # Small constructors for the generated code
+#
+# The transformation emits the same tiny fragments over and over —
+# ``(void)``, ``(hash-get t "name")``, the protocol primitives' Var
+# nodes, string literals naming unit variables.  Since AST nodes are
+# immutable they can be hash-consed: one shared node per distinct
+# fragment instead of a fresh allocation per occurrence.  For a chain
+# of N linked units the generated wiring is O(N^2) nodes, so this is a
+# large constant-factor win on exactly the programs where compilation
+# is slowest.  Gated on the term-cache switch so ``--no-term-cache``
+# still exercises the share-nothing path.
 # ---------------------------------------------------------------------------
+
+_SHARE_LIMIT = 4096
+_shared_vars: dict[str, Var] = {}
+_shared_strs: dict[str, Lit] = {}
+
+
+def _callee(name: str) -> Var:
+    if not _terms._enabled:
+        return Var(name)
+    var = _shared_vars.get(name)
+    if var is None:
+        if len(_shared_vars) >= _SHARE_LIMIT:
+            _shared_vars.clear()
+        var = _shared_vars[name] = Var(name)
+    return var
 
 
 def _call(name: str, *args: Expr) -> App:
-    return App(Var(name), tuple(args))
+    return App(_callee(name), tuple(args))
 
 
 def _str(text: str) -> Lit:
-    return Lit(text)
+    if not _terms._enabled:
+        return Lit(text)
+    lit = _shared_strs.get(text)
+    if lit is None:
+        if len(_shared_strs) >= _SHARE_LIMIT:
+            _shared_strs.clear()
+        lit = _shared_strs[text] = Lit(text)
+    return lit
+
+
+_VOID_CALL = App(Var("void"), ())
 
 
 def _void() -> Expr:
-    return _call("void")
+    return _VOID_CALL if _terms._enabled else _call("void")
 
 
 def compile_expr(expr: Expr) -> Expr:
@@ -191,7 +228,7 @@ def compile_unit(unit: UnitExpr) -> Expr:
     with _obs_span("unit.compile", {
             "form": "unit", "imports": len(unit.imports),
             "exports": len(unit.exports), "defns": len(unit.defns)}):
-        return _compile_unit(unit)
+        return _cache.cached_compile(unit, lambda: _compile_unit(unit))
 
 
 def _compile_unit(unit: UnitExpr) -> Expr:
@@ -264,7 +301,8 @@ def compile_compound(compound: CompoundExpr) -> Expr:
     with _obs_span("unit.compile", {
             "form": "compound", "imports": len(compound.imports),
             "exports": len(compound.exports)}):
-        return _compile_compound(compound)
+        return _cache.cached_compile(
+            compound, lambda: _compile_compound(compound))
 
 
 def _compile_compound(compound: CompoundExpr) -> Expr:
@@ -296,8 +334,9 @@ def _compile_compound(compound: CompoundExpr) -> Expr:
         stmts.append(_call("hash-put!", Var(ns), _str(name), cell))
 
     def wire(table: str, wanted: tuple[str, ...]) -> list[Expr]:
-        return [_call("hash-put!", Var(table), _str(name),
-                      _call("hash-get", Var(ns), _str(name)))
+        tvar, nsvar = _callee(table), _callee(ns)
+        return [_call("hash-put!", tvar, _str(name),
+                      _call("hash-get", nsvar, _str(name)))
                 for name in wanted]
 
     stmts += wire(names["i1"], compound.first.withs)
@@ -338,7 +377,7 @@ def compile_invoke(invoke: InvokeExpr) -> Expr:
     """Transform an invoke into table construction plus a call."""
     with _obs_span("unit.compile", {
             "form": "invoke", "links": len(invoke.links)}):
-        return _compile_invoke(invoke)
+        return _cache.cached_compile(invoke, lambda: _compile_invoke(invoke))
 
 
 def _compile_invoke(invoke: InvokeExpr) -> Expr:

@@ -1,0 +1,135 @@
+"""Caches must be observationally invisible: a corpus-wide sweep.
+
+Every corpus program runs through the full untyped pipeline twice —
+once exactly as ``--no-term-cache`` would (term memoization off,
+content caches inert) and once exactly as the default CLI invocation
+runs (memo layer on, a fresh content-cache scope) — with the gensym
+counter reset before each run so the two runs are as name-aligned as
+the semantics allows.  The runs must agree on:
+
+* the interpreter's value and displayed output,
+* the rewriting machine's final value and exact step count,
+* the statically linked program (alpha-normalized: gensym'd names may
+  differ across configurations, structure must not),
+* the compiled program's evaluated value and output (compared
+  observationally: the compile cache shares one body across
+  structurally identical units, so its gensym'd binders legitimately
+  repeat — alpha-equivalent, but not via a global renaming),
+* the multiset of non-``cache`` trace-event kinds — hit-skipped work
+  still emits its pipeline span, so observable event counts are
+  identical; only the ``cache.*`` family itself may differ.
+"""
+
+import itertools
+import re
+from collections import Counter
+from contextlib import nullcontext
+
+import pytest
+
+from repro import obs
+from repro.lang import subst as lang_subst
+from repro.lang import terms
+from repro.lang.ast import Lit
+from repro.lang.interp import Interpreter
+from repro.lang.machine import Machine
+from repro.lang.parser import parse_program
+from repro.lang.pretty import show
+from repro.lang.values import to_write_string
+from repro.units.cache import unit_cache_scope
+from repro.units.check import check_program
+from repro.units.compile import compile_expr
+from repro.units.linker import link_and_optimize
+
+from tests.test_corpus import CASES, _matches
+
+_GENSYM = re.compile(r"[^\s()\"]+%\d+")
+
+
+def _canon(text):
+    """Rename gensym'd tokens by first occurrence: alpha-normalization
+    for printed terms."""
+    seen = {}
+
+    def repl(match):
+        return seen.setdefault(match.group(0), f"@{len(seen)}")
+
+    return _GENSYM.sub(repl, text)
+
+
+def _observe(case, cached):
+    """One full pipeline pass; returns the comparable observation."""
+    # Reset the gensym counter so both configurations start from the
+    # same name supply, as two fresh processes would.
+    lang_subst._counter = itertools.count()
+    out = {}
+    with terms.caching(cached):
+        scope = unit_cache_scope() if cached else nullcontext()
+        with scope, obs.collecting() as col:
+            expr = parse_program(case.source)
+            check_program(expr, strict_valuable=not case.lenient)
+
+            interp = Interpreter()
+            out["value"] = to_write_string(interp.eval(expr))
+            out["output"] = interp.port.getvalue()
+
+            if not case.skip_compile:
+                linked, _stats = link_and_optimize(expr)
+                out["linked"] = _canon(show(linked))
+                compiled_interp = Interpreter()
+                out["compiled_value"] = to_write_string(
+                    compiled_interp.eval(compile_expr(expr)))
+                out["compiled_output"] = compiled_interp.port.getvalue()
+
+            if not case.skip_machine:
+                machine = Machine(max_steps=2_000_000)
+                state = machine.load(expr)
+                steps = 0
+                while machine.step(state):
+                    steps += 1
+                assert isinstance(state.control, Lit)
+                out["machine_value"] = to_write_string(state.control.value)
+                out["machine_steps"] = steps
+
+    out["events"] = Counter(e.kind for e in col.events
+                            if not e.kind.startswith("cache."))
+    return out
+
+
+class TestCachedRunsAreObservationallyIdentical:
+    @pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+    def test_corpus_case(self, case):
+        uncached = _observe(case, cached=False)
+        cached = _observe(case, cached=True)
+        for key in uncached:
+            assert cached[key] == uncached[key], key
+
+    @pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+    def test_cached_run_still_matches_golden(self, case):
+        """The cached pipeline still satisfies the corpus goldens (not
+        just self-agreement with the uncached run)."""
+        with unit_cache_scope():
+            expr = parse_program(case.source)
+            check_program(expr, strict_valuable=not case.lenient)
+            interp = Interpreter()
+            value = interp.eval(expr)
+        assert _matches(value, case.expect_value)
+        if case.expect_output is not None:
+            assert interp.port.getvalue() == case.expect_output
+
+    @pytest.mark.parametrize("case", CASES[:4], ids=lambda c: c.name)
+    def test_warm_rerun_is_still_identical(self, case):
+        """A *warm* cached run (same scope, second pass, caches full)
+        must also match the uncached observation — hits replace work,
+        not behavior."""
+        uncached = _observe(case, cached=False)
+        lang_subst._counter = itertools.count()
+        with unit_cache_scope():
+            for _ in range(2):  # second iteration runs fully warm
+                expr = parse_program(case.source)
+                check_program(expr, strict_valuable=not case.lenient)
+                interp = Interpreter()
+                value = to_write_string(interp.eval(expr))
+                output = interp.port.getvalue()
+        assert value == uncached["value"]
+        assert output == uncached["output"]

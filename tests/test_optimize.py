@@ -197,3 +197,127 @@ def test_optimize_expr_preserves_results(source):
     direct, _ = run_program(source)
     optimized = Interpreter().eval(optimize_expr(parse_program(source)))
     assert direct == optimized
+
+
+class TestSetBangBlocksInlining:
+    """Assignment anywhere — even buried in a lambda that is never
+    obviously called — must veto inlining of the assigned name."""
+
+    def test_set_inside_lambda_blocks_inlining(self):
+        unit = opt("""
+            (unit (import) (export bump get)
+              (define n 0)
+              (define bump (lambda () (set! n (+ n 1))))
+              (define get (lambda () n))
+              (void))
+        """)
+        assert "n" in unit.defined
+        rhs = dict(unit.defns)["get"]
+        # get's body still references the variable, not a frozen 0.
+        assert "n" in show(rhs)
+
+    def test_set_in_init_blocks_inlining(self):
+        unit = opt("""
+            (unit (import) (export get)
+              (define flag 1)
+              (define get (lambda () flag))
+              (set! flag 2))
+        """)
+        assert "flag" in unit.defined
+        assert "flag" in show(dict(unit.defns)["get"])
+
+    def test_unassigned_sibling_still_inlines(self):
+        # Only the assigned name is pinned; its literal sibling inlines
+        # and disappears as usual.
+        unit = opt("""
+            (unit (import) (export get)
+              (define mutable 1)
+              (define constant 2)
+              (define get (lambda () (+ mutable constant)))
+              (set! mutable 10))
+        """)
+        assert "mutable" in unit.defined
+        assert "constant" not in unit.defined
+        assert "2" in show(dict(unit.defns)["get"])
+
+    def test_optimized_mutation_still_observable(self):
+        source = """
+            (invoke (unit (import) (export)
+              (define n 0)
+              (define bump (lambda () (set! n (+ n 1))))
+              (begin (bump) (bump) n)))
+        """
+        direct, _ = run_program(source)
+        optimized = Interpreter().eval(
+            optimize_expr(parse_program(source)))
+        assert direct == optimized == 2
+
+
+class TestExportsSurviveDCE:
+    """The interface is the optimization boundary: every exported name
+    stays defined, along with everything it reaches — even when nothing
+    inside the unit uses it."""
+
+    def test_unreferenced_export_kept(self):
+        unit = opt("""
+            (unit (import) (export api)
+              (define api (lambda () 1))
+              42)
+        """)
+        assert unit.defined == ("api",)
+
+    def test_export_roots_its_transitive_dependencies(self):
+        unit = opt("""
+            (unit (import) (export entry)
+              (define entry (lambda () (helper)))
+              (define helper (lambda () (leaf)))
+              (define leaf (lambda () 7))
+              (define orphan (lambda () (leaf)))
+              (void))
+        """)
+        assert set(unit.defined) == {"entry", "helper", "leaf"}
+
+    def test_every_export_survives_repeated_rounds(self):
+        unit = opt("""
+            (unit (import) (export a b c)
+              (define a 1)
+              (define b 2)
+              (define c 3)
+              (define dead 4)
+              (void))
+        """)
+        assert set(unit.defined) == {"a", "b", "c"}
+        assert set(unit.exports) <= set(unit.defined)
+
+
+class TestImpurePrimsNeverFold:
+    """Constant folding may only run primitives with no effects and no
+    allocation identity; everything else must reach run time intact."""
+
+    IMPURE = [
+        '(display "x")',
+        "(newline)",
+        "(box 1)",
+        "(cons 1 2)",  # allocation: folding would break eq?/set-car!
+        "(gensym)",
+        '(error "boom")',
+    ]
+
+    @pytest.mark.parametrize("source", IMPURE)
+    def test_left_for_run_time(self, source):
+        expr = fold_constants(parse_program(source), frozenset())
+        assert show(expr) == source
+
+    def test_foldable_set_is_pure(self):
+        from repro.units.optimize import FOLDABLE_PRIMS
+
+        impure = {"display", "write", "newline", "box", "unbox",
+                  "set-box!", "cons", "car", "cdr", "set-car!",
+                  "set-cdr!", "gensym", "error", "make-string-hash-table",
+                  "hash-table-get", "hash-table-put!"}
+        assert not (FOLDABLE_PRIMS & impure)
+
+    def test_folding_inside_impure_call_still_happens(self):
+        expr = fold_constants(parse_program("(display (+ 1 2))"),
+                              frozenset())
+        assert show(expr) == "(display 3)"

@@ -1,0 +1,170 @@
+"""Content digests, hash-consing, the caching switch, and fresh names.
+
+The performance layer must be *invisible*: structurally equal terms
+get equal digests regardless of formatting or source location, memo
+fields never leak into equality, the ``--no-term-cache`` switch turns
+every memo path off, and ``fresh_like`` keeps generated names bounded
+no matter how many rename generations a term survives.
+"""
+
+import pytest
+
+from repro.lang import terms
+from repro.lang.ast import App, Lambda, Lit, Var
+from repro.lang.parser import parse_program
+from repro.lang.subst import fresh_like, free_vars, substitute
+
+UNIT_SRC = ("(unit (import a) (export f)"
+            " (define f (lambda (x) (+ x a))) (void))")
+
+
+class TestTermKey:
+    def test_structurally_equal_terms_share_a_key(self):
+        k1 = terms.term_key(parse_program(UNIT_SRC))
+        k2 = terms.term_key(parse_program(UNIT_SRC))
+        assert k1 == k2
+        assert len(k1) == 32
+
+    def test_key_ignores_locations_and_formatting(self):
+        reformatted = UNIT_SRC.replace(" (define", "\n   (define")
+        k1 = terms.term_key(parse_program(UNIT_SRC, origin="a.scm"))
+        k2 = terms.term_key(parse_program(reformatted, origin="b.scm"))
+        assert k1 == k2
+
+    def test_key_separates_structures(self):
+        variants = [
+            UNIT_SRC,
+            UNIT_SRC.replace("(+ x a)", "(- x a)"),
+            UNIT_SRC.replace("(import a)", "(import b)"),
+            UNIT_SRC.replace("(export f)", "(export)")
+            .replace(" f ", " g "),
+        ]
+        keys = {terms.term_key(parse_program(src)) for src in variants}
+        assert len(keys) == len(variants)
+
+    def test_literal_types_are_discriminated(self):
+        keys = {terms.term_key(Lit(value))
+                for value in (1, 1.0, "1", True, None)}
+        assert len(keys) == 5
+
+    def test_runtime_payloads_are_unkeyable(self):
+        state = App(Var("f"), (Lit(object()),))
+        with pytest.raises(terms.Unkeyable):
+            terms.term_key(state)
+        assert terms.try_term_key(state) is None
+
+    def test_key_is_memoized_on_the_node(self):
+        expr = parse_program(UNIT_SRC)
+        key = terms.term_key(expr)
+        assert expr.__dict__.get("_tk") == key
+
+    def test_no_memo_writes_when_disabled(self):
+        with terms.caching(False):
+            expr = parse_program(UNIT_SRC)
+            terms.term_key(expr)
+            free_vars(expr)
+            assert "_tk" not in expr.__dict__
+            assert "_fv" not in expr.__dict__
+
+    def test_memo_fields_do_not_affect_equality(self):
+        plain = parse_program(UNIT_SRC)
+        keyed = parse_program(UNIT_SRC)
+        terms.term_key(keyed)
+        free_vars(keyed)
+        assert plain == keyed
+
+
+class TestIntern:
+    def setup_method(self):
+        terms.clear_intern_table()
+
+    def test_structural_copies_collapse_to_one_node(self):
+        first = terms.intern(parse_program(UNIT_SRC))
+        second = terms.intern(parse_program(UNIT_SRC))
+        assert second is first
+        assert terms.interned_count() == 1
+
+    def test_interning_passes_through_when_disabled(self):
+        with terms.caching(False):
+            expr = parse_program(UNIT_SRC)
+            assert terms.intern(expr) is expr
+            assert terms.interned_count() == 0
+
+    def test_unkeyable_terms_pass_through(self):
+        state = App(Var("f"), (Lit(object()),))
+        assert terms.intern(state) is state
+
+
+class TestCachingSwitch:
+    def test_set_returns_previous(self):
+        prev = terms.set_caching(False)
+        try:
+            assert not terms.caching_enabled()
+        finally:
+            terms.set_caching(prev)
+
+    def test_context_manager_restores(self):
+        before = terms.caching_enabled()
+        with terms.caching(not before):
+            assert terms.caching_enabled() is not before
+        assert terms.caching_enabled() is before
+
+
+class TestSubstShortCircuit:
+    def test_untouched_subtree_is_returned_identically(self):
+        expr = parse_program("(lambda (x) (+ x 1))")
+        assert substitute(expr, {"zzz": Lit(1)}) is expr
+
+    def test_disabled_path_agrees(self):
+        expr = parse_program("(lambda (x) (+ x y))")
+        mapping = {"y": Lit(7)}
+        cached = substitute(expr, mapping)
+        with terms.caching(False):
+            uncached = substitute(parse_program("(lambda (x) (+ x y))"),
+                                  mapping)
+        assert cached == uncached
+
+
+class TestFreshLike:
+    def test_generated_names_do_not_accumulate_suffixes(self):
+        name = "x"
+        for _ in range(64):
+            name = fresh_like(name, set())
+        assert name.startswith("x%")
+        assert name.count("%") == 1
+
+    def test_user_names_containing_percent_keep_their_stem(self):
+        out = fresh_like("x%y", {"x%y"})
+        assert out.startswith("x%y%")
+
+    def test_machine_suffix_chains_are_fully_stripped(self):
+        out = fresh_like("v%12%5", set())
+        assert out.startswith("v%")
+        assert out.count("%") == 1
+
+    def test_avoid_set_is_respected(self):
+        avoid = {f"w%{i}" for i in range(200)}
+        out = fresh_like("w", avoid)
+        assert out not in avoid
+
+    def test_deeply_nested_merges_keep_names_bounded(self):
+        # Link many copies of one library unit: every merge renames the
+        # library's definitions apart, so each definition name survives
+        # dozens of rename generations.  Lengths must stay flat.
+        from repro.linking.graph import LinkGraph
+        from repro.lang.pretty import show
+        from repro.units.ast import InvokeExpr
+        from repro.units.linker import flatten
+
+        source = ("(unit (import) (export)"
+                  " (define helper (lambda (x) (+ x 1)))"
+                  " (helper 1))")
+        graph = LinkGraph(exports=())
+        for k in range(24):
+            graph.add_box(f"c{k}", source)
+        flat = flatten(InvokeExpr(graph.to_compound_expr(), ()))
+        longest = max(
+            (token for token in show(flat).replace("(", " ")
+             .replace(")", " ").split() if token.startswith("helper")),
+            key=len)
+        assert len(longest) <= len("helper") + 12

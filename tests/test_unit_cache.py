@@ -1,0 +1,293 @@
+"""The content-addressed unit caches: scoping, events, disk, CLI.
+
+The invariants under test:
+
+* caches are inert by default and strictly scoped — library callers
+  never observe another caller's cache state;
+* every lookup emits exactly one ``cache.hit``/``cache.miss`` event
+  naming its cache, evictions emit ``cache.evict``, and the pipeline's
+  own spans (``check.unit``, ``unit.compile``) fire whether or not the
+  body was skipped, so non-cache event counts are cache-invariant;
+* check failures are never cached;
+* the disk tier round-trips compiled units across scopes and treats
+  corrupt entries as misses;
+* ``repro trace report`` renders a cache-efficiency section, and the
+  CLI flags (``--no-term-cache``, ``--cache-dir``, ``bench``) work.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.lang import terms
+from repro.lang.errors import CheckError
+from repro.lang.parser import parse_program
+from repro.lang.pretty import show
+from repro.units import cache
+from repro.units.cache import (
+    TermCache,
+    unit_cache_scope,
+    unit_caches_active,
+)
+from repro.units.check import check_program, check_unit
+from repro.units.compile import compile_expr
+from repro.dynlink.archive import UnitArchive
+
+UNIT_SRC = ("(unit (import a) (export f)"
+            " (define f (lambda (x) (+ x a))) (void))")
+
+
+def _unit(source=UNIT_SRC):
+    return parse_program(source)
+
+
+def _canon(text):
+    """Rename gensym'd ``name%N`` tokens by first occurrence, so two
+    alpha-equivalent printed terms compare equal."""
+    import re
+
+    seen = {}
+
+    def repl(match):
+        return seen.setdefault(match.group(0), f"@{len(seen)}")
+
+    return re.sub(r"[^\s()\"]+%\d+", repl, text)
+
+
+def _cache_events(col, kind):
+    return [e for e in col.events if e.kind == kind]
+
+
+class TestTermCacheStore:
+    def test_lru_eviction_emits_event(self):
+        store = TermCache("t", maxsize=2)
+        with obs.collecting() as col:
+            store.put("a", 1)
+            store.put("b", 2)
+            store.get("a")  # refresh 'a' so 'b' is the LRU victim
+            store.put("c", 3)
+        assert len(store) == 2
+        assert store.get("b") is not store.get("a")
+        evicts = _cache_events(col, "cache.evict")
+        assert [e.fields["cache"] for e in evicts] == ["t"]
+
+
+class TestScoping:
+    def test_inactive_by_default(self):
+        assert not unit_caches_active()
+        with obs.collecting() as col:
+            check_program(_unit(), strict_valuable=False)
+            check_program(_unit(), strict_valuable=False)
+        assert not any(e.kind.startswith("cache.") for e in col.events)
+        assert col.counters["check.unit"] == 2
+
+    def test_scope_activates_and_restores(self):
+        with unit_cache_scope():
+            assert unit_caches_active()
+            with unit_cache_scope():
+                assert unit_caches_active()
+            assert unit_caches_active()
+        assert not unit_caches_active()
+
+    def test_each_scope_starts_cold(self):
+        def misses():
+            with obs.collecting() as col:
+                check_program(_unit(), strict_valuable=False)
+            return len(_cache_events(col, "cache.miss"))
+
+        with unit_cache_scope():
+            assert misses() == 1
+        with unit_cache_scope():
+            assert misses() == 1  # nothing leaked from the first scope
+
+    def test_nested_scope_does_not_see_outer_entries(self):
+        with unit_cache_scope():
+            check_program(_unit(), strict_valuable=False)
+            with unit_cache_scope(), obs.collecting() as col:
+                check_program(_unit(), strict_valuable=False)
+            assert len(_cache_events(col, "cache.miss")) == 1
+
+    def test_no_term_cache_disables_content_caches_too(self):
+        with terms.caching(False), unit_cache_scope():
+            assert not unit_caches_active()
+            with obs.collecting() as col:
+                check_program(_unit(), strict_valuable=False)
+            assert not any(e.kind.startswith("cache.")
+                           for e in col.events)
+
+
+class TestCheckCache:
+    def test_structural_copies_hit(self):
+        with unit_cache_scope(), obs.collecting() as col:
+            check_program(_unit(), strict_valuable=False)
+            check_program(_unit(), strict_valuable=False)
+        assert len(_cache_events(col, "cache.miss")) == 1
+        hits = _cache_events(col, "cache.hit")
+        assert [e.fields["cache"] for e in hits] == ["check"]
+        # The check.unit span fires on the hit too: event counts are
+        # identical with and without the cache.
+        assert col.counters["check.unit"] == 2
+
+    def test_strictness_is_part_of_the_key(self):
+        with unit_cache_scope(), obs.collecting() as col:
+            check_program(_unit(), strict_valuable=True)
+            check_program(_unit(), strict_valuable=False)
+        assert len(_cache_events(col, "cache.hit")) == 0
+
+    def test_failures_are_not_cached(self):
+        bad = "(unit (import) (export g) (define f 1) (void))"
+        with unit_cache_scope(), obs.collecting() as col:
+            for _ in range(2):
+                with pytest.raises(CheckError):
+                    check_unit(_unit(bad))
+        assert len(_cache_events(col, "cache.hit")) == 0
+        assert len(_cache_events(col, "cache.miss")) == 2
+
+
+class TestCompileCache:
+    def test_structural_copies_share_one_compiled_body(self):
+        with unit_cache_scope(), obs.collecting() as col:
+            first = compile_expr(_unit())
+            second = compile_expr(_unit())
+        assert second is first
+        hits = _cache_events(col, "cache.hit")
+        assert [e.fields["cache"] for e in hits] == ["compile"]
+        assert col.counters["unit.compile"] == 2
+
+    def test_cached_output_matches_uncached(self):
+        with unit_cache_scope():
+            compile_expr(_unit())
+            cached = compile_expr(_unit())
+        uncached = compile_expr(_unit())
+        assert _canon(show(cached)) == _canon(show(uncached))
+
+
+class TestDiskCache:
+    def test_round_trip_across_scopes(self, tmp_path):
+        with unit_cache_scope(disk_dir=tmp_path):
+            original = compile_expr(_unit())
+        entries = list(tmp_path.rglob("*.scm"))
+        assert entries, "disk tier wrote nothing"
+        with unit_cache_scope(disk_dir=tmp_path), obs.collecting() as col:
+            reloaded = compile_expr(_unit())
+        hits = _cache_events(col, "cache.hit")
+        assert [e.fields["tier"] for e in hits] == ["disk"]
+        assert show(reloaded) == show(original)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        with unit_cache_scope(disk_dir=tmp_path):
+            compile_expr(_unit())
+        entry = next(tmp_path.rglob("*.scm"))
+        entry.write_text("(((", encoding="utf-8")
+        with unit_cache_scope(disk_dir=tmp_path), obs.collecting() as col:
+            recompiled = compile_expr(_unit())
+        assert len(_cache_events(col, "cache.miss")) >= 1
+        assert _canon(show(recompiled)) == _canon(show(compile_expr(_unit())))
+
+    def test_versioned_layout(self, tmp_path):
+        with unit_cache_scope(disk_dir=tmp_path):
+            compile_expr(_unit())
+        entry = next(tmp_path.rglob("*.scm"))
+        assert entry.parent.parent.name == f"v1-{terms.SCHEMA}"
+
+
+class TestParseCache:
+    def test_repeated_retrieval_parses_once(self):
+        archive = UnitArchive()
+        archive.put_unit("lib", _unit())
+        with unit_cache_scope(), obs.collecting() as col:
+            first = archive.retrieve_untyped("lib", ("a",), ("f",))
+            second = archive.retrieve_untyped("lib", ("a",), ("f",))
+        assert second is first
+        hits = [e for e in _cache_events(col, "cache.hit")
+                if e.fields["cache"] == "dynlink"]
+        assert len(hits) == 1
+
+
+class TestReportSection:
+    def test_cache_efficiency_rendered(self):
+        with unit_cache_scope(), obs.collecting() as col:
+            check_program(_unit(), strict_valuable=False)
+            check_program(_unit(), strict_valuable=False)
+        text = obs.render_report(col.events)
+        assert "cache efficiency:" in text
+        assert "check" in text
+        assert "50.0% hit rate" in text
+
+    def test_section_absent_without_cache_events(self):
+        with obs.collecting() as col:
+            check_program(_unit(), strict_valuable=False)
+        assert "cache efficiency:" not in obs.render_report(col.events)
+
+
+class TestCLI:
+    PROGRAM = "(invoke (unit (import) (export) 42))"
+
+    def _write(self, tmp_path, source):
+        path = tmp_path / "prog.scm"
+        path.write_text(source)
+        return str(path)
+
+    def test_no_term_cache_flag_runs(self, tmp_path, capsys):
+        from repro.cli import main
+
+        status = main(["--no-term-cache", "run",
+                       self._write(tmp_path, self.PROGRAM)])
+        assert status == 0
+        assert "=> 42" in capsys.readouterr().out
+        assert terms.caching_enabled()  # restored after the invocation
+
+    def test_demo_metrics_show_cache_hits(self, tmp_path, capsys):
+        from repro.cli import main
+
+        metrics = tmp_path / "metrics.json"
+        status = main(["--metrics-out", str(metrics), "demo",
+                       self._write(tmp_path, self.PROGRAM)])
+        assert status == 0
+        counters = json.loads(metrics.read_text())["counters"]
+        assert counters.get("cache.hit", 0) >= 1
+
+    def test_cache_dir_flag_persists_compiles(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = tmp_path / "cache"
+        program = self._write(tmp_path, self.PROGRAM)
+        assert main(["--cache-dir", str(cache_dir), "compile",
+                     program]) == 0
+        assert list(cache_dir.rglob("*.scm"))
+        metrics = tmp_path / "metrics.json"
+        assert main(["--cache-dir", str(cache_dir), "--metrics-out",
+                     str(metrics), "compile", program]) == 0
+        counters = json.loads(metrics.read_text())["counters"]
+        assert counters.get("cache.hit", 0) >= 1
+        capsys.readouterr()
+
+    def test_cache_dir_before_bare_trace_still_means_steps(
+            self, tmp_path, capsys):
+        from repro.cli import main
+
+        status = main(["--cache-dir", str(tmp_path / "c"), "trace",
+                       self._write(tmp_path, "(+ 1 2)")])
+        assert status == 0
+        assert "[0]" in capsys.readouterr().out
+
+    def test_bench_quick(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "bench.json"
+        snap = tmp_path / "snap.json"
+        status = main(["bench", "--quick", "--out", str(out),
+                       "--snapshot", str(snap)])
+        assert status == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "bench1"
+        assert payload["cases"]
+        for case in payload["cases"]:
+            assert case["uncached_s"] > 0
+            assert case["cached_s"] > 0
+            assert case["warm_s"] > 0
+        assert payload["warm_counters"].get("cache.hit", 0) > 0
+        snapshot = json.loads(snap.read_text())
+        assert snapshot["counters"].get("cache.hit", 0) > 0
+        capsys.readouterr()
