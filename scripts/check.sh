@@ -8,8 +8,10 @@
 # lacks a real span tree, if the demo's per-kind event counts drift
 # past the committed baseline (benchmarks/.metrics/baseline.json —
 # regenerate with scripts/update_metrics_baseline.sh after intentional
-# changes), if the demo records no cache hits, or if the quick bench
-# smoke finds the caches inert.
+# changes), if the demo records no cache hits, if the quick bench
+# smoke finds the caches inert, or if the batch-isolation smoke (one
+# good, one looping, one ill-typed program) does not yield exactly the
+# expected records and limit.exceeded trace event (docs/ROBUSTNESS.md).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -55,5 +57,49 @@ bench_out="$(mktemp)"
 bench_snap="$(mktemp)"
 trap 'rm -f "$trace_file" "$metrics_file" "$bench_out" "$bench_snap"' EXIT
 python -m repro bench --quick --out "$bench_out" --snapshot "$bench_snap"
+
+echo "==> smoke: batch isolation (good + looping + ill-typed)"
+batch_dir="$(mktemp -d)"
+batch_records="$(mktemp)"
+batch_trace="$(mktemp)"
+trap 'rm -f "$trace_file" "$metrics_file" "$bench_out" "$bench_snap" \
+    "$batch_records" "$batch_trace"; rm -rf "$batch_dir"' EXIT
+cat > "$batch_dir/a_good.scm" <<'EOF'
+(invoke (unit (import) (export greet)
+  (define greet (lambda (who) (string-append "hello, " who)))
+  (greet "world")))
+EOF
+cat > "$batch_dir/b_loop.scm" <<'EOF'
+(letrec ((spin (lambda (n) (spin (+ n 1))))) (spin 0))
+EOF
+cat > "$batch_dir/c_bad.scm" <<'EOF'
+(invoke (unit (import) (export nope) (define x 1) x))
+EOF
+# The batch must complete (exit 0) with exactly one failure record per
+# bad item, and the looping item's exhaustion must surface as a
+# limit.exceeded trace event.
+python -m repro --trace "$batch_trace" batch "$batch_dir" \
+    --eval-steps 20000 --deadline 10 --out "$batch_records"
+
+python - "$batch_records" "$batch_trace" <<'EOF'
+import json
+import sys
+from repro.obs import KINDS, read_jsonl
+
+records = [json.loads(line) for line in open(sys.argv[1])]
+by_file = {r["file"].rsplit("/", 1)[-1]: r for r in records}
+assert len(records) == 3, f"expected 3 records, got {len(records)}"
+assert by_file["a_good.scm"]["status"] == "ok"
+assert by_file["b_loop.scm"]["status"] == "error"
+assert by_file["b_loop.scm"]["error"]["type"] == "BudgetExceeded"
+assert by_file["b_loop.scm"]["error"]["resource"] == "eval_steps"
+assert by_file["c_bad.scm"]["status"] == "error"
+assert by_file["c_bad.scm"]["error"]["type"] == "CheckError"
+assert "limit.exceeded" in KINDS, "limit.exceeded not registered"
+kinds = [e.kind for e in read_jsonl(sys.argv[2])]
+assert kinds.count("limit.exceeded") == 1, \
+    f"expected one limit.exceeded event, got {kinds.count('limit.exceeded')}"
+print(f"batch ok: 1 ok, 2 failure records, limit.exceeded traced")
+EOF
 
 echo "==> all checks passed"

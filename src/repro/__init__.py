@@ -39,11 +39,13 @@ from repro.lang.errors import (
     LangError,
     LexError,
     ParseError,
+    ResourceError,
     RunTimeError,
     TypeCheckError,
     UnitLinkError,
     VariantError,
 )
+from repro.limits import Budget, BudgetExceeded, budget_scope
 from repro.lang.interp import Interpreter, run_program
 from repro.lang.machine import Machine, machine_eval
 from repro.lang.parser import parse_program, parse_script
@@ -81,6 +83,8 @@ def __getattr__(name: str):
 
 __all__ = [
     "ArchiveError",
+    "Budget",
+    "BudgetExceeded",
     "CheckError",
     "Interpreter",
     "KindError",
@@ -88,10 +92,12 @@ __all__ = [
     "LexError",
     "Machine",
     "ParseError",
+    "ResourceError",
     "RunTimeError",
     "TypeCheckError",
     "UnitLinkError",
     "VariantError",
+    "budget_scope",
     "check_program",
     "machine_eval",
     "parse_program",

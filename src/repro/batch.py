@@ -1,0 +1,171 @@
+"""Batch execution with per-item fault isolation.
+
+The ``repro batch`` subcommand runs every program in a directory under
+one shared budget *configuration* but per-item budget *instances*: each
+program gets a fresh :class:`repro.limits.Budget`, so one looping or
+resource-hungry item exhausts its own allowance and becomes a failure
+record while its siblings run to completion.  This is the batch-driver
+face of the paper's robustness story — the host (here, the batch
+runner) survives a misbehaving unit.
+
+Every item produces one JSON record (schema ``batch1``)::
+
+    {"schema": "batch1", "file": "...", "status": "ok",
+     "value": "...", "output": "...", "spent": {...}}
+
+    {"schema": "batch1", "file": "...", "status": "error",
+     "error": {"type": "BudgetExceeded", "message": "...",
+               "resource": "eval_steps", "limit": 1000, "used": 1001,
+               "loc": "loop.scm:3:1"},
+     "spent": {...}}
+
+``spent`` is the item's resource consumption
+(:meth:`repro.limits.Budget.spent`), recorded for successes and
+failures alike.  Budget exhaustion additionally emits a
+``limit.exceeded`` trace event through the observability layer, so a
+``--trace`` of a batch shows exactly where each item died.
+
+Programs that are unit forms are also round-tripped through a
+:class:`~repro.dynlink.archive.UnitArchive` (the Figure 7 retrieval
+checks); ``retries`` applies
+:func:`repro.dynlink.loader.load_with_retry`'s exponential backoff to
+that stage, for archive tiers that can fail transiently.
+
+See ``docs/ROBUSTNESS.md`` for the full model.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro import limits as _limits
+from repro.dynlink.loader import load_with_retry
+from repro.lang.errors import LangError
+from repro.lang.interp import Interpreter
+from repro.lang.parser import parse_script
+from repro.lang.values import to_write_string
+from repro.units.check import check_program
+
+#: Version tag carried by every batch record.
+RECORD_SCHEMA = "batch1"
+
+#: Exceptions a batch item may fail with and still be *recorded* rather
+#: than aborting the batch.  ``LangError`` covers the repo's whole
+#: taxonomy (parse, check, type, link, run-time, archive, and budget
+#: errors); ``RecursionError`` is the raw Python failure an ungoverned
+#: deep program can still hit; ``OSError`` covers unreadable files.
+RECORDED_ERRORS = (LangError, RecursionError, OSError)
+
+
+def error_payload(err: BaseException) -> dict[str, object]:
+    """The ``error`` object of a failure record."""
+    payload: dict[str, object] = {
+        "type": type(err).__name__,
+        "message": str(err),
+    }
+    if isinstance(err, _limits.BudgetExceeded):
+        payload["resource"] = err.resource
+        payload["limit"] = err.limit
+        payload["used"] = err.used
+    loc = getattr(err, "loc", None)
+    if loc is not None:
+        payload["loc"] = str(loc)
+    return payload
+
+
+def run_item(path: str | Path, budget: _limits.Budget | None, *,
+             lenient: bool = False, retries: int = 0,
+             sleep: Callable[[float], None] | None = None
+             ) -> dict[str, object]:
+    """Run one program under its own budget; return its record.
+
+    The full pipeline runs inside the budget's scope — read, parse,
+    check, optional archive round-trip, evaluate — so every governed
+    subsystem charges this item's allowance and nothing leaks to the
+    next item.
+    """
+    record: dict[str, object] = {
+        "schema": RECORD_SCHEMA,
+        "file": str(path),
+    }
+    kwargs = {} if sleep is None else {"sleep": sleep}
+    try:
+        with _limits.budget_scope(budget):
+            text = Path(path).read_text()
+            expr = parse_script(text, origin=str(path))
+            check_program(expr, strict_valuable=not lenient)
+            _archive_roundtrip(expr, str(path), retries, **kwargs)
+            interp = Interpreter()
+            value = interp.eval(expr)
+            record["status"] = "ok"
+            record["value"] = to_write_string(value)
+            record["output"] = interp.port.getvalue()
+    except RECORDED_ERRORS as err:
+        record["status"] = "error"
+        record["error"] = error_payload(err)
+    record["spent"] = budget.spent() if budget is not None else None
+    return record
+
+
+def _archive_roundtrip(expr, name: str, retries: int, **kwargs) -> None:
+    """Round-trip a unit-form program through the archive layer.
+
+    Mirrors ``repro demo``: programs whose (invoked) body is a unit
+    exercise the Figure 7 retrieval checks too.  Retrieval runs under
+    :func:`~repro.dynlink.loader.load_with_retry` so a transiently
+    failing archive tier gets ``retries`` extra attempts.
+    """
+    from repro.dynlink.archive import UnitArchive
+    from repro.units.ast import InvokeExpr, UnitExpr
+
+    unit = expr.expr if isinstance(expr, InvokeExpr) else expr
+    if not isinstance(unit, UnitExpr):
+        return
+    archive = UnitArchive()
+    archive.put_unit(name, unit)
+    load_with_retry(
+        lambda: archive.retrieve_untyped(name, unit.imports, unit.exports),
+        retries=retries, **kwargs)
+
+
+def run_batch(paths: Iterable[str | Path],
+              make_budget: Callable[[], _limits.Budget | None], *,
+              lenient: bool = False, retries: int = 0,
+              fail_fast: bool = False,
+              sleep: Callable[[float], None] | None = None,
+              on_record: Callable[[dict[str, object]], None] | None = None,
+              ) -> tuple[list[dict[str, object]], int]:
+    """Run every program, each under a fresh budget.
+
+    Returns ``(records, failures)``.  With ``fail_fast`` the first
+    failing item's error re-raises instead of being recorded (the
+    escape hatch for CI setups that want the batch to stop hard);
+    otherwise the batch always completes and the caller decides what a
+    failure count means.
+    """
+    records: list[dict[str, object]] = []
+    failures = 0
+    for path in paths:
+        record = run_item(path, make_budget(), lenient=lenient,
+                          retries=retries, sleep=sleep)
+        records.append(record)
+        if on_record is not None:
+            on_record(record)
+        if record["status"] == "error":
+            failures += 1
+            if fail_fast:
+                break
+    return records, failures
+
+
+def write_records(records: Iterable[dict[str, object]],
+                  path: str | Path) -> int:
+    """Write records as JSON Lines; returns how many were written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+    return count

@@ -46,6 +46,7 @@ from repro.lang import terms as _terms
 from repro.lang.ast import Expr
 from repro.lang.interp import Interpreter
 from repro.lang.parser import parse_script
+from repro.limits import python_recursion_headroom
 from repro.linking.graph import LinkGraph
 from repro.units.ast import InvokeExpr
 from repro.units.cache import unit_cache_scope
@@ -200,7 +201,14 @@ def _cache_counters(build: Callable[[], Expr]):
 def run_bench(quick: bool = False, out: str = "BENCH_results.json",
               snapshot: str | None = None) -> int:
     """The ``repro bench`` driver.  Returns a process exit status."""
-    sys.setrecursionlimit(max(sys.getrecursionlimit(), 40000))
+    # The 256-unit chains legitimately recurse deeper than CPython's
+    # default stack allowance; take scoped headroom instead of mutating
+    # the process-wide limit for whoever runs after us.
+    with python_recursion_headroom(40000):
+        return _run_bench(quick, out, snapshot)
+
+
+def _run_bench(quick: bool, out: str, snapshot: str | None) -> int:
     if quick:
         cases: list[tuple[str, Callable[[], Expr]]] = [
             ("chain-032", lambda: chain_program(32)),

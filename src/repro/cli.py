@@ -9,6 +9,8 @@ Usage::
     python -m repro trace steps FILE    # small-step reduction trace
     python -m repro compile FILE        # print the Figure 12 compilation
     python -m repro demo FILE           # every pipeline stage on FILE
+    python -m repro batch DIR           # run every program in DIR with
+                                        # per-item budgets and isolation
     python -m repro figures [N ...]     # run figure reproductions
 
 Trace-analysis toolkit (consumes ``--trace``/``--metrics-out`` files;
@@ -56,6 +58,19 @@ differential-testing baseline.  ``--cache-dir DIR`` (or the
 ``REPRO_CACHE_DIR`` environment variable) adds an on-disk tier so
 compiled units persist across invocations.  ``bench`` measures the
 difference and writes ``BENCH_results.json`` (docs/PERFORMANCE.md).
+
+Resource governance (docs/ROBUSTNESS.md)::
+
+    python -m repro batch progs/ --eval-steps 100000 --deadline 2.0
+    python -m repro batch progs/ --out records.jsonl --retry 2
+
+``batch`` runs every matching program in a directory, each under a
+fresh budget, writing one JSON record per item; a looping or
+exhausting item becomes a failure record while the rest complete.
+Exit code 3 is reserved for budget exhaustion: ``demo`` exits 3 when
+the machine step budget runs out, and any subcommand exits 3 when a
+:class:`~repro.limits.BudgetExceeded` escapes (``batch --fail-fast``
+included).
 """
 
 from __future__ import annotations
@@ -66,6 +81,7 @@ from pathlib import Path
 
 from repro.lang.errors import LangError
 from repro.lang.interp import Interpreter
+from repro.limits import BudgetExceeded
 from repro.lang.machine import Machine
 from repro.lang.parser import parse_script
 from repro.lang.pretty import pretty
@@ -341,8 +357,10 @@ def cmd_demo(args: argparse.Namespace) -> int:
                 break
             steps += 1
         else:
+            # Exit code 3 is the budget-exhaustion code (see main()):
+            # distinguishable from a language error (1) in scripts.
             print("error: machine step budget exhausted", file=sys.stderr)
-            return 1
+            return 3
     print(f"machine: {steps} steps")
 
     interp = Interpreter()
@@ -359,6 +377,63 @@ def cmd_demo(args: argparse.Namespace) -> int:
             and to_write_string(final.value) == to_write_string(result)):
         print("error: interpreter and machine disagree", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    """Run every program in a directory with per-item isolation.
+
+    Each item runs under a fresh budget built from the ``--*`` caps;
+    one record per item is written as JSON Lines (``--out FILE``, or
+    stdout).  The batch completing is success (exit 0) even when items
+    failed — the records carry the failures; ``--fail-fast`` instead
+    stops at the first failure and exits nonzero (3 when the failure
+    was budget exhaustion, 1 otherwise).
+    """
+    from repro import batch as _batch
+    from repro import limits as _limits
+
+    root = Path(args.directory)
+    if not root.is_dir():
+        print(f"error: not a directory: {root}", file=sys.stderr)
+        return 2
+    paths = sorted(root.glob(args.pattern))
+    if not paths:
+        print(f"error: no files match {args.pattern!r} in {root}",
+              file=sys.stderr)
+        return 2
+
+    def make_budget() -> _limits.Budget:
+        return _limits.Budget(
+            eval_steps=args.eval_steps,
+            machine_steps=args.machine_steps,
+            subst_nodes=args.subst_nodes,
+            expand_fuel=args.expand_fuel,
+            max_depth=args.max_depth,
+            deadline_s=args.deadline,
+        )
+
+    records, failures = _batch.run_batch(
+        paths, make_budget, lenient=args.lenient, retries=args.retry,
+        fail_fast=args.fail_fast)
+    if args.out:
+        written = _batch.write_records(records, args.out)
+        print(f"batch: {written} record(s) -> {args.out}",
+              file=sys.stderr)
+    else:
+        import json as _json
+
+        for record in records:
+            print(_json.dumps(record, sort_keys=True))
+    ok = len(records) - failures
+    print(f"batch: {ok} ok, {failures} failed, {len(records)} total",
+          file=sys.stderr)
+    if args.fail_fast and failures:
+        failed = next(r for r in records if r["status"] == "error")
+        error = failed["error"]
+        print(f"error: {failed['file']}: {error['message']}",
+              file=sys.stderr)
+        return 3 if error["type"] == "BudgetExceeded" else 1
     return 0
 
 
@@ -472,6 +547,36 @@ def build_parser() -> argparse.ArgumentParser:
                "archive, machine, interpreter) on one program")
     demo.add_argument("--limit", type=int, default=1_000_000,
                       help="maximum machine reduction steps")
+    batch = sub.add_parser(
+        "batch", help="run every program in a directory, each under a "
+                      "fresh resource budget (docs/ROBUSTNESS.md)")
+    batch.add_argument("directory", help="directory of program files")
+    batch.add_argument("--pattern", default="*.scm",
+                       help="glob for program files (default: *.scm)")
+    batch.add_argument("--out", metavar="FILE", default=None,
+                       help="write records as JSON Lines to FILE "
+                            "(default: stdout)")
+    batch.add_argument("--lenient", action="store_true",
+                       help="skip the Harper-Stone valuability check")
+    batch.add_argument("--eval-steps", type=int, default=1_000_000,
+                       help="per-item interpreter step cap")
+    batch.add_argument("--machine-steps", type=int, default=1_000_000,
+                       help="per-item machine reduction cap")
+    batch.add_argument("--subst-nodes", type=int, default=None,
+                       help="per-item substitution node cap")
+    batch.add_argument("--expand-fuel", type=int, default=None,
+                       help="per-item type-expansion unfolding cap")
+    batch.add_argument("--max-depth", type=int, default=10_000,
+                       help="per-item nesting/recursion depth cap")
+    batch.add_argument("--deadline", type=float, default=None,
+                       help="per-item wall-clock deadline in seconds")
+    batch.add_argument("--retry", type=int, default=0,
+                       help="extra attempts (with backoff) for archive "
+                            "retrieval failures")
+    batch.add_argument("--fail-fast", action="store_true",
+                       help="stop at the first failing item and exit "
+                            "nonzero instead of recording it")
+    batch.set_defaults(fn=cmd_batch)
     bench = sub.add_parser(
         "bench", help="time the pipeline cached vs --no-term-cache and "
                       "write BENCH_results.json")
@@ -587,6 +692,12 @@ def main(argv: list[str] | None = None) -> int:
             if observed:
                 return _run_observed(args)
             return args.fn(args)
+    except BudgetExceeded as err:
+        # Before LangError: BudgetExceeded is a LangError, but resource
+        # exhaustion gets its own exit code so callers can tell "the
+        # program is wrong" (1) from "the program ran out" (3).
+        print(f"error: {err}", file=sys.stderr)
+        return 3
     except LangError as err:
         print(f"error: {err}", file=sys.stderr)
         return 1

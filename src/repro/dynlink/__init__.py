@@ -15,6 +15,6 @@ is used."
 """
 
 from repro.dynlink.archive import UnitArchive
-from repro.dynlink.loader import PluginHost
+from repro.dynlink.loader import PluginHost, load_with_retry
 
-__all__ = ["PluginHost", "UnitArchive"]
+__all__ = ["PluginHost", "UnitArchive", "load_with_retry"]

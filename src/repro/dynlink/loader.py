@@ -17,8 +17,10 @@ value.
 
 from __future__ import annotations
 
-from typing import Callable
+import time
+from typing import Callable, TypeVar
 
+from repro import limits as _limits
 from repro.lang.errors import ArchiveError, LangError
 from repro.lang.interp import Interpreter
 from repro.obs import current as _obs_current
@@ -87,6 +89,9 @@ class PluginHost:
 
     def _load(self, archive: UnitArchive, name: str,
               env: TyEnv | None, sp) -> object:
+        budget = _limits.current()
+        if budget is not None:
+            budget.check_deadline()
         col = _obs_current()
         try:
             expr, _actual = archive.retrieve_typed(
@@ -125,3 +130,40 @@ class PluginHost:
     def loaded_names(self) -> tuple[str, ...]:
         """Extensions installed so far, in load order."""
         return tuple(self.installed)
+
+
+_T = TypeVar("_T")
+
+
+def load_with_retry(fn: Callable[[], _T], retries: int = 0,
+                    backoff_s: float = 0.05,
+                    sleep: Callable[[float], None] = time.sleep) -> _T:
+    """Run an archive-load action, retrying transient failures.
+
+    ``fn`` is any zero-argument load action (typically a closure over
+    :meth:`PluginHost.load` or an archive retrieval).  Only
+    :class:`ArchiveError` is retried — it is the archive layer's typed
+    failure, the one a flaky store would raise — up to ``retries``
+    extra attempts with exponential backoff starting at ``backoff_s``
+    seconds.  Any other error, including
+    :class:`~repro.limits.BudgetExceeded`, propagates immediately:
+    retrying cannot help a typed rejection and must not help a
+    resource exhaustion escape its budget.
+
+    ``sleep`` is injectable so tests (and the batch driver's dry runs)
+    can retry without waiting.
+    """
+    attempt = 0
+    while True:
+        budget = _limits.current()
+        if budget is not None:
+            budget.check_deadline()
+        try:
+            return fn()
+        except _limits.BudgetExceeded:
+            raise
+        except ArchiveError:
+            if attempt >= retries:
+                raise
+            sleep(backoff_s * (2 ** attempt))
+            attempt += 1

@@ -84,3 +84,13 @@ class VariantError(RunTimeError):
 class ArchiveError(LangError):
     """Raised by the dynamic-linking archive on retrieval failures,
     including signature mismatches (Section 3.4)."""
+
+
+class ResourceError(LangError):
+    """Raised when execution exceeds a governed resource limit.
+
+    The concrete taxonomy lives in :mod:`repro.limits`
+    (:class:`~repro.limits.BudgetExceeded` carries which resource
+    tripped, the cap, and the consumption); this base class exists so
+    handlers can distinguish "the program is wrong" (:class:`CheckError`,
+    :class:`RunTimeError`) from "the program was cut off"."""

@@ -33,6 +33,7 @@ from repro.lang.ast import (
 )
 from repro.lang.errors import RunTimeError, UnitLinkError
 from repro.lang.prims import OutputPort, make_global_env
+from repro import limits as _limits
 from repro.obs import current as _obs_current
 from repro.lang.values import (
     AtomicUnitValue,
@@ -83,7 +84,24 @@ class Interpreter:
     # -- core evaluation --------------------------------------------------
 
     def _eval(self, expr: Expr, env: Env) -> object:
+        # Resource governance: each Python-level _eval activation is one
+        # level of the budget's depth gauge (tail positions loop, so the
+        # gauge tracks genuine non-tail nesting); each loop iteration is
+        # one eval step.  Ungoverned runs pay one global-flag read.
+        budget = _limits.current()
+        if budget is None:
+            return self._eval_loop(expr, env, None)
+        budget.enter_frame(getattr(expr, "loc", None))
+        try:
+            return self._eval_loop(expr, env, budget)
+        finally:
+            budget.exit_frame()
+
+    def _eval_loop(self, expr: Expr, env: Env,
+                   budget: "_limits.Budget | None") -> object:
         while True:
+            if budget is not None:
+                budget.charge_eval(expr)
             if isinstance(expr, Lit):
                 return expr.value
             if isinstance(expr, Var):

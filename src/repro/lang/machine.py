@@ -52,6 +52,7 @@ from repro.lang.ast import (
 )
 from repro.lang.errors import RunTimeError
 from repro.lang.prims import OutputPort, make_global_env
+from repro import limits as _limits
 from repro.obs import current as _obs_current
 from repro.lang.subst import fresh_like, free_vars, substitute
 from repro.lang.values import Primitive, is_true
@@ -93,15 +94,25 @@ class _Stuck(Exception):
     """Internal: no redex found (the control is a value)."""
 
 
+#: Reductions allowed when neither the caller nor an active budget
+#: bounds the machine.  Accidental divergence still fails cleanly.
+DEFAULT_MAX_STEPS = 1_000_000
+
+
 class Machine:
     """Drives the small-step semantics.
 
     ``max_steps`` bounds the number of reductions (the machine is used
     on terminating figure programs; the bound turns accidental
-    divergence into a clean error).
+    divergence into a clean error).  When ``max_steps`` is ``None`` the
+    bound comes from the active :class:`repro.limits.Budget`'s
+    ``machine_steps`` cap, falling back to :data:`DEFAULT_MAX_STEPS`
+    when execution is ungoverned.  Every :meth:`step` — however the
+    machine is driven — also charges the active budget, so externally
+    stepped runs (the CLI's ``demo``) are governed too.
     """
 
-    def __init__(self, max_steps: int = 1_000_000):
+    def __init__(self, max_steps: int | None = None):
         self.max_steps = max_steps
         self._prims = self._build_prim_table()
         self._prim_names = frozenset(self._prims)
@@ -130,9 +141,15 @@ class Machine:
         A state is final when every store binding and the control
         expression are values.
         """
+        budget = _limits.current()
         col = _obs_current()
         for index, (name, rhs) in enumerate(state.store):
             if not is_value(rhs):
+                # Charge only when a reduction actually fires: a final
+                # state costs nothing, so a budget of exactly N steps
+                # lets an N-step program finish.
+                if budget is not None:
+                    budget.charge_machine(rhs)
                 new_rhs = self._reduce_inside(rhs, state)
                 state.store[index] = (name, new_rhs)
                 if col is not None:
@@ -140,6 +157,8 @@ class Machine:
                 return True
         if is_value(state.control):
             return False
+        if budget is not None:
+            budget.charge_machine(state.control)
         state.control = self._reduce_inside(state.control, state)
         if col is not None:
             col.emit("reduce.step", {"where": "control"})
@@ -157,10 +176,27 @@ class Machine:
             return self._drive(state)
 
     def _drive(self, state: MachineState) -> MachineState:
-        for _ in range(self.max_steps):
+        limit = self._effective_max_steps()
+        if limit is None:
+            # The active budget's machine_steps cap governs (charged
+            # inside step(), raising BudgetExceeded on exhaustion).
+            while self.step(state):
+                pass
+            return state
+        for _ in range(limit):
             if not self.step(state):
                 return state
         raise RunTimeError("machine: step budget exhausted")
+
+    def _effective_max_steps(self) -> int | None:
+        """The local reduction bound, or ``None`` when the active
+        budget's ``machine_steps`` cap is the (only) governor."""
+        if self.max_steps is not None:
+            return self.max_steps
+        budget = _limits.current()
+        if budget is not None and budget.machine_steps is not None:
+            return None
+        return DEFAULT_MAX_STEPS
 
     def eval(self, expr: Expr) -> Expr:
         """Reduce to a final state and return the (value) control term."""
@@ -425,11 +461,9 @@ def _assigned_params(body: Expr, params: set[str]) -> set[str]:
     return out
 
 
-def machine_eval(expr: Expr, max_steps: int = 1_000_000) -> tuple[Expr, str]:
+def machine_eval(expr: Expr,
+                 max_steps: int | None = None) -> tuple[Expr, str]:
     """Run ``expr`` on a fresh machine; return final value and output."""
     machine = Machine(max_steps)
-    state = machine.load(expr)
-    for _ in range(max_steps):
-        if not machine.step(state):
-            return state.control, state.output.getvalue()
-    raise RunTimeError("machine: step budget exhausted")
+    state = machine._drive(machine.load(expr))
+    return state.control, state.output.getvalue()

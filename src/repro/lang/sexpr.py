@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence, Union
 
+from repro import limits as _limits
 from repro.lang.errors import LexError, SrcLoc
 
 #: The datum type produced by the reader.
@@ -152,7 +153,14 @@ class _Reader:
     def _read_list(self, loc: SrcLoc, closer: str) -> SList:
         self.advance()  # opening paren
         self.depth += 1
-        if self.depth > MAX_NESTING_DEPTH:
+        # An active budget with a max_depth cap governs reader nesting
+        # (check_depth raises BudgetExceeded past the cap); otherwise
+        # the structural limit below keeps the recursive reader within
+        # Python's stack.
+        budget = _limits.current()
+        governed = (budget is not None
+                    and budget.check_depth(self.depth, loc))
+        if not governed and self.depth > MAX_NESTING_DEPTH:
             raise LexError(
                 f"nesting deeper than {MAX_NESTING_DEPTH} levels", loc)
         try:

@@ -36,6 +36,7 @@ from __future__ import annotations
 import itertools
 import re
 
+from repro import limits as _limits
 from repro.lang import terms as _terms
 from repro.lang.ast import (
     App,
@@ -167,6 +168,9 @@ def substitute(expr: Expr, mapping: dict[str, Expr]) -> Expr:
 
 
 def _subst(expr: Expr, mapping: dict[str, Expr], rfvs: set[str]) -> Expr:
+    budget = _limits.current()
+    if budget is not None:
+        budget.charge_subst(expr)
     if _terms._enabled and free_vars(expr).isdisjoint(mapping):
         return expr
     if isinstance(expr, Lit):

@@ -10,7 +10,8 @@ differential tests compare event streams across the interpreter, the
 rewriting machine, and the static linker.
 
 Event kinds are dotted ``family.action`` strings.  The families are
-fixed (``reduce``, ``link``, ``check``, ``unit``, ``dynlink``); the
+fixed (``reduce``, ``link``, ``check``, ``unit``, ``dynlink``,
+``cache``, ``limit``); the
 actions within a family are open-ended, but every kind emitted by the
 library is registered in :data:`KINDS` so tools can enumerate them
 (``tests/test_obs_registry.py`` lints the source tree for this).
@@ -31,7 +32,8 @@ from dataclasses import dataclass, field
 #: its events describe the *implementation* (content-addressed reuse of
 #: check/compile/parse results), not the semantics, and differential
 #: tests exclude the family when comparing traces.
-FAMILIES = ("check", "link", "reduce", "unit", "dynlink", "cache")
+FAMILIES = ("check", "link", "reduce", "unit", "dynlink", "cache",
+            "limit")
 
 #: Field names reserved by the span layer (instrumentation sites must
 #: not use these for their own payload keys).
@@ -65,6 +67,8 @@ KINDS: dict[str, str] = {
     "cache.hit": "a cache returned a stored result for a term digest",
     "cache.miss": "a cache had no entry and the result was computed",
     "cache.evict": "a bounded cache dropped its least-recent entry",
+    # Resource governance (repro.limits)
+    "limit.exceeded": "a resource budget was exhausted and work aborted",
 }
 
 

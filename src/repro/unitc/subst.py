@@ -23,6 +23,7 @@ Both honor the global caching switch in :mod:`repro.lang.terms`.
 
 from __future__ import annotations
 
+from repro import limits as _limits
 from repro.lang import terms as _terms
 from repro.types.types import TyVar, Type
 from repro.unite.expand import expand_texpr, expand_type
@@ -142,9 +143,15 @@ def _free_value_vars(expr: TExpr) -> frozenset[str]:
 
 
 def subst_values_texpr(expr: TExpr, mapping: dict[str, TExpr]) -> TExpr:
-    """Substitute closed typed expressions for free value variables."""
+    """Substitute closed typed expressions for free value variables.
+
+    Each visited node charges the active budget's ``subst_nodes``
+    allowance, mirroring :func:`repro.lang.subst.substitute`."""
     if not mapping:
         return expr
+    budget = _limits.current()
+    if budget is not None:
+        budget.charge_subst(expr)
     if _terms._enabled and free_value_vars(expr).isdisjoint(mapping):
         return expr
     if isinstance(expr, TLit):

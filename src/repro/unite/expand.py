@@ -13,6 +13,7 @@ occurrences refer to the signature's own type variables.
 
 from __future__ import annotations
 
+from repro import limits as _limits
 from repro.lang.errors import TypeCheckError
 from repro.types.types import (
     Arrow,
@@ -27,6 +28,9 @@ from repro.types.types import (
 # Fuel counts only abbreviation unfoldings (TyVar expansions), not
 # structural descent, so arbitrarily deep types expand fine while a
 # cyclic equation set fails after this many unfoldings along one path.
+# An active Budget with an ``expand_fuel`` cap replaces this default
+# (and a process-wide allowance replaces the per-path one), raising
+# BudgetExceeded instead of TypeCheckError on exhaustion.
 _EXPANSION_FUEL = 200
 
 
@@ -37,13 +41,18 @@ def expand_type(ty: Type, equations: dict[str, Type]) -> Type:
     function assumes the set is acyclic
     (:func:`repro.unite.depends.check_equations_acyclic`); a fuel
     counter turns an unexpected cycle into an error rather than
-    divergence.
+    divergence.  Under an active :class:`repro.limits.Budget` with an
+    ``expand_fuel`` cap, unfoldings charge that budget instead.
     """
-    return _expand(ty, equations, _EXPANSION_FUEL)
+    budget = _limits.current()
+    if budget is not None and budget.expand_fuel is not None:
+        return _expand(ty, equations, None, budget)
+    return _expand(ty, equations, _EXPANSION_FUEL, None)
 
 
-def _expand(ty: Type, equations: dict[str, Type], fuel: int) -> Type:
-    if fuel <= 0:
+def _expand(ty: Type, equations: dict[str, Type], fuel: int | None,
+            budget) -> Type:
+    if fuel is not None and fuel <= 0:
         raise TypeCheckError(
             "type expansion did not terminate (cyclic abbreviations?)")
     if isinstance(ty, BaseType):
@@ -52,16 +61,21 @@ def _expand(ty: Type, equations: dict[str, Type], fuel: int) -> Type:
         rhs = equations.get(ty.name)
         if rhs is None:
             return ty
-        return _expand(rhs, equations, fuel - 1)
+        if budget is not None:
+            budget.charge_expand()
+        return _expand(rhs, equations,
+                       fuel - 1 if fuel is not None else None, budget)
     if isinstance(ty, Arrow):
         return Arrow(
-            tuple(_expand(d, equations, fuel) for d in ty.domains),
-            _expand(ty.result, equations, fuel))
+            tuple(_expand(d, equations, fuel, budget)
+                  for d in ty.domains),
+            _expand(ty.result, equations, fuel, budget))
     if isinstance(ty, Product):
         return Product(
-            tuple(_expand(c, equations, fuel) for c in ty.components))
+            tuple(_expand(c, equations, fuel, budget)
+                  for c in ty.components))
     if isinstance(ty, BoxType):
-        return BoxType(_expand(ty.content, equations, fuel))
+        return BoxType(_expand(ty.content, equations, fuel, budget))
     if isinstance(ty, Sig):
         bound = ty.bound_type_names()
         inner = {name: rhs for name, rhs in equations.items()
@@ -70,10 +84,12 @@ def _expand(ty: Type, equations: dict[str, Type], fuel: int) -> Type:
             return ty
         return Sig(
             ty.timports,
-            tuple((n, _expand(t, inner, fuel)) for n, t in ty.vimports),
+            tuple((n, _expand(t, inner, fuel, budget))
+                  for n, t in ty.vimports),
             ty.texports,
-            tuple((n, _expand(t, inner, fuel)) for n, t in ty.vexports),
-            _expand(ty.init, inner, fuel),
+            tuple((n, _expand(t, inner, fuel, budget))
+                  for n, t in ty.vexports),
+            _expand(ty.init, inner, fuel, budget),
             ty.depends,
         )
     raise TypeError(f"expand_type: unknown type {ty!r}")

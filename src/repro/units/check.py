@@ -18,6 +18,7 @@ re-checks the with/provides contract when linking happens.
 
 from __future__ import annotations
 
+from repro import limits as _limits
 from repro.lang.ast import (
     App,
     Expr,
@@ -113,6 +114,9 @@ def check_unit(expr: UnitExpr, strict_valuable: bool = True) -> None:
     with _obs_span("check.unit", _span_fields(
             expr, imports=len(expr.imports), exports=len(expr.exports),
             defns=len(expr.defns))):
+        budget = _limits.current()
+        if budget is not None:
+            budget.check_deadline(expr.loc)
         # Checking is a pure function of the unit's structure, so a
         # structurally identical unit that already passed need not be
         # re-walked.  The span above still fires: event counts are the
@@ -154,6 +158,9 @@ def check_compound(expr: CompoundExpr, strict_valuable: bool = True) -> None:
     with _obs_span("check.compound", _span_fields(
             expr, imports=len(xi), exports=len(expr.exports),
             provides=len(xp1) + len(xp2))):
+        budget = _limits.current()
+        if budget is not None:
+            budget.check_deadline(expr.loc)
         _check_compound_premises(expr, strict_valuable)
 
 

@@ -21,6 +21,7 @@ benchmarks print the before/after terms.
 
 from __future__ import annotations
 
+from repro import limits as _limits
 from repro.lang.ast import Expr, Letrec, Seq, Var, seq_of
 from repro.lang.errors import UnitLinkError
 from repro.lang.subst import fresh_like, free_vars, substitute
@@ -41,6 +42,9 @@ def reduce_invoke(unit: UnitExpr,
     if missing:
         raise UnitLinkError(
             "invoke: unit imports not satisfied: " + ", ".join(missing))
+    budget = _limits.current()
+    if budget is not None:
+        budget.check_deadline(getattr(unit, "loc", None))
     col = _obs_current()
     if col is None:
         body = Letrec(unit.defns, unit.init)
@@ -96,6 +100,9 @@ def merge_compound(compound: CompoundExpr, first: UnitExpr,
                 f"compound: {which} constituent does not provide: "
                 + ", ".join(missing))
 
+    budget = _limits.current()
+    if budget is not None:
+        budget.check_deadline(getattr(compound, "loc", None))
     col = _obs_current()
     if col is None:
         return _merge_bodies(compound, first, second, None)

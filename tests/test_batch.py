@@ -1,0 +1,203 @@
+"""The batch driver: per-item isolation, records, retry, fail-fast.
+
+A directory mixing a good program, a looping program, and an ill-typed
+program must yield one ``ok`` record and two structured failure
+records — with the batch itself exiting 0 and the looping item's
+exhaustion visible as a ``limit.exceeded`` trace event — because the
+whole point of per-item budgets is that one misbehaving unit cannot
+take its siblings (or the driver) down.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.batch import RECORD_SCHEMA, run_batch, run_item, write_records
+from repro.cli import main
+from repro.limits import Budget, BudgetExceeded
+
+GOOD = """
+(invoke (unit (import) (export greet)
+  (define greet (lambda (who) (string-append "hello, " who)))
+  (greet "world")))
+"""
+LOOPING = "(letrec ((spin (lambda (n) (spin (+ n 1))))) (spin 0))"
+ILL_FORMED = "(invoke (unit (import) (export nope) (define x 1) x))"
+
+
+@pytest.fixture
+def mixed_dir(tmp_path):
+    (tmp_path / "a_good.scm").write_text(GOOD)
+    (tmp_path / "b_loop.scm").write_text(LOOPING)
+    (tmp_path / "c_bad.scm").write_text(ILL_FORMED)
+    return tmp_path
+
+
+def _budget():
+    return Budget(eval_steps=20_000, max_depth=5_000)
+
+
+class TestRunItem:
+    def test_ok_record(self, tmp_path):
+        path = tmp_path / "p.scm"
+        path.write_text(GOOD)
+        record = run_item(path, _budget())
+        assert record["schema"] == RECORD_SCHEMA
+        assert record["status"] == "ok"
+        assert record["value"] == '"hello, world"'
+        assert record["spent"]["eval_steps"] > 0
+
+    def test_exhaustion_record_carries_the_taxonomy(self, tmp_path):
+        path = tmp_path / "p.scm"
+        path.write_text(LOOPING)
+        record = run_item(path, _budget())
+        assert record["status"] == "error"
+        error = record["error"]
+        assert error["type"] == "BudgetExceeded"
+        assert error["resource"] == "eval_steps"
+        assert error["limit"] == 20_000
+        assert error["used"] == 20_001
+        assert "loc" in error
+        assert record["spent"]["eval_steps"] == 20_001
+
+    def test_language_error_record(self, tmp_path):
+        path = tmp_path / "p.scm"
+        path.write_text(ILL_FORMED)
+        record = run_item(path, _budget())
+        assert record["status"] == "error"
+        assert record["error"]["type"] == "CheckError"
+        assert "nope" in record["error"]["message"]
+
+    def test_unreadable_file_is_a_record_not_a_crash(self, tmp_path):
+        record = run_item(tmp_path / "missing.scm", _budget())
+        assert record["status"] == "error"
+        assert record["error"]["type"] == "FileNotFoundError"
+
+
+class TestRunBatch:
+    def test_failures_do_not_stop_siblings(self, mixed_dir):
+        paths = sorted(mixed_dir.glob("*.scm"))
+        records, failures = run_batch(paths, _budget)
+        assert len(records) == 3
+        assert failures == 2
+        by_status = [r["status"] for r in records]
+        assert by_status == ["ok", "error", "error"]
+
+    def test_each_item_gets_a_fresh_budget(self, mixed_dir):
+        # The looping item burns its whole eval allowance; were the
+        # budget shared, the good item (sorted after it) would trip too.
+        paths = [mixed_dir / "b_loop.scm", mixed_dir / "a_good.scm"]
+        records, failures = run_batch(paths, _budget)
+        assert failures == 1
+        assert records[0]["status"] == "error"
+        assert records[1]["status"] == "ok"
+
+    def test_fail_fast_stops_the_batch(self, mixed_dir):
+        paths = sorted(mixed_dir.glob("*.scm"))
+        records, failures = run_batch(paths, _budget, fail_fast=True)
+        assert failures == 1
+        assert len(records) == 2  # good, then the loop; bad never ran
+
+    def test_exhaustion_emits_limit_exceeded_event(self, mixed_dir):
+        with obs.collecting() as col:
+            run_batch(sorted(mixed_dir.glob("*.scm")), _budget)
+        exceeded = [e for e in col.events if e.kind == "limit.exceeded"]
+        assert len(exceeded) == 1
+        assert exceeded[0].fields["resource"] == "eval_steps"
+
+    def test_write_records_roundtrip(self, mixed_dir, tmp_path):
+        records, _ = run_batch(sorted(mixed_dir.glob("*.scm")), _budget)
+        out = tmp_path / "records.jsonl"
+        assert write_records(records, out) == 3
+        lines = out.read_text().splitlines()
+        assert [json.loads(line)["status"] for line in lines] \
+            == ["ok", "error", "error"]
+
+    def test_retry_reaches_the_archive_roundtrip(self, tmp_path,
+                                                 monkeypatch):
+        # The good program's top form is a unit, so the batch
+        # round-trips it through the archive; a transiently failing
+        # retrieval succeeds under --retry semantics.
+        from repro.dynlink.archive import UnitArchive
+        from repro.lang.errors import ArchiveError
+
+        path = tmp_path / "p.scm"
+        path.write_text(GOOD)
+        real = UnitArchive.retrieve_untyped
+        fails = {"left": 2}
+
+        def flaky(self, *args, **kwargs):
+            if fails["left"]:
+                fails["left"] -= 1
+                raise ArchiveError("transient store hiccup")
+            return real(self, *args, **kwargs)
+
+        monkeypatch.setattr(UnitArchive, "retrieve_untyped", flaky)
+        naps = []
+        record = run_item(path, _budget(), retries=3, sleep=naps.append)
+        assert record["status"] == "ok"
+        assert fails["left"] == 0
+        assert len(naps) == 2
+
+        fails["left"] = 2
+        record = run_item(path, _budget(), retries=1,
+                          sleep=lambda s: None)
+        assert record["status"] == "error"
+        assert record["error"]["type"] == "ArchiveError"
+
+
+class TestBatchCli:
+    def test_mixed_batch_exits_zero_with_records(self, mixed_dir,
+                                                 capsys):
+        status = main(["batch", str(mixed_dir), "--eval-steps", "20000"])
+        assert status == 0
+        captured = capsys.readouterr()
+        records = [json.loads(line)
+                   for line in captured.out.splitlines()]
+        assert [r["status"] for r in records] == ["ok", "error", "error"]
+        assert "1 ok, 2 failed, 3 total" in captured.err
+
+    def test_out_file_and_trace_interaction(self, mixed_dir, tmp_path,
+                                            capsys):
+        out = tmp_path / "records.jsonl"
+        trace = tmp_path / "trace.jsonl"
+        status = main(["--trace", str(trace), "batch", str(mixed_dir),
+                       "--eval-steps", "20000", "--out", str(out)])
+        assert status == 0
+        records = [json.loads(line)
+                   for line in out.read_text().splitlines()]
+        assert len(records) == 3
+        kinds = [json.loads(line).get("kind")
+                 for line in trace.read_text().splitlines()]
+        assert "limit.exceeded" in kinds
+
+    def test_fail_fast_exit_codes(self, mixed_dir, capsys):
+        # First failure in sorted order is the looping item when the
+        # ill-formed one is excluded: budget exhaustion exits 3.
+        (mixed_dir / "c_bad.scm").unlink()
+        status = main(["batch", str(mixed_dir), "--eval-steps", "2000",
+                       "--fail-fast"])
+        assert status == 3
+        # With the ill-formed file first, a language error exits 1.
+        (mixed_dir / "a_bad.scm").write_text(ILL_FORMED)
+        status = main(["batch", str(mixed_dir), "--eval-steps", "2000",
+                       "--fail-fast"])
+        assert status == 1
+
+    def test_missing_directory_exits_2(self, tmp_path, capsys):
+        assert main(["batch", str(tmp_path / "nope")]) == 2
+
+    def test_no_matches_exits_2(self, tmp_path, capsys):
+        assert main(["batch", str(tmp_path)]) == 2
+
+    def test_deadline_flag_kills_looping_item(self, mixed_dir, capsys):
+        status = main(["batch", str(mixed_dir), "--deadline", "0.2"])
+        assert status == 0
+        records = [json.loads(line)
+                   for line in capsys.readouterr().out.splitlines()]
+        loop = next(r for r in records if "b_loop" in r["file"])
+        assert loop["status"] == "error"
+        # Either the wall clock or the default step caps tripped first;
+        # both are budget exhaustion, neither is a hang.
+        assert loop["error"]["type"] == "BudgetExceeded"

@@ -1,0 +1,79 @@
+"""Governance must be observationally invisible: a corpus-wide sweep.
+
+The budget layer's contract is that charging is pure bookkeeping — a
+run that fits inside its budget is *identical* to an ungoverned run.
+Every corpus program runs through the full untyped pipeline twice —
+once with no budget in scope and once under a generous budget (every
+cap set, none of them reachable) — with the gensym counter reset
+before each run, and the two runs must agree byte for byte on:
+
+* the interpreter's value and displayed output,
+* the rewriting machine's final value and exact step count,
+* the statically linked program and the compiled program's behaviour,
+* the multiset of trace-event kinds (a governed run emits no extra
+  events unless something is actually exhausted).
+
+This extends the cache-differential sweep
+(:mod:`tests.test_cache_differential`), reusing its observation
+machinery; here the varied configuration is governance, not caching.
+"""
+
+import itertools
+
+import pytest
+
+from repro.lang import subst as lang_subst
+from repro.limits import Budget, budget_scope
+
+from tests.test_cache_differential import _observe
+from tests.test_corpus import CASES
+
+
+def _generous_budget() -> Budget:
+    return Budget(
+        eval_steps=50_000_000,
+        machine_steps=50_000_000,
+        subst_nodes=50_000_000,
+        expand_fuel=1_000_000,
+        max_depth=100_000,
+        deadline_s=600.0,
+    )
+
+
+def _observe_governed(case, cached):
+    lang_subst._counter = itertools.count()
+    with budget_scope(_generous_budget()) as budget:
+        out = _observe(case, cached=cached)
+    out["_spent"] = budget.spent()
+    return out
+
+
+class TestGovernedRunsAreObservationallyIdentical:
+    @pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+    def test_corpus_case_uncached(self, case):
+        free = _observe(case, cached=False)
+        governed = _observe_governed(case, cached=False)
+        spent = governed.pop("_spent")
+        for key in free:
+            assert governed[key] == free[key], key
+        # The run really was governed: the budget saw the work.
+        assert spent["eval_steps"] > 0
+
+    @pytest.mark.parametrize("case", CASES[:6], ids=lambda c: c.name)
+    def test_corpus_case_cached(self, case):
+        """Budget x cache: governance is invisible with the caching
+        layer on, too — and vice versa."""
+        free = _observe(case, cached=True)
+        governed = _observe_governed(case, cached=True)
+        governed.pop("_spent")
+        for key in free:
+            assert governed[key] == free[key], key
+
+    @pytest.mark.parametrize("case", CASES[:6], ids=lambda c: c.name)
+    def test_consumption_is_reproducible(self, case):
+        """Two governed runs of the same program consume identically —
+        the counters are a deterministic cost semantics, fit to gate on.
+        """
+        first = _observe_governed(case, cached=False)
+        second = _observe_governed(case, cached=False)
+        assert first["_spent"] == second["_spent"]

@@ -213,3 +213,75 @@ class TestObservabilityFlags:
         monkeypatch.setattr(obs.Collector, "emit", spy)
         assert main(["run", compound_file]) == 0
         assert seen == []
+
+
+class TestBudgetExitCodes:
+    """Exit code 3 is budget exhaustion, distinct from language errors."""
+
+    LOOP = "(letrec ((spin (lambda (n) (spin (+ n 1))))) (spin 0))"
+
+    @pytest.fixture()
+    def looping_file(self, tmp_path):
+        path = tmp_path / "loop.scm"
+        path.write_text(self.LOOP)
+        return str(path)
+
+    def test_demo_machine_exhaustion_exits_3(self, looping_file, capsys):
+        assert main(["demo", looping_file, "--limit", "100"]) == 3
+        assert "machine step budget exhausted" in capsys.readouterr().err
+
+    def test_demo_exhaustion_with_trace_still_flushes(self, tmp_path,
+                                                      looping_file,
+                                                      capsys):
+        from repro.obs import read_jsonl
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(["--trace", str(trace), "demo", looping_file,
+                     "--limit", "100"]) == 3
+        captured = capsys.readouterr()
+        assert "machine step budget exhausted" in captured.err
+        # The events leading up to exhaustion are the interesting ones:
+        # the trace is flushed despite the nonzero exit, and the demo's
+        # hand-driven machine span is in it.
+        events = read_jsonl(str(trace))
+        assert any(e.kind == "reduce.machine" for e in events)
+
+    def test_demo_under_limit_still_exits_0(self, tmp_path, capsys):
+        path = tmp_path / "p.scm"
+        path.write_text("(* 6 7)")
+        assert main(["demo", str(path)]) == 0
+        assert "=> 42" in capsys.readouterr().out
+
+    def test_budget_exceeded_escaping_a_command_exits_3(self, tmp_path,
+                                                        monkeypatch,
+                                                        capsys):
+        # Any subcommand that lets BudgetExceeded escape maps to 3 (a
+        # LangError still maps to 1): the handler must sort before the
+        # LangError handler since the budget error subclasses it.
+        from repro import cli
+        from repro.limits import Budget, budget_scope
+
+        path = tmp_path / "p.scm"
+        path.write_text(self.LOOP)
+        original = cli.cmd_run
+
+        def governed_run(args):
+            with budget_scope(Budget(eval_steps=500)):
+                return original(args)
+
+        monkeypatch.setattr(cli, "cmd_run", governed_run)
+        argv = ["run", str(path)]
+        args = cli.build_parser().parse_args(argv)
+        monkeypatch.setattr(args, "fn", governed_run)
+        # Drive main() with the patched command table via parse+dispatch.
+        monkeypatch.setattr(cli, "build_parser", lambda: _FixedParser(args))
+        assert cli.main(argv) == 3
+        assert "budget exhausted" in capsys.readouterr().err
+
+
+class _FixedParser:
+    def __init__(self, args):
+        self._args = args
+
+    def parse_args(self, argv):
+        return self._args

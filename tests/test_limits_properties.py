@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) on resource governance.
+
+Two families of properties pin the budget contract down:
+
+* **Monotonicity** — budgets only ever *stop* work, never change it.
+  A program that completes under a budget of N steps completes with
+  the identical value, output, and consumption under any budget of
+  N + k; and raising any single cap never turns success into failure.
+
+* **Clean exhaustion** — on a generated corpus of deeply recursive and
+  looping programs, a governed run raises :class:`BudgetExceeded`
+  (naming the tripped resource), never a bare ``RecursionError``: the
+  whole reason the depth gauge exists.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.lang.interp import run_program
+from repro.lang.machine import machine_eval
+from repro.lang.parser import parse_program
+from repro.lang.sexpr import read_sexpr
+from repro.limits import Budget, BudgetExceeded, budget_scope
+
+# ---------------------------------------------------------------------------
+# A tiny generated program space with predictable, tunable cost
+# ---------------------------------------------------------------------------
+
+# Terminating: count down from `n`, accumulating — cost scales with n.
+_COUNTDOWN = """
+(letrec ((down (lambda (n acc)
+                 (if (= n 0) acc (down (- n 1) (+ acc n))))))
+  (down {n} 0))
+"""
+
+# Deep (non-tail) recursion: stack depth scales with n.
+_DEEP = """
+(letrec ((sum (lambda (n)
+                (if (= n 0) 0 (+ n (sum (- n 1)))))))
+  (sum {n}))
+"""
+
+# Divergent: never terminates, under any finite budget it must trip.
+_SPIN = "(letrec ((spin (lambda (n) (spin (+ n 1))))) (spin 0))"
+
+
+def _run_governed(source: str, budget: Budget):
+    """Run a program under a budget; return (value, output, spent)."""
+    with budget_scope(budget) as b:
+        value, output = run_program(source)
+    return value, output, b.spent()
+
+
+# ---------------------------------------------------------------------------
+# Monotonicity
+# ---------------------------------------------------------------------------
+
+class TestBudgetsAreMonotone:
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(1, 60), slack=st.integers(0, 10_000))
+    def test_completing_run_is_identical_under_larger_budget(
+            self, n, slack):
+        source = _COUNTDOWN.format(n=n)
+        baseline = _run_governed(
+            source, Budget(eval_steps=200_000, max_depth=5_000))
+        # The exact consumption is itself a budget the program fits in;
+        # any larger budget must reproduce the run bit for bit.
+        spent = baseline[2]
+        tight = Budget(eval_steps=spent["eval_steps"] + slack,
+                       max_depth=spent["max_depth_seen"] + slack)
+        again = _run_governed(source, tight)
+        assert again == baseline
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(1, 40), k=st.integers(1, 5))
+    def test_raising_a_cap_never_breaks_success(self, n, k):
+        source = _DEEP.format(n=n)
+        first = _run_governed(
+            source, Budget(eval_steps=100_000, max_depth=2_000))
+        spent = first[2]
+        exact = Budget(eval_steps=spent["eval_steps"],
+                       max_depth=spent["max_depth_seen"])
+        grown = Budget(eval_steps=spent["eval_steps"] * k,
+                       max_depth=spent["max_depth_seen"] * k)
+        assert _run_governed(source, exact) == first
+        assert _run_governed(source, grown) == first
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(1, 30))
+    def test_governed_equals_ungoverned(self, n):
+        source = _COUNTDOWN.format(n=n)
+        free_value, free_output = run_program(source)
+        value, output, _ = _run_governed(
+            source, Budget(eval_steps=10**9, max_depth=10**6,
+                           subst_nodes=10**9))
+        assert (value, output) == (free_value, free_output)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(1, 20))
+    def test_machine_steps_monotone(self, n):
+        expr_src = _COUNTDOWN.format(n=n)
+        with budget_scope(Budget(machine_steps=10**7)) as b:
+            lit, out = machine_eval(parse_program(expr_src))
+        steps = b.spent()["machine_steps"]
+        with budget_scope(Budget(machine_steps=steps)):
+            lit2, out2 = machine_eval(parse_program(expr_src))
+        assert (lit2.value, out2) == (lit.value, out)
+
+
+# ---------------------------------------------------------------------------
+# Clean exhaustion: BudgetExceeded, never RecursionError
+# ---------------------------------------------------------------------------
+
+class TestExhaustionIsClean:
+    @settings(max_examples=25, deadline=None)
+    @given(cap=st.integers(10, 2_000))
+    def test_divergence_trips_eval_budget(self, cap):
+        with budget_scope(Budget(eval_steps=cap)):
+            with pytest.raises(BudgetExceeded) as exc:
+                run_program(_SPIN)
+        assert exc.value.resource == "eval_steps"
+        assert exc.value.used == cap + 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(depth_cap=st.integers(50, 1_500),
+           n=st.integers(5_000, 50_000))
+    def test_crafted_depth_raises_budget_not_recursionerror(
+            self, depth_cap, n):
+        source = _DEEP.format(n=n)
+        try:
+            with budget_scope(Budget(max_depth=depth_cap)):
+                run_program(source)
+        except BudgetExceeded as err:
+            assert err.resource == "depth"
+        except RecursionError:  # pragma: no cover - the failure mode
+            pytest.fail("governed run leaked a bare RecursionError")
+        else:
+            pytest.fail("expected the depth gauge to trip")
+
+    @settings(max_examples=15, deadline=None)
+    @given(nesting=st.integers(30, 400))
+    def test_crafted_nesting_raises_budget_not_recursionerror(
+            self, nesting):
+        text = "(" * nesting + "x" + ")" * nesting
+        try:
+            with budget_scope(Budget(max_depth=25)):
+                read_sexpr(text)
+        except BudgetExceeded as err:
+            assert err.resource == "depth"
+            assert err.used == 26
+        except RecursionError:  # pragma: no cover - the failure mode
+            pytest.fail("governed reader leaked a bare RecursionError")
+        else:
+            pytest.fail("expected the depth gauge to trip")
+
+    @settings(max_examples=10, deadline=None)
+    @given(cap=st.integers(64, 512))
+    def test_machine_divergence_trips_machine_budget(self, cap):
+        expr = parse_program(_SPIN)
+        with budget_scope(Budget(machine_steps=cap)):
+            with pytest.raises(BudgetExceeded) as exc:
+                machine_eval(expr)
+        assert exc.value.resource == "machine_steps"
