@@ -9,9 +9,11 @@
 # past the committed baseline (benchmarks/.metrics/baseline.json —
 # regenerate with scripts/update_metrics_baseline.sh after intentional
 # changes), if the demo records no cache hits, if the quick bench
-# smoke finds the caches inert, or if the batch-isolation smoke (one
-# good, one looping, one ill-typed program) does not yield exactly the
-# expected records and limit.exceeded trace event (docs/ROBUSTNESS.md).
+# smoke finds the caches inert, if a warm sharing-064 pass fails to
+# serve its links from the link store (docs/PERFORMANCE.md, "Link
+# caching"), or if the batch-isolation smoke (one good, one looping,
+# one ill-typed program) does not yield exactly the expected records
+# and limit.exceeded trace event (docs/ROBUSTNESS.md).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -57,6 +59,35 @@ bench_out="$(mktemp)"
 bench_snap="$(mktemp)"
 trap 'rm -f "$trace_file" "$metrics_file" "$bench_out" "$bench_snap"' EXIT
 python -m repro bench --quick --out "$bench_out" --snapshot "$bench_snap"
+
+echo "==> smoke: incremental linking (sharing-064 warm link)"
+python - <<'EOF'
+from repro import obs
+from repro.bench import sharing_program, _pipeline
+from repro.limits import python_recursion_headroom
+from repro.units.cache import unit_cache_scope
+
+# One scope, two passes: the first primes the link store, the second
+# must link the 64-copy sharing program from cache hits.
+with python_recursion_headroom(40000):
+    with unit_cache_scope():
+        cold = _pipeline(sharing_program(64))
+        with obs.collecting() as col:
+            warm = _pipeline(sharing_program(64))
+link_hits = sum(1 for e in col.events if e.kind == "cache.hit"
+                and e.fields.get("cache") == "link")
+link_misses = sum(1 for e in col.events if e.kind == "cache.miss"
+                  and e.fields.get("cache") == "link")
+assert link_hits >= 60, \
+    f"warm sharing-064 pass made only {link_hits} link-cache hits"
+assert link_misses == 0, \
+    f"warm sharing-064 pass still missed the link store {link_misses}x"
+assert warm["link"] < cold["link"], \
+    f"warm link ({warm['link']:.3f}s) not faster than cold " \
+    f"({cold['link']:.3f}s)"
+print(f"link cache ok: {link_hits} hits, 0 misses; "
+      f"link {cold['link']:.3f}s cold -> {warm['link']:.3f}s warm")
+EOF
 
 echo "==> smoke: batch isolation (good + looping + ill-typed)"
 batch_dir="$(mktemp -d)"

@@ -51,12 +51,14 @@ Caching (any subcommand)::
 
 Every invocation runs with the term-performance layer on (memoized
 free variables and substitution, hash-consing) and a fresh
-content-addressed unit cache (check/compile/parse reuse for
-structurally identical units; ``cache.*`` trace events report hits).
-``--no-term-cache`` disables all of it — the escape hatch and the
-differential-testing baseline.  ``--cache-dir DIR`` (or the
-``REPRO_CACHE_DIR`` environment variable) adds an on-disk tier so
-compiled units persist across invocations.  ``bench`` measures the
+content-addressed unit cache (check/compile/link/parse reuse for
+structurally identical units — linking is incremental: resolved link
+subgraphs are keyed on their constituents' digests; ``cache.*`` trace
+events report hits).  ``--no-term-cache`` disables all of it — the
+escape hatch and the differential-testing baseline.  ``--cache-dir
+DIR`` (or the ``REPRO_CACHE_DIR`` environment variable) adds an
+on-disk tier so compiled units and merged link results persist across
+invocations.  ``bench`` measures the
 difference and writes ``BENCH_results.json`` (docs/PERFORMANCE.md).
 
 Resource governance (docs/ROBUSTNESS.md)::

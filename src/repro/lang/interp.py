@@ -308,13 +308,19 @@ class Interpreter:
 
     def _instantiate_compound(self, unit: CompoundUnitValue,
                               cells: dict[str, Cell]) -> list[tuple[Env, Expr]]:
+        # Port resolution is batched per sibling against one shared
+        # namespace, with the membership tests on sets — wide fan-in
+        # compounds resolve each import in O(1) rather than rescanning
+        # the interface tuples.
         namespace: dict[str, Cell] = {}
+        imported = set(unit.imports)
+        exported = set(unit.exports)
         for name in unit.imports:
             namespace[name] = cells[name]
         for name in (set(unit.first_clause.provides)
                      | set(unit.second_clause.provides)):
             namespace[name] = cells[name] if name in cells \
-                and name in unit.exports else Cell()
+                and name in exported else Cell()
         runs: list[tuple[Env, Expr]] = []
         col = _obs_current()
         for constituent, clause in ((unit.first, unit.first_clause),
@@ -330,7 +336,7 @@ class Interpreter:
                 if col is not None:
                     col.emit("link.edge", {
                         "name": name,
-                        "source": ("import" if name in unit.imports
+                        "source": ("import" if name in imported
                                    else "provides")})
             provided = set(clause.provides)
             for name in constituent.exports:
@@ -355,12 +361,14 @@ def _check_clause(unit: UnitValue, withs: tuple[str, ...],
     """Enforce Figure 11's side conditions at link time: a constituent
     must need no more than the ``with`` names and provide at least the
     ``provides`` names."""
-    extra = [name for name in unit.imports if name not in withs]
+    with_set = set(withs)
+    extra = [name for name in unit.imports if name not in with_set]
     if extra:
         raise UnitLinkError(
             "compound: constituent imports exceed its with clause: "
             + ", ".join(extra))
-    missing = [name for name in provides if name not in unit.exports]
+    export_set = set(unit.exports)
+    missing = [name for name in provides if name not in export_set]
     if missing:
         raise UnitLinkError(
             "compound: constituent does not provide: " + ", ".join(missing))

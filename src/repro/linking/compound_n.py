@@ -135,8 +135,9 @@ class NCompoundUnitValue(UnitValue):
             raise UnitLinkError("n-ary compound: duplicate import name")
         published: set[str] = set()
         for clause in self.clauses:
+            clause_exports = set(clause.unit.exports)
             for internal, ns_name in clause.export_names.items():
-                if internal not in clause.unit.exports:
+                if internal not in clause_exports:
                     raise UnitLinkError(
                         f"n-ary compound: constituent does not export "
                         f"'{internal}'")

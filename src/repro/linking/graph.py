@@ -85,13 +85,14 @@ class LinkGraph:
     def validate(self) -> None:
         """Check the graph's wiring before compilation."""
         provided: dict[str, str] = {}
+        imported = set(self.imports)
         for box in self.boxes:
             for name in box.provides:
                 if name in provided:
                     raise CheckError(
                         f"graph: '{name}' provided by both "
                         f"'{provided[name]}' and '{box.name}'")
-                if name in self.imports:
+                if name in imported:
                     raise CheckError(
                         f"graph: '{name}' is both an import and provided "
                         f"by '{box.name}'")

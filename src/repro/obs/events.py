@@ -30,8 +30,10 @@ from dataclasses import dataclass, field
 
 #: Event families, in pipeline order.  ``cache`` is the odd one out:
 #: its events describe the *implementation* (content-addressed reuse of
-#: check/compile/parse results), not the semantics, and differential
-#: tests exclude the family when comparing traces.
+#: check/compile/link/parse results), not the semantics, and
+#: differential tests exclude the family when comparing traces.  The
+#: ``cache`` field of a ``cache.*`` event names the store (``compile``,
+#: ``check``, ``link``, ``dynlink``).
 FAMILIES = ("check", "link", "reduce", "unit", "dynlink", "cache",
             "limit")
 

@@ -42,7 +42,13 @@ class UnitExpr(Expr):
     @property
     def defined(self) -> tuple[str, ...]:
         """The variables defined by this unit, in definition order."""
-        return tuple(name for name, _ in self.defns)
+        # Memoized on the frozen instance: the optimizer and linker
+        # consult this on every pass, and defns never mutates.
+        cached = self.__dict__.get("_defined")
+        if cached is None:
+            cached = tuple(name for name, _ in self.defns)
+            object.__setattr__(self, "_defined", cached)
+        return cached
 
 
 @dataclass(frozen=True)

@@ -1,9 +1,10 @@
-"""Content-addressed caches for compiled and checked units.
+"""Content-addressed caches for compiled, checked, and linked units.
 
-Units are syntax, and structurally identical syntax compiles and
-checks identically — so the Figure 12 compiler, the Figure 10 checker,
-and the dynamic-linking archive can reuse results keyed by the stable
-:func:`repro.lang.terms.term_key` digest.  Three stores live here:
+Units are syntax, and structurally identical syntax compiles, checks,
+and links identically — so the Figure 12 compiler, the Figure 10
+checker, the Figure 11 compound merge, and the dynamic-linking archive
+can reuse results keyed by the stable
+:func:`repro.lang.terms.term_key` digest.  Four stores live here:
 
 * the **compile cache** — ``term_key(unit-form) -> compiled core
   expression`` (compiled code is closed over its generated names, so a
@@ -12,6 +13,18 @@ and the dynamic-linking archive can reuse results keyed by the stable
 * the **check cache** — ``(term_key, strict?) -> passed`` for
   successful :func:`repro.units.check.check_unit` runs (failures are
   never cached: the error message and trace event must re-fire);
+* the **link cache** — resolved link subgraphs.  The paper's compound
+  link graphs are DAG-shaped (Section 3.2–3.3), so a compound whose
+  constituent digests are unchanged re-links to a structurally
+  identical merged unit; :func:`cached_link` keys the merge of
+  :func:`repro.units.reduce.merge_compound` on the ``tk1`` digests of
+  the two constituent units plus the link-graph shape (the compound's
+  imports/exports and each clause's with/provides lists — flat
+  signature names, never qualified paths), and :func:`cached_optimize`
+  keys the Section 4.2.4 optimizer's output on the merged unit's own
+  digest.  Both the static linker and the rewriting machine consult
+  the same store, so a subgraph resolved once is shared instead of
+  re-walked;
 * the **parse cache** — ``sha256(source) -> unit syntax`` for archive
   retrievals, so repeatedly loading the same serialized unit parses
   once.
@@ -27,10 +40,11 @@ them.
 Every lookup emits exactly one ``cache.hit`` or ``cache.miss`` event
 (guarded, so nothing is built when observability is off) carrying the
 cache's name; LRU evictions emit ``cache.evict``.  The on-disk tier
-(for compiled units, enabled by ``--cache-dir`` or the
-``REPRO_CACHE_DIR`` environment variable) stores pretty-printed
-compiled code under a directory versioned by the digest schema, so a
-schema change strands old entries instead of misreading them.
+(for compiled units and merged link results, enabled by
+``--cache-dir`` or the ``REPRO_CACHE_DIR`` environment variable)
+stores pretty-printed terms under a directory versioned by the digest
+schema (``v1-tk1/compile/`` and ``v1-tk1/link/``), so a schema change
+strands old entries instead of misreading them.
 """
 
 from __future__ import annotations
@@ -85,9 +99,10 @@ class TermCache:
 
 COMPILE_CACHE = TermCache("compile", maxsize=1024)
 CHECK_CACHE = TermCache("check", maxsize=4096)
+LINK_CACHE = TermCache("link", maxsize=1024)
 PARSE_CACHE = TermCache("dynlink", maxsize=256)
 
-_ALL = (COMPILE_CACHE, CHECK_CACHE, PARSE_CACHE)
+_ALL = (COMPILE_CACHE, CHECK_CACHE, LINK_CACHE, PARSE_CACHE)
 
 #: Activation flag — see the module docstring.  Off by default.
 _active = False
@@ -148,14 +163,14 @@ def _emit_miss(name: str) -> None:
 # ---------------------------------------------------------------------------
 
 
-def _disk_path(key: str) -> Path | None:
+def _disk_path(kind: str, key: str) -> Path | None:
     if _disk_dir is None:
         return None
-    return _disk_dir / f"v1-{_terms.SCHEMA}" / "compile" / f"{key}.scm"
+    return _disk_dir / f"v1-{_terms.SCHEMA}" / kind / f"{key}.scm"
 
 
-def _disk_read(key: str) -> Expr | None:
-    path = _disk_path(key)
+def _disk_read(kind: str, key: str) -> Expr | None:
+    path = _disk_path(kind, key)
     if path is None:
         return None
     from repro.lang.parser import parse_program
@@ -176,8 +191,8 @@ def _disk_read(key: str) -> Expr | None:
         return None
 
 
-def _disk_write(key: str, expr: Expr) -> None:
-    path = _disk_path(key)
+def _disk_write(kind: str, key: str, expr: Expr) -> None:
+    path = _disk_path(kind, key)
     if path is None:
         return
     from repro.lang.pretty import show
@@ -206,7 +221,7 @@ def cached_compile(expr: Expr, compute: Callable[[], Expr]) -> Expr:
     if found is not _MISS:
         _emit_hit("compile", "memory")
         return found  # type: ignore[return-value]
-    loaded = _disk_read(key)
+    loaded = _disk_read("compile", key)
     if loaded is not None:
         _emit_hit("compile", "disk")
         COMPILE_CACHE.put(key, loaded)
@@ -214,7 +229,133 @@ def cached_compile(expr: Expr, compute: Callable[[], Expr]) -> Expr:
     _emit_miss("compile")
     out = compute()
     COMPILE_CACHE.put(key, out)
-    _disk_write(key, out)
+    _disk_write("compile", key, out)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The link cache (memory + optional disk tier)
+# ---------------------------------------------------------------------------
+#
+# Linking is content-addressed exactly like compilation: the merged
+# unit a compound reduces to is a pure function of its constituents'
+# structure and the link-graph shape, so a compound whose constituent
+# digests are unchanged short-circuits to the stored merge.  Keys are
+# built from flat signature names (a clause's with/provides lists),
+# never from qualified paths — renaming a box or moving a unit between
+# files cannot invalidate an entry whose structure is unchanged.
+#
+# Failure discipline matches the other stores: clause violations are
+# raised by the caller *before* the lookup, and a merge aborted by a
+# :class:`repro.limits.BudgetExceeded` (deadline or substitution
+# budget) propagates out of ``compute`` before anything is stored, so
+# failed or exhausted links are never cached.
+
+
+def link_key(compound, first: Expr, second: Expr) -> str | None:
+    """The content key of one compound-link step (hex), or ``None``.
+
+    Digests the two constituent units' ``tk1`` keys plus the link-graph
+    shape: the compound's imports/exports and each clause's
+    with/provides name lists.  ``None`` when either constituent embeds
+    run-time data (machine states are never cached).
+    """
+    import hashlib
+
+    k1 = _terms.try_term_key(first)
+    if k1 is None:
+        return None
+    k2 = _terms.try_term_key(second)
+    if k2 is None:
+        return None
+    h = hashlib.blake2b(digest_size=16)
+    h.update(_terms.SCHEMA.encode("ascii"))
+    h.update(b"merge")
+    for part in (k1, k2):
+        h.update(part.encode("ascii"))
+    for names in (compound.imports, compound.exports,
+                  compound.first.withs, compound.first.provides,
+                  compound.second.withs, compound.second.provides):
+        h.update(b"/")
+        for name in names:
+            data = name.encode("utf-8")
+            h.update(str(len(data)).encode("ascii"))
+            h.update(b":")
+            h.update(data)
+    return h.hexdigest()
+
+
+def _disk_read_unit(key: str) -> Expr | None:
+    """Read a link-tier entry; anything but a single unit is corrupt."""
+    from repro.units.ast import UnitExpr
+
+    loaded = _disk_read("link", key)
+    if loaded is None or isinstance(loaded, UnitExpr):
+        return loaded
+    path = _disk_path("link", key)
+    if path is not None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+    return None
+
+
+def cached_link(compound, first: Expr, second: Expr,
+                compute: Callable[[], Expr]) -> Expr:
+    """Merge a compound's constituents through the link cache.
+
+    Hits return the stored merged unit itself, so an already-resolved
+    subgraph is shared instead of re-walked — the static linker and
+    the rewriting machine both come through here, and a subtree either
+    one resolved primes the other.  Deadline checks happen in the
+    caller before the lookup, so budget-governed runs poll the clock
+    on the fast path too.
+    """
+    if not unit_caches_active():
+        return compute()
+    key = link_key(compound, first, second)
+    if key is None:
+        return compute()
+    found = LINK_CACHE.get(key)
+    if found is not _MISS:
+        _emit_hit("link", "memory")
+        return found  # type: ignore[return-value]
+    loaded = _disk_read_unit(key)
+    if loaded is not None:
+        _emit_hit("link", "disk")
+        LINK_CACHE.put(key, loaded)
+        return loaded
+    _emit_miss("link")
+    out = compute()
+    LINK_CACHE.put(key, out)
+    _disk_write("link", key, out)
+    return out
+
+
+def cached_optimize(unit: Expr, rounds: int,
+                    compute: Callable[[], Expr]) -> Expr:
+    """Optimize a unit through the link cache (memory tier only).
+
+    The Section 4.2.4 optimizer runs as the second half of the link
+    stage on the merged unit, is deterministic, and emits no events —
+    so its output is content-addressed under the same ``link`` store,
+    keyed on the input unit's digest and the round count.  Exceptions
+    (including budget exhaustion mid-substitution) propagate before
+    anything is stored.
+    """
+    if not unit_caches_active():
+        return compute()
+    key = _terms.try_term_key(unit)
+    if key is None:
+        return compute()
+    found = LINK_CACHE.get(("opt", key, rounds))
+    if found is not _MISS:
+        _emit_hit("link", "memory")
+        return found  # type: ignore[return-value]
+    _emit_miss("link")
+    out = compute()
+    LINK_CACHE.put(("opt", key, rounds), out)
     return out
 
 

@@ -78,6 +78,12 @@ def _flatten(expr: Expr, stats: LinkStats,
                         assigned)
 
     def scope_minus(names) -> dict[str, UnitExpr]:
+        # Binders rarely shadow a unit binding: share the scope dict
+        # unchanged unless a name actually collides, so deep programs
+        # do not copy the scope at every binder.
+        if not units_in_scope or not any(n in units_in_scope
+                                         for n in names):
+            return units_in_scope
         return {k: v for k, v in units_in_scope.items() if k not in names}
 
     if isinstance(expr, (Lit, Var)):
@@ -157,26 +163,44 @@ def _flatten(expr: Expr, stats: LinkStats,
     raise TypeError(f"flatten: unknown expression {expr!r}")
 
 
-def link_and_optimize(expr: Expr) -> tuple[Expr, LinkStats]:
+def link_and_optimize(
+        expr: Expr,
+        timings: dict[str, float] | None = None) -> tuple[Expr, LinkStats]:
     """The static-linker pipeline: flatten, then optimize.
 
     Returns the transformed program and the linking statistics.
     Behaviour is preserved (differential tests): only
     syntactically-known compounds are merged, and the optimizer only
     touches valuable definitions.
+
+    ``timings``, when given, receives wall seconds for the two
+    sub-stages under the keys ``"flatten"`` and ``"optimize"`` — the
+    bench harness uses this to break the link stage down without
+    requiring a trace collector.
     """
+    import time as _time
+
     stats = LinkStats()
     col = _obs_current()
     if col is not None:
         with col.timed("link.flatten"):
+            t0 = _time.perf_counter()
             flat = flatten(expr, stats)
+            t1 = _time.perf_counter()
         with col.timed("link.optimize"):
             optimized = optimize_expr(flat)
             if isinstance(optimized, UnitExpr):
                 optimized = optimize_unit(optimized)
-        return optimized, stats
-    flat = flatten(expr, stats)
-    optimized = optimize_expr(flat)
-    if isinstance(optimized, UnitExpr):
-        optimized = optimize_unit(optimized)
+            t2 = _time.perf_counter()
+    else:
+        t0 = _time.perf_counter()
+        flat = flatten(expr, stats)
+        t1 = _time.perf_counter()
+        optimized = optimize_expr(flat)
+        if isinstance(optimized, UnitExpr):
+            optimized = optimize_unit(optimized)
+        t2 = _time.perf_counter()
+    if timings is not None:
+        timings["flatten"] = t1 - t0
+        timings["optimize"] = t2 - t1
     return optimized, stats

@@ -45,7 +45,13 @@ from repro.lang.errors import LangError
 from repro.lang.prims import OutputPort, make_global_env
 from repro.lang.subst import free_vars
 from repro.lang.values import Primitive
-from repro.units.ast import CompoundExpr, InvokeExpr, LinkClause, UnitExpr
+from repro.units.ast import (
+    CompoundExpr,
+    InvokeExpr,
+    LinkClause,
+    UnitExpr,
+    unit_children,
+)
 
 #: Primitives safe to evaluate at compile time on literal arguments.
 FOLDABLE_PRIMS = frozenset({
@@ -152,8 +158,6 @@ def _assigned_names(expr: Expr) -> frozenset[str]:
             out.add(e.name)
             walk(e.expr)
             return
-        from repro.units.ast import unit_children
-
         try:
             kids = unit_children(e)
         except TypeError:
@@ -173,13 +177,20 @@ def optimize_unit(unit: UnitExpr, rounds: int = 4) -> UnitExpr:
     valuable (effect-free) definitions are touched — the same
     behaviour; the differential tests check that claim.
     """
-    current = unit
-    for _ in range(rounds):
-        step = _optimize_unit_once(current)
-        if step == current:
-            return step
-        current = step
-    return current
+    from repro.units.cache import cached_optimize
+
+    def compute() -> UnitExpr:
+        current = unit
+        for _ in range(rounds):
+            step = _optimize_unit_once(current)
+            if step == current:
+                return step
+            current = step
+        return current
+
+    # Deterministic, event-free work: content-addressing it under the
+    # link store cannot perturb trace-event counts.
+    return cached_optimize(unit, rounds, compute)
 
 
 def _optimize_unit_once(unit: UnitExpr) -> UnitExpr:
@@ -206,11 +217,12 @@ def _optimize_unit_once(unit: UnitExpr) -> UnitExpr:
 
     # 3. Dead-definition elimination: exported names are roots; a
     #    definition is live if reachable from a root or the init.
+    defined = set(unit.defined)
     refs: dict[str, frozenset[str]] = {
-        name: free_vars(rhs) & set(unit.defined)
+        name: free_vars(rhs) & defined
         for name, rhs in defns}
     live: set[str] = set(unit.exports) | set(assigned)
-    frontier = list(live) + sorted(free_vars(init) & set(unit.defined))
+    frontier = list(live) + sorted(free_vars(init) & defined)
     live.update(frontier)
     while frontier:
         name = frontier.pop()

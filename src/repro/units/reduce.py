@@ -26,6 +26,7 @@ from repro.lang.ast import Expr, Letrec, Seq, Var, seq_of
 from repro.lang.errors import UnitLinkError
 from repro.lang.subst import fresh_like, free_vars, substitute
 from repro.obs import current as _obs_current
+from repro.units import cache as _cache
 from repro.units.ast import CompoundExpr, InvokeExpr, UnitExpr
 
 
@@ -102,13 +103,23 @@ def merge_compound(compound: CompoundExpr, first: UnitExpr,
 
     budget = _limits.current()
     if budget is not None:
+        # Deadline polling stays *before* the cache lookup so a
+        # budget-governed run observes its deadline even when the merge
+        # itself would be a cache hit.
         budget.check_deadline(getattr(compound, "loc", None))
     col = _obs_current()
     if col is None:
-        return _merge_bodies(compound, first, second, None)
+        return _cache.cached_link(
+            compound, first, second,
+            lambda: _merge_bodies(compound, first, second, None))
+    # The span fires on hits too — only the nested `cache.*` event
+    # distinguishes a cached merge, so non-cache event counts stay
+    # cache-invariant.
     with col.span("reduce.compound", {
             "defns": len(first.defns) + len(second.defns)}) as sp:
-        return _merge_bodies(compound, first, second, sp)
+        return _cache.cached_link(
+            compound, first, second,
+            lambda: _merge_bodies(compound, first, second, sp))
 
 
 def _merge_bodies(compound: CompoundExpr, first: UnitExpr,

@@ -388,3 +388,51 @@ class TestBudgetCacheInteraction:
                     Interpreter().eval(bomb)
             value, _ = run_program(SMALL)
             assert value == 42
+
+    # Both units define a private `shared`, so merging must alpha-rename
+    # (i.e. substitute) — giving the substitution budget something to
+    # trip on mid-merge.
+    COLLIDING_COMPOUND = """
+    (compound (import) (export a)
+      (link ((unit (import) (export a)
+               (define shared (lambda (x) x))
+               (define a (lambda (y) (shared y))) (void))
+             (with) (provides a))
+            ((unit (import) (export b)
+               (define shared (lambda (x) x))
+               (define b (lambda (y) (shared y))) (void))
+             (with) (provides))))
+    """
+
+    def test_deadline_exhausted_link_is_never_cached(self):
+        # The deadline is polled before the link-store lookup, so even
+        # a would-be hit observes it — and the aborted merge must not
+        # land in the store.
+        from repro.units import cache as ucache
+        from repro.units.reduce import reduce_compound_expr
+
+        expr = parse_program(self.COLLIDING_COMPOUND)
+        with ucache.unit_cache_scope():
+            with budget_scope(Budget(deadline_s=0.0)):
+                with pytest.raises(BudgetExceeded):
+                    reduce_compound_expr(expr)
+            assert len(ucache.LINK_CACHE) == 0
+            # The same compound merges fine afterwards and only then
+            # lands in the store.
+            reduce_compound_expr(expr)
+            assert len(ucache.LINK_CACHE) >= 1
+
+    def test_mid_merge_exhaustion_is_never_cached(self):
+        # Exhaustion *inside* the merge (the substitution budget trips
+        # while alpha-renaming) propagates before anything is stored.
+        from repro.units import cache as ucache
+        from repro.units.reduce import reduce_compound_expr
+
+        expr = parse_program(self.COLLIDING_COMPOUND)
+        with ucache.unit_cache_scope():
+            with budget_scope(Budget(subst_nodes=1)):
+                with pytest.raises(BudgetExceeded):
+                    reduce_compound_expr(expr)
+            assert len(ucache.LINK_CACHE) == 0
+            reduce_compound_expr(expr)
+            assert len(ucache.LINK_CACHE) >= 1

@@ -192,6 +192,128 @@ class TestDiskCache:
         assert entry.parent.parent.name == f"v1-{terms.SCHEMA}"
 
 
+COMPOUND_SRC = """
+(compound (import) (export f)
+  (link ((unit (import) (export g)
+           (define g (lambda (x) (+ x 1))) (void))
+         (with) (provides g))
+        ((unit (import g) (export f)
+           (define f (lambda (y) (g y))) (void))
+         (with g) (provides f))))
+"""
+
+
+def _compound(source=COMPOUND_SRC):
+    return parse_program(source)
+
+
+class TestLinkCache:
+    def test_structural_copies_share_one_merge(self):
+        from repro.units.reduce import reduce_compound_expr
+
+        with unit_cache_scope(), obs.collecting() as col:
+            first = reduce_compound_expr(_compound())
+            second = reduce_compound_expr(_compound())
+        assert second is first
+        hits = _cache_events(col, "cache.hit")
+        assert [e.fields["cache"] for e in hits] == ["link"]
+        # The reduce.compound span fires on the hit too.
+        assert col.counters["reduce.compound"] == 2
+
+    def test_key_ignores_locs_but_not_shape(self):
+        from repro.units.cache import link_key
+
+        a = _compound()
+        b = parse_program(COMPOUND_SRC.replace("\n", "\n "))  # locs move
+        key_a = link_key(a, a.first.expr, a.second.expr)
+        key_b = link_key(b, b.first.expr, b.second.expr)
+        assert key_a is not None and key_a == key_b
+        # Hiding an export changes the link-graph shape, not the
+        # constituents — the key must still change.
+        c = _compound(COMPOUND_SRC.replace("(with g) (provides f)",
+                                           "(with g) (provides)"))
+        assert link_key(c, c.first.expr, c.second.expr) != key_a
+
+    def test_optimize_results_are_cached(self):
+        from repro.units.optimize import optimize_unit
+
+        with unit_cache_scope(), obs.collecting() as col:
+            first = optimize_unit(_unit())
+            second = optimize_unit(_unit())
+        assert second is first
+        hits = _cache_events(col, "cache.hit")
+        assert [e.fields["cache"] for e in hits] == ["link"]
+
+
+class TestLinkDiskCache:
+    def test_round_trip_across_scopes(self, tmp_path):
+        from repro.units.reduce import reduce_compound_expr
+
+        with unit_cache_scope(disk_dir=tmp_path):
+            original = reduce_compound_expr(_compound())
+        entries = list((tmp_path / f"v1-{terms.SCHEMA}" / "link")
+                       .glob("*.scm"))
+        assert entries, "link disk tier wrote nothing"
+        with unit_cache_scope(disk_dir=tmp_path), obs.collecting() as col:
+            reloaded = reduce_compound_expr(_compound())
+        hits = _cache_events(col, "cache.hit")
+        assert [(e.fields["cache"], e.fields["tier"]) for e in hits] \
+            == [("link", "disk")]
+        assert show(reloaded) == show(original)
+
+    def test_nested_scopes_share_the_disk_tier(self, tmp_path):
+        """Memory tables are per scope, the disk tier is per directory:
+        an inner scope pointed at the same directory starts with a cold
+        table but still reads the outer scope's entries from disk."""
+        from repro.units.reduce import reduce_compound_expr
+
+        with unit_cache_scope(disk_dir=tmp_path):
+            reduce_compound_expr(_compound())
+            with unit_cache_scope(disk_dir=tmp_path), \
+                    obs.collecting() as col:
+                reduce_compound_expr(_compound())
+            inner_hits = _cache_events(col, "cache.hit")
+            assert [e.fields["tier"] for e in inner_hits] == ["disk"]
+            # Back in the outer scope: its memory table kept the entry.
+            with obs.collecting() as col:
+                reduce_compound_expr(_compound())
+            outer_hits = _cache_events(col, "cache.hit")
+            assert [e.fields["tier"] for e in outer_hits] == ["memory"]
+
+    def test_corrupt_link_entry_falls_back_to_re_link(self, tmp_path):
+        from repro.units.reduce import reduce_compound_expr
+
+        with unit_cache_scope(disk_dir=tmp_path):
+            original = reduce_compound_expr(_compound())
+        entry = next((tmp_path / f"v1-{terms.SCHEMA}" / "link")
+                     .glob("*.scm"))
+        entry.write_text("(((", encoding="utf-8")
+        with unit_cache_scope(disk_dir=tmp_path), obs.collecting() as col:
+            relinked = reduce_compound_expr(_compound())
+        misses = _cache_events(col, "cache.miss")
+        assert [e.fields["cache"] for e in misses] == ["link"]
+        assert not _cache_events(col, "cache.hit")
+        assert _canon(show(relinked)) == _canon(show(original))
+
+    def test_non_unit_link_entry_is_also_corrupt(self, tmp_path):
+        """A parseable entry that is not a unit form (say, a truncated
+        write swapped in another term) must be discarded, not returned."""
+        from repro.units.reduce import reduce_compound_expr
+
+        with unit_cache_scope(disk_dir=tmp_path):
+            original = reduce_compound_expr(_compound())
+        entry = next((tmp_path / f"v1-{terms.SCHEMA}" / "link")
+                     .glob("*.scm"))
+        entry.write_text("(+ 1 2)", encoding="utf-8")
+        with unit_cache_scope(disk_dir=tmp_path), obs.collecting() as col:
+            relinked = reduce_compound_expr(_compound())
+        assert [e.fields["cache"] for e in
+                _cache_events(col, "cache.miss")] == ["link"]
+        assert _canon(show(relinked)) == _canon(show(original))
+        # The bad entry was dropped and replaced by the re-link's write.
+        assert entry.read_text(encoding="utf-8") != "(+ 1 2)"
+
+
 class TestParseCache:
     def test_repeated_retrieval_parses_once(self):
         archive = UnitArchive()
