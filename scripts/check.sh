@@ -8,7 +8,11 @@
 # lacks a real span tree, if the demo's per-kind event counts drift
 # past the committed baseline (benchmarks/.metrics/baseline.json —
 # regenerate with scripts/update_metrics_baseline.sh after intentional
-# changes), if the demo records no cache hits, if the quick bench
+# changes), if its histogram observation counts drift past the
+# committed metrics1 snapshot (benchmarks/.metrics/metrics_baseline.json,
+# same refresh script), if concurrent traced scopes cross-contaminate
+# span trees or drop events, if the demo records no cache hits, if the
+# quick bench
 # smoke finds the caches inert, if a warm sharing-064 pass fails to
 # serve its links from the link store (docs/PERFORMANCE.md, "Link
 # caching"), or if the batch-isolation smoke (one good, one looping,
@@ -53,6 +57,45 @@ python -m repro trace report "$trace_file" --min-spans 5
 echo "==> gate: event counts vs committed baseline"
 python -m repro trace diff benchmarks/.metrics/baseline.json \
     "$trace_file" --threshold 0.10
+
+echo "==> gate: histogram counts vs committed metrics baseline"
+python -m repro metrics diff benchmarks/.metrics/metrics_baseline.json \
+    "$metrics_file" --threshold 0.10
+
+echo "==> smoke: concurrent traced scopes (8 workers, one registry)"
+python - <<'EOF'
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import obs
+from repro.obs.analyze import validate_spans
+
+WORKERS, ITERS = 8, 20
+registry = obs.MetricsRegistry()
+
+def work(worker: int) -> int:
+    with registry.scope() as col:
+        for _ in range(ITERS):
+            with col.span("check.unit", {"worker": worker}):
+                with col.span("unit.compile"):
+                    col.emit("reduce.step")
+        problems = validate_spans(col.events)
+        assert not problems, f"worker {worker} span tree: {problems}"
+        assert col.dropped == 0, f"worker {worker} dropped events"
+        return col.counters["reduce.step"]
+
+with ThreadPoolExecutor(max_workers=WORKERS) as pool:
+    per_worker = list(pool.map(work, range(WORKERS)))
+
+snap = registry.snapshot()
+total = WORKERS * ITERS
+assert sum(per_worker) == total, per_worker
+assert snap["counters"]["reduce.step"] == total, snap["counters"]
+assert snap["counters"].get("trace.dropped", 0) == 0
+assert snap["histograms"]["check.unit"]["count"] == total
+assert snap["flushes"] == WORKERS
+print(f"concurrency ok: {WORKERS} workers x {ITERS} spans, "
+      f"{total} steps, one coherent snapshot, 0 dropped")
+EOF
 
 echo "==> smoke: bench --quick (cached vs --no-term-cache)"
 bench_out="$(mktemp)"

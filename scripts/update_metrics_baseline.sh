@@ -1,16 +1,23 @@
 #!/bin/sh
-# Refresh benchmarks/.metrics/baseline.json — the per-kind event-count
-# baseline that scripts/check.sh gates against with `repro trace diff`.
+# Refresh the committed demo baselines under benchmarks/.metrics/:
+#
+#   baseline.json          per-kind event counts, gated by
+#                          `repro trace diff` in scripts/check.sh
+#   metrics_baseline.json  full `metrics1` snapshot, gated (counts
+#                          only) by `repro metrics diff`
 #
 #   scripts/update_metrics_baseline.sh    # from anywhere in the repo
 #
 # Run this after a change that legitimately alters how many events the
 # phone-book demo emits (new spans, new checks, a different reduction
-# count) and commit the regenerated file alongside that change.
+# count) and commit the regenerated files alongside that change.
 #
-# Only counters are kept: timers vary run to run, so a baseline holding
-# them would never diff cleanly.  `repro trace diff` recognizes this
-# counters-only shape.
+# baseline.json keeps only counters: timers vary run to run, so a
+# baseline holding them would never diff cleanly.  `repro trace diff`
+# recognizes this counters-only shape.  metrics_baseline.json keeps the
+# whole snapshot (histogram buckets included) so `repro metrics report`
+# can render it, but the check.sh gate compares observation counts
+# only — never wall-clock.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -38,4 +45,11 @@ with open(path, "w") as out:
     json.dump(baseline, out, indent=2)
     out.write("\n")
 print(f"wrote {path}: {len(baseline['counters'])} counters")
+
+snap_path = "benchmarks/.metrics/metrics_baseline.json"
+with open(snap_path, "w") as out:
+    json.dump(metrics, out, indent=2, sort_keys=True)
+    out.write("\n")
+print(f"wrote {snap_path}: {len(metrics.get('histograms', {}))} "
+      f"histogram(s), {len(metrics['counters'])} counters")
 EOF

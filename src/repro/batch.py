@@ -11,19 +11,30 @@ runner) survives a misbehaving unit.
 Every item produces one JSON record (schema ``batch1``)::
 
     {"schema": "batch1", "file": "...", "status": "ok",
-     "value": "...", "output": "...", "spent": {...}}
+     "value": "...", "output": "...", "spent": {...},
+     "timings": {"parse": 0.0003, "check": 0.0011, "total": 0.0082}}
 
     {"schema": "batch1", "file": "...", "status": "error",
      "error": {"type": "BudgetExceeded", "message": "...",
                "resource": "eval_steps", "limit": 1000, "used": 1001,
                "loc": "loop.scm:3:1"},
-     "spent": {...}}
+     "spent": {...}, "timings": {...}}
 
 ``spent`` is the item's resource consumption
 (:meth:`repro.limits.Budget.spent`), recorded for successes and
-failures alike.  Budget exhaustion additionally emits a
+failures alike; ``timings`` holds wall seconds per completed pipeline
+stage (``parse``/``check``/``archive``/``eval``) plus the item
+``total``, so a failing item shows how far it got and how long each
+stage it *did* finish took.  Budget exhaustion additionally emits a
 ``limit.exceeded`` trace event through the observability layer, so a
 ``--trace`` of a batch shows exactly where each item died.
+
+Each stage also runs under a ``stage.*`` span, so when a collector is
+in scope the item contributes per-stage latency *distributions* —
+:func:`run_batch` takes a :class:`repro.obs.metrics.MetricsRegistry`
+and wraps every item in its own collector scope, which is how ``repro
+batch`` prints its end-of-run p50/p99 stage table and stays coherent
+when items run concurrently.
 
 Programs that are unit forms are also round-tripped through a
 :class:`~repro.dynlink.archive.UnitArchive` (the Figure 7 retrieval
@@ -37,10 +48,13 @@ See ``docs/ROBUSTNESS.md`` for the full model.
 from __future__ import annotations
 
 import json
+import time
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Callable, Iterable
 
 from repro import limits as _limits
+from repro import obs
 from repro.dynlink.loader import load_with_retry
 from repro.lang.errors import LangError
 from repro.lang.interp import Interpreter
@@ -91,21 +105,39 @@ def run_item(path: str | Path, budget: _limits.Budget | None, *,
         "file": str(path),
     }
     kwargs = {} if sleep is None else {"sleep": sleep}
+    timings: dict[str, float] = {}
+    t_item = time.perf_counter()
     try:
         with _limits.budget_scope(budget):
-            text = Path(path).read_text()
-            expr = parse_script(text, origin=str(path))
-            check_program(expr, strict_valuable=not lenient)
-            _archive_roundtrip(expr, str(path), retries, **kwargs)
-            interp = Interpreter()
-            value = interp.eval(expr)
-            record["status"] = "ok"
-            record["value"] = to_write_string(value)
-            record["output"] = interp.port.getvalue()
+            with obs.span("stage.item", {"file": str(path)}):
+                t = time.perf_counter()
+                with obs.span("stage.parse"):
+                    text = Path(path).read_text()
+                    expr = parse_script(text, origin=str(path))
+                timings["parse"] = time.perf_counter() - t
+                t = time.perf_counter()
+                with obs.span("stage.check"):
+                    check_program(expr, strict_valuable=not lenient)
+                timings["check"] = time.perf_counter() - t
+                t = time.perf_counter()
+                with obs.span("stage.archive"):
+                    _archive_roundtrip(expr, str(path), retries, **kwargs)
+                timings["archive"] = time.perf_counter() - t
+                t = time.perf_counter()
+                with obs.span("stage.eval"):
+                    interp = Interpreter()
+                    value = interp.eval(expr)
+                timings["eval"] = time.perf_counter() - t
+                record["status"] = "ok"
+                record["value"] = to_write_string(value)
+                record["output"] = interp.port.getvalue()
     except RECORDED_ERRORS as err:
         record["status"] = "error"
         record["error"] = error_payload(err)
+    timings["total"] = time.perf_counter() - t_item
     record["spent"] = budget.spent() if budget is not None else None
+    record["timings"] = {name: round(seconds, 6)
+                         for name, seconds in timings.items()}
     return record
 
 
@@ -136,6 +168,7 @@ def run_batch(paths: Iterable[str | Path],
               fail_fast: bool = False,
               sleep: Callable[[float], None] | None = None,
               on_record: Callable[[dict[str, object]], None] | None = None,
+              registry: "obs.MetricsRegistry | None" = None,
               ) -> tuple[list[dict[str, object]], int]:
     """Run every program, each under a fresh budget.
 
@@ -144,12 +177,19 @@ def run_batch(paths: Iterable[str | Path],
     escape hatch for CI setups that want the batch to stop hard);
     otherwise the batch always completes and the caller decides what a
     failure count means.
+
+    With a ``registry``, each item runs under its own collector scope
+    flushed into it, so per-stage latency histograms accumulate across
+    the batch (and, when the registry has a parent collector, each
+    item's span tree is adopted into the parent trace).
     """
     records: list[dict[str, object]] = []
     failures = 0
     for path in paths:
-        record = run_item(path, make_budget(), lenient=lenient,
-                          retries=retries, sleep=sleep)
+        scope = registry.scope() if registry is not None else nullcontext()
+        with scope:
+            record = run_item(path, make_budget(), lenient=lenient,
+                              retries=retries, sleep=sleep)
         records.append(record)
         if on_record is not None:
             on_record(record)

@@ -29,11 +29,15 @@ Workloads:
 Each case reports best-of-``repeats`` wall seconds per configuration,
 per-stage breakdowns (with ``link.flatten``/``link.optimize``
 sub-timings; compile and eval consume the *linked* program, so
-compound resolution is attributed to ``link``), and the speedups
-``uncached / cached`` and ``uncached / warm``.  Results go to ``BENCH_results.json``; a counters
-snapshot (``--snapshot``) records the ``cache.*`` hit/miss activity in
-the format ``repro trace diff`` reads.  docs/PERFORMANCE.md explains
-how to read both.
+compound resolution is attributed to ``link``), per-stage
+p50/p90/p99 latency over all repeats (via the telemetry
+:class:`~repro.obs.metrics.Histogram`, so bench and live metrics
+estimate quantiles the same way), and the speedups ``uncached /
+cached`` and ``uncached / warm``.  Results go to
+``BENCH_results.json``; a ``metrics1`` snapshot (``--snapshot``)
+records the ``cache.*`` hit/miss activity and per-kind latency
+histograms in the format ``repro trace diff`` and ``repro metrics``
+read.  docs/PERFORMANCE.md explains how to read both.
 """
 
 from __future__ import annotations
@@ -156,6 +160,33 @@ def _best(runs: list[dict[str, float]]) -> dict[str, float]:
     return min(runs, key=lambda r: r["total"])
 
 
+def _stage_percentiles(runs: list[dict[str, float]]
+                       ) -> dict[str, dict[str, float]]:
+    """Per-stage latency percentiles over *all* repeats of one config.
+
+    Best-of reporting answers "how fast can it go"; the percentiles
+    answer "how fast is it usually" — the tail matters once the same
+    pipeline serves traffic.  Samples go through the telemetry
+    :class:`~repro.obs.metrics.Histogram` so bench and the live
+    metrics layer estimate quantiles identically.
+    """
+    from repro.obs.metrics import Histogram
+
+    out: dict[str, dict[str, float]] = {}
+    for stage in STAGES + ("total",):
+        hist = Histogram()
+        for run in runs:
+            hist.record(run.get(stage, 0.0))
+        out[stage] = {
+            "count": hist.count,
+            "p50": round(hist.percentile(0.5), 6),
+            "p90": round(hist.percentile(0.9), 6),
+            "p99": round(hist.percentile(0.99), 6),
+            "max": round(hist.max, 6),
+        }
+    return out
+
+
 def _time_case(name: str, build: Callable[[], Expr],
                repeats: int) -> dict[str, object]:
     uncached_runs = []
@@ -192,6 +223,11 @@ def _time_case(name: str, build: Callable[[], Expr],
             "uncached": {k: round(uncached[k], 6) for k in STAGES},
             "cached": {k: round(cold[k], 6) for k in STAGES},
             "warm": {k: round(warm[k], 6) for k in STAGES},
+        },
+        "percentiles": {
+            "uncached": _stage_percentiles(uncached_runs),
+            "cached": _stage_percentiles(cold_runs),
+            "warm": _stage_percentiles(warm_runs),
         },
     }
 
@@ -249,6 +285,11 @@ def _run_bench(quick: bool, out: str, snapshot: str | None) -> int:
         print(f"  uncached {r['uncached_s']:.3f}s   "
               f"cached {r['cached_s']:.3f}s ({r['speedup']}x)   "
               f"warm {r['warm_s']:.3f}s ({r['warm_speedup']}x)")
+        warm_p = r["percentiles"]["warm"]
+        print("  warm p50/p99 ms: " + "   ".join(
+            f"{stage} {warm_p[stage]['p50'] * 1e3:.2f}/"
+            f"{warm_p[stage]['p99'] * 1e3:.2f}"
+            for stage in ("check", "link", "compile", "eval")))
 
     collector = _cache_counters(
         cases[0][1] if quick else (lambda: chain_program(64)))

@@ -26,6 +26,15 @@ see docs/TRACING.md)::
 ``repro trace FILE`` (no tool name) still prints the reduction trace,
 as ``trace steps`` does.
 
+Metrics toolkit (consumes ``metrics1`` snapshots from
+``--metrics-out``; see docs/METRICS.md)::
+
+    python -m repro metrics report M.json ...    # merge snapshots, render
+                                                 # p50/p90/p99 latency tables
+    python -m repro metrics report M.json --prometheus
+    python -m repro metrics diff BASE CUR        # histogram count/latency
+                                                 # regression gate
+
 Programs are single expressions in the s-expression surface syntax
 (see the README's grammar summary).  ``run`` prints the program's value
 and anything it displayed.
@@ -238,6 +247,43 @@ def cmd_trace_flame(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics_report(args: argparse.Namespace) -> int:
+    """Merge ``metrics1`` snapshots and render percentile tables (or
+    Prometheus text exposition with ``--prometheus``)."""
+    from repro import obs
+
+    try:
+        snapshot = obs.merge_snapshot_files(args.files)
+    except (OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    if args.prometheus:
+        sys.stdout.write(obs.render_prometheus(snapshot))
+    else:
+        print(obs.render_metrics_report(snapshot))
+    return 0
+
+
+def cmd_metrics_diff(args: argparse.Namespace) -> int:
+    """Diff two metrics snapshots: histogram observation counts gate
+    by default; p50/p99 latency gates when ``--latency-threshold`` is
+    given.  Exit 1 on regression."""
+    from repro import obs
+
+    try:
+        base = obs.load_snapshot(args.base)
+        cur = obs.load_snapshot(args.current)
+    except (OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    text, failed = obs.render_metrics_diff(
+        base, cur, count_threshold=args.threshold,
+        latency_threshold=args.latency_threshold,
+        latency_floor=args.latency_floor, strict=args.strict)
+    print(text)
+    return 1 if failed else 0
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     """Print the Figure 12 compilation of a program."""
     expr = _load_script(args)
@@ -394,6 +440,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
     """
     from repro import batch as _batch
     from repro import limits as _limits
+    from repro import obs
 
     root = Path(args.directory)
     if not root.is_dir():
@@ -415,9 +462,14 @@ def cmd_batch(args: argparse.Namespace) -> int:
             deadline_s=args.deadline,
         )
 
+    # Each item runs in its own collector scope, flushed into one
+    # registry; with --trace/--metrics active the registry adopts the
+    # items' span trees into the CLI collector so the written trace is
+    # a single coherent forest.
+    registry = obs.MetricsRegistry(parent=obs.current())
     records, failures = _batch.run_batch(
         paths, make_budget, lenient=args.lenient, retries=args.retry,
-        fail_fast=args.fail_fast)
+        fail_fast=args.fail_fast, registry=registry)
     if args.out:
         written = _batch.write_records(records, args.out)
         print(f"batch: {written} record(s) -> {args.out}",
@@ -430,6 +482,20 @@ def cmd_batch(args: argparse.Namespace) -> int:
     ok = len(records) - failures
     print(f"batch: {ok} ok, {failures} failed, {len(records)} total",
           file=sys.stderr)
+    stage_hists = {name: hist
+                   for name, hist in registry.histograms.items()
+                   if name.startswith("stage.")}
+    for line in obs.render_percentiles(stage_hists,
+                                       title="stage latency (ms)"):
+        print(line, file=sys.stderr)
+    if args.metrics_snapshot:
+        import json as _json
+
+        Path(args.metrics_snapshot).write_text(
+            _json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+            + "\n", encoding="utf-8")
+        print(f"metrics: snapshot -> {args.metrics_snapshot}",
+              file=sys.stderr)
     if args.fail_fast and failures:
         failed = next(r for r in records if r["status"] == "error")
         error = failed["error"]
@@ -578,7 +644,42 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--fail-fast", action="store_true",
                        help="stop at the first failing item and exit "
                             "nonzero instead of recording it")
+    batch.add_argument("--metrics-snapshot", metavar="FILE", default=None,
+                       help="write the batch's merged metrics1 snapshot "
+                            "(stage latency histograms) to FILE")
     batch.set_defaults(fn=cmd_batch)
+    metrics = sub.add_parser(
+        "metrics", help="merge, report, and gate metrics1 snapshots "
+                        "(docs/METRICS.md)")
+    msub = metrics.add_subparsers(dest="metrics_tool", required=True)
+    mreport = msub.add_parser(
+        "report", help="merge snapshots and render p50/p90/p99 latency "
+                       "tables (or Prometheus exposition)")
+    mreport.add_argument("files", nargs="+",
+                         help="metrics1 JSON files (from --metrics-out, "
+                              "batch --metrics-snapshot, bench --snapshot)")
+    mreport.add_argument("--prometheus", action="store_true",
+                         help="emit Prometheus text exposition instead "
+                              "of tables")
+    mreport.set_defaults(fn=cmd_metrics_report)
+    mdiff = msub.add_parser(
+        "diff", help="histogram count/latency regression gate between "
+                     "two snapshots; nonzero exit on regression")
+    mdiff.add_argument("base", help="baseline metrics1 JSON")
+    mdiff.add_argument("current", help="current metrics1 JSON")
+    mdiff.add_argument("--threshold", type=float, default=0.10,
+                       help="relative growth tolerated per histogram "
+                            "count (0.10 = 10%%)")
+    mdiff.add_argument("--latency-threshold", type=float, default=None,
+                       help="also gate p50/p99 growth past this relative "
+                            "threshold (off by default: wall-clock "
+                            "percentiles are machine-dependent)")
+    mdiff.add_argument("--latency-floor", type=float, default=0.001,
+                       help="ignore latency regressions below this many "
+                            "seconds (default: 1ms)")
+    mdiff.add_argument("--strict", action="store_true",
+                       help="also fail when histograms appear or vanish")
+    mdiff.set_defaults(fn=cmd_metrics_diff)
     bench = sub.add_parser(
         "bench", help="time the pipeline cached vs --no-term-cache and "
                       "write BENCH_results.json")
@@ -619,7 +720,19 @@ def _run_observed(args: argparse.Namespace) -> int:
         # Flush trace/metrics even when the command failed: the events
         # leading up to a failure are the interesting ones.
         if args.trace:
-            written = obs.write_jsonl(collector.events, args.trace)
+            trace_events = list(collector.events)
+            if collector.dropped_kinds:
+                # Truncation trailer: one metric.dropped event per
+                # dropped kind, so a reloaded report can say what the
+                # max_events bound cut (not just how much).
+                tail_t = trace_events[-1].t if trace_events else 0.0
+                for offset, kind in enumerate(
+                        sorted(collector.dropped_kinds)):
+                    trace_events.append(obs.TraceEvent(
+                        "metric.dropped", collector._seq + offset, tail_t,
+                        {"of": kind,
+                         "count": collector.dropped_kinds[kind]}))
+            written = obs.write_jsonl(trace_events, args.trace)
             print(f"trace: {written} events -> {args.trace}",
                   file=sys.stderr)
         if args.metrics_out:

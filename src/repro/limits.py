@@ -265,6 +265,29 @@ class Budget:
             "deadline_s": self.deadline_s,
         }
 
+    def headroom(self) -> dict[str, float]:
+        """Unspent fraction (0.0–1.0) of each *capped* resource.
+
+        Uncapped resources are omitted; 0.0 means exhausted.  Scope
+        exit publishes these as ``budget.headroom.*`` gauges, so a
+        metrics snapshot shows how close governed work came to its
+        allowances.
+        """
+        out: dict[str, float] = {}
+        for resource, limit, used in (
+                ("eval_steps", self.eval_steps, self.used_eval),
+                ("machine_steps", self.machine_steps, self.used_machine),
+                ("subst_nodes", self.subst_nodes, self.used_subst),
+                ("expand_fuel", self.expand_fuel, self.used_expand),
+                ("depth", self.max_depth, self.max_depth_seen)):
+            if limit:
+                out[resource] = max(0.0, 1.0 - used / limit)
+        if self._deadline_at is not None and self.deadline_s:
+            remaining = self._deadline_at - time.monotonic()
+            out["deadline"] = max(0.0, min(1.0,
+                                           remaining / self.deadline_s))
+        return out
+
 
 # ---------------------------------------------------------------------------
 # Scoping
@@ -323,6 +346,11 @@ def budget_scope(budget: Budget | None = None) -> Iterator[Budget]:
         finally:
             _scopes_open -= 1
             _ACTIVE.reset(token)
+            col = _obs_current()
+            if col is not None:
+                for resource, fraction in b.headroom().items():
+                    col.gauge("budget.headroom." + resource,
+                              round(fraction, 6))
 
 
 @contextmanager

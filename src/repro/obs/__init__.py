@@ -47,10 +47,32 @@ from repro.obs.collector import (
     deactivate,
     emit,
     enabled,
+    gauge,
+    observe,
     span,
 )
-from repro.obs.events import FAMILIES, KINDS, SPAN_KEYS, TraceEvent, family_of
-from repro.obs.jsonl import read_jsonl, write_jsonl, write_metrics
+from repro.obs.events import (
+    FAMILIES,
+    GAUGES,
+    KINDS,
+    SPAN_KEYS,
+    TraceEvent,
+    family_of,
+)
+from repro.obs.jsonl import JsonlSink, read_jsonl, write_jsonl, write_metrics
+from repro.obs.metrics import (
+    SNAPSHOT_SCHEMA,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PeriodicSnapshots,
+    load_snapshot,
+    merge_snapshot_files,
+    render_metrics_diff,
+    render_metrics_report,
+    render_percentiles,
+    render_prometheus,
+)
 from repro.obs.profiling import ProfileSession, profiled
 from repro.obs.report import render_diff, render_flame, render_report
 
@@ -70,11 +92,27 @@ __all__ = [
     "emit",
     "count",
     "span",
+    "observe",
+    "gauge",
     "read_jsonl",
     "write_jsonl",
     "write_metrics",
+    "JsonlSink",
     "ProfileSession",
     "profiled",
+    # telemetry core
+    "GAUGES",
+    "SNAPSHOT_SCHEMA",
+    "Histogram",
+    "Gauge",
+    "MetricsRegistry",
+    "PeriodicSnapshots",
+    "load_snapshot",
+    "merge_snapshot_files",
+    "render_percentiles",
+    "render_metrics_report",
+    "render_metrics_diff",
+    "render_prometheus",
     # trace analysis
     "SpanNode",
     "SpanForest",

@@ -55,6 +55,7 @@ from contextvars import ContextVar
 from typing import Iterator
 
 from repro.obs.events import TraceEvent, family_of
+from repro.obs.metrics import Gauge, Histogram, _snapshot_dict
 
 _ACTIVE: ContextVar["Collector | None"] = ContextVar(
     "repro_obs_collector", default=None)
@@ -90,6 +91,22 @@ def count(name: str, delta: int = 1) -> None:
     col = _ACTIVE.get()
     if col is not None:
         col.count(name, delta)
+
+
+def observe(name: str, seconds: float) -> None:
+    """Record a latency sample into the current collector's histogram
+    for ``name``, if any."""
+    col = _ACTIVE.get()
+    if col is not None:
+        col.observe(name, seconds)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge level on the current collector, if any.  Gauge name
+    families are registered in :data:`repro.obs.events.GAUGES`."""
+    col = _ACTIVE.get()
+    if col is not None:
+        col.gauge(name, value)
 
 
 class _NoopSpan:
@@ -200,6 +217,12 @@ class Span:
         col._record(self.kind, payload, bump=False)
         col.timers[self.kind] = col.timers.get(self.kind, 0.0) + self_time
         col.timer_calls[self.kind] = col.timer_calls.get(self.kind, 0) + 1
+        # Every span exit also feeds the latency histogram for its
+        # kind, so percentiles come for free at existing call-sites.
+        hist = col.histograms.get(self.kind)
+        if hist is None:
+            hist = col.histograms[self.kind] = Histogram()
+        hist.record(dur)
         return None
 
 
@@ -211,18 +234,31 @@ class Collector:
     :func:`collecting` gives each execution context its own instance.
 
     ``max_events`` bounds memory on pathological traces: beyond the
-    bound, events are dropped (counted in ``dropped``) while counters
-    and timers keep accumulating.
+    bound, events are dropped (counted in ``dropped``, and per kind in
+    ``dropped_kinds`` so reports can say *what* was truncated) while
+    counters, timers, and histograms keep accumulating.
+
+    ``record_events=False`` makes a metrics-only collector: spans,
+    counters, timers, histograms, and gauges all work, but event
+    bodies are never stored (and are *not* counted as dropped — the
+    caller opted out).  :meth:`MetricsRegistry.scope
+    <repro.obs.metrics.MetricsRegistry.scope>` uses this for
+    aggregation without per-event allocation.
     """
 
-    def __init__(self, max_events: int = 1_000_000):
+    def __init__(self, max_events: int = 1_000_000, *,
+                 record_events: bool = True):
         self.t0 = time.perf_counter()
         self.events: list[TraceEvent] = []
         self.counters: dict[str, int] = {}
         self.timers: dict[str, float] = {}
         self.timer_calls: dict[str, int] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.gauges: dict[str, Gauge] = {}
         self.max_events = max_events
+        self.record_events = record_events
         self.dropped = 0
+        self.dropped_kinds: dict[str, int] = {}
         self._seq = 0
         self._spans: list[Span] = []
         self._next_span = 0
@@ -242,10 +278,13 @@ class Collector:
         self._seq = seq + 1
         if bump:
             self.counters[kind] = self.counters.get(kind, 0) + 1
+        if not self.record_events:
+            return None
         if len(self.events) >= self.max_events:
             self.dropped += 1
             self.counters["trace.dropped"] = \
                 self.counters.get("trace.dropped", 0) + 1
+            self.dropped_kinds[kind] = self.dropped_kinds.get(kind, 0) + 1
             return None
         event = TraceEvent(kind, seq, time.perf_counter() - self.t0,
                            fields)
@@ -277,6 +316,83 @@ class Collector:
     def count(self, name: str, delta: int = 1) -> None:
         """Bump a named monotonic counter."""
         self.counters[name] = self.counters.get(name, 0) + delta
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one latency sample into the histogram for ``name``.
+
+        Span exits do this automatically (keyed by span kind); call it
+        directly for durations that are not spans, like cache service
+        times.
+        """
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.record(seconds)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the level of the gauge ``name`` (last value wins)."""
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge()
+        g.set(value)
+
+    def adopt(self, child: "Collector") -> None:
+        """Fold a finished child collector into this one.
+
+        The child's events are appended with their span ids remapped
+        past this collector's id watermark and their timestamps
+        rebased onto this collector's clock, so the merged trace is
+        still a well-formed forest: the child's span trees arrive
+        intact and *disjoint* from every other adoptee's.  All numeric
+        state (counters, timers, histograms, gauges, drop tallies)
+        merges too.
+
+        The child must be finished (no open spans) and must not be
+        recording concurrently; :class:`repro.obs.metrics.MetricsRegistry`
+        serializes adoptions under its lock.
+        """
+        offset = self._next_span
+        self._next_span += child._next_span
+        shift = child.t0 - self.t0
+        if self.record_events:
+            for event in child.events:
+                if len(self.events) >= self.max_events:
+                    self.dropped += 1
+                    self.counters["trace.dropped"] = \
+                        self.counters.get("trace.dropped", 0) + 1
+                    self.dropped_kinds[event.kind] = \
+                        self.dropped_kinds.get(event.kind, 0) + 1
+                    continue
+                fields = dict(event.fields)
+                if "span" in fields:
+                    fields["span"] = fields["span"] + offset  # type: ignore[operator]
+                if "parent" in fields:
+                    fields["parent"] = fields["parent"] + offset  # type: ignore[operator]
+                self.events.append(
+                    TraceEvent(event.kind, self._seq, event.t + shift,
+                               fields))
+                self._seq += 1
+        for name, value in child.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, seconds in child.timers.items():
+            self.timers[name] = self.timers.get(name, 0.0) + seconds
+        for name, calls in child.timer_calls.items():
+            self.timer_calls[name] = self.timer_calls.get(name, 0) + calls
+        for name, hist in child.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = hist.copy()
+            else:
+                mine.merge(hist)
+        for name, g in child.gauges.items():
+            mine_g = self.gauges.get(name)
+            if mine_g is None:
+                self.gauges[name] = g.copy()
+            else:
+                mine_g.merge(g)
+        self.dropped += child.dropped
+        for kind, n in child.dropped_kinds.items():
+            self.dropped_kinds[kind] = self.dropped_kinds.get(kind, 0) + n
 
     @contextmanager
     def timed(self, name: str) -> Iterator[None]:
@@ -311,18 +427,14 @@ class Collector:
         return {kind.split(".", 1)[0] for kind in self.kinds()}
 
     def metrics(self) -> dict[str, object]:
-        """A JSON-ready snapshot of everything but the event bodies."""
-        return {
-            "events": len(self.events),
-            "dropped": self.dropped,
-            "spans": self._next_span,
-            "counters": dict(sorted(self.counters.items())),
-            "timers": {
-                name: {"seconds": self.timers[name],
-                       "calls": self.timer_calls.get(name, 0)}
-                for name in sorted(self.timers)
-            },
-        }
+        """A JSON-ready ``metrics1`` snapshot of everything but the
+        event bodies (see ``docs/METRICS.md`` for the schema)."""
+        return _snapshot_dict(
+            counters=self.counters, timers=self.timers,
+            timer_calls=self.timer_calls, histograms=self.histograms,
+            gauges=self.gauges, events=len(self.events),
+            spans=self._next_span, dropped=self.dropped,
+            dropped_kinds=self.dropped_kinds)
 
 
 # ---------------------------------------------------------------------------

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 #: ``cache`` field of a ``cache.*`` event names the store (``compile``,
 #: ``check``, ``link``, ``dynlink``).
 FAMILIES = ("check", "link", "reduce", "unit", "dynlink", "cache",
-            "limit")
+            "limit", "stage", "metric")
 
 #: Field names reserved by the span layer (instrumentation sites must
 #: not use these for their own payload keys).
@@ -71,6 +71,31 @@ KINDS: dict[str, str] = {
     "cache.evict": "a bounded cache dropped its least-recent entry",
     # Resource governance (repro.limits)
     "limit.exceeded": "a resource budget was exhausted and work aborted",
+    # Pipeline stages as spans (repro.batch drives one item through
+    # parse -> check -> archive round-trip -> eval; stage.item wraps
+    # the whole item so per-item latency is a span too)
+    "stage.item": "one batch item ran end to end",
+    "stage.parse": "source text was read and parsed",
+    "stage.check": "the parsed program was type-checked",
+    "stage.archive": "the program round-tripped the dynlink archive",
+    "stage.eval": "the checked program was evaluated",
+    # Telemetry lifecycle (repro.obs.metrics)
+    "metric.flush": "a collector scope flushed into a MetricsRegistry",
+    "metric.snapshot": "a metrics1 snapshot was written to disk",
+    "metric.dropped": "events of one kind were truncated (count attached)",
+}
+
+#: Registered gauge families: last-value instruments recorded via
+#: ``obs.gauge(name, value)``.  Names are ``family.property`` or
+#: ``family.property.instance`` (the instance suffix is open-ended —
+#: e.g. one gauge per named cache or per budget resource); the
+#: ``family.property`` prefix must be registered here, and
+#: ``tests/test_obs_registry.py`` lints call-sites against this table
+#: exactly as it lints event kinds against :data:`KINDS`.
+GAUGES: dict[str, str] = {
+    "cache.occupancy": "entries resident in a named unit cache",
+    "budget.headroom": "fraction of a budget resource still unspent "
+                       "when its scope closed",
 }
 
 

@@ -4,28 +4,107 @@ One event per line, flat JSON objects with the reserved keys ``kind``,
 ``seq``, ``t`` first — the format is greppable, streamable, and stable
 enough to diff across runs.  :func:`read_jsonl` is the exact inverse of
 :func:`write_jsonl` (property-tested in ``tests/test_obs.py``).
+
+:class:`JsonlSink` is the streaming writer behind :func:`write_jsonl`:
+it serializes each record *outside* its lock, writes each line as one
+``write`` call *inside* it (so concurrent writers can never interleave
+mid-line), and flushes + ``fsync``\\ s on close so a crash after close
+cannot lose or truncate the tail.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import threading
 from pathlib import Path
+from types import TracebackType
 from typing import Iterable
 
 from repro.obs.collector import Collector
 from repro.obs.events import TraceEvent
 
 
+class JsonlSink:
+    """A thread-safe, append-oriented JSON Lines writer.
+
+    .. code-block:: python
+
+        with JsonlSink("trace.jsonl") as sink:
+            sink.write(event)          # from any thread
+            sink.write_obj({...})      # any JSON-serializable dict
+
+    One lock guards the underlying handle; each line is serialized
+    before the lock is taken and written with a single ``write`` call,
+    so lines from concurrent writers never corrupt each other.
+    :meth:`close` (or context-manager exit) flushes and ``fsync``\\ s,
+    making the file durable; closing twice is a no-op, and writing
+    after close raises :class:`ValueError`.
+    """
+
+    def __init__(self, path: str | Path, append: bool = False):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle = self.path.open("a" if append else "w",
+                                      encoding="utf-8")
+        self._written = 0
+        self._closed = False
+
+    @property
+    def written(self) -> int:
+        """Lines written so far."""
+        return self._written
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def write_obj(self, payload: dict[str, object]) -> None:
+        """Write one JSON object as one line."""
+        line = json.dumps(payload, ensure_ascii=False,
+                          separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._closed:
+                raise ValueError(f"write to closed sink {self.path}")
+            self._handle.write(line)
+            self._written += 1
+
+    def write(self, event: TraceEvent) -> None:
+        """Write one trace event as one line."""
+        self.write_obj(event.to_json())
+
+    def write_many(self, events: Iterable[TraceEvent]) -> int:
+        """Write events in order (one lock acquisition per line);
+        returns the number written."""
+        n = 0
+        for event in events:
+            self.write(event)
+            n += 1
+        return n
+
+    def close(self) -> None:
+        """Flush, ``fsync``, and close the file.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> None:
+        self.close()
+
+
 def write_jsonl(events: Iterable[TraceEvent], path: str | Path) -> int:
     """Write events as JSON Lines; returns the number written."""
-    written = 0
-    with Path(path).open("w", encoding="utf-8") as handle:
-        for event in events:
-            handle.write(json.dumps(event.to_json(), ensure_ascii=False,
-                                    separators=(",", ":")))
-            handle.write("\n")
-            written += 1
-    return written
+    with JsonlSink(path) as sink:
+        return sink.write_many(events)
 
 
 def read_jsonl(path: str | Path) -> list[TraceEvent]:
@@ -44,7 +123,8 @@ def read_jsonl(path: str | Path) -> list[TraceEvent]:
 
 
 def write_metrics(collector: Collector, path: str | Path) -> None:
-    """Write a collector's metrics snapshot as a (pretty) JSON file."""
+    """Write a collector's ``metrics1`` snapshot as a (pretty) JSON
+    file with stable key order, suitable for ``repro metrics``."""
     Path(path).write_text(
         json.dumps(collector.metrics(), indent=2, sort_keys=True) + "\n",
         encoding="utf-8")

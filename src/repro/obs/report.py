@@ -151,6 +151,27 @@ def _cache_efficiency(events: Sequence[TraceEvent]) -> list[str]:
     return lines
 
 
+def _truncation(events: Sequence[TraceEvent]) -> list[str]:
+    """Per-kind drop lines from ``metric.dropped`` trailer events.
+
+    When a collector hits ``max_events`` it keeps per-kind drop
+    counters; the CLI appends one ``metric.dropped`` event per
+    truncated kind to the written trace, so a reloaded report can say
+    *what* was lost, not just how much.
+    """
+    tally: dict[str, int] = {}
+    for event in events:
+        if event.kind != "metric.dropped":
+            continue
+        kind = str(event.fields.get("of", "?"))
+        tally[kind] = tally.get(kind, 0) + int(event.fields.get("count", 0))  # type: ignore[arg-type]
+    if not tally:
+        return []
+    width = max(len(kind) for kind in tally)
+    return [f"  {kind.ljust(width)}  ×{tally[kind]}"
+            for kind in sorted(tally)]
+
+
 def render_report(events: Sequence[TraceEvent], top: int = 10,
                   max_depth: int | None = None) -> str:
     """The full ``repro trace report`` text for one recorded trace."""
@@ -197,6 +218,12 @@ def render_report(events: Sequence[TraceEvent], top: int = 10,
         out.append("")
         out.append("failures:")
         out.extend(failures)
+    truncated = _truncation(events)
+    if truncated:
+        out.append("")
+        out.append("truncated (events dropped at the collector's "
+                   "max_events bound):")
+        out.extend(truncated)
     problems = validate_spans(events)
     if problems:
         out.append("")

@@ -49,6 +49,7 @@ strands old entries instead of misreading them.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from pathlib import Path
@@ -84,11 +85,14 @@ class TermCache:
     def put(self, key: object, value: object) -> None:
         self._table[key] = value
         self._table.move_to_end(key)
-        if len(self._table) > self.maxsize:
+        evicted = len(self._table) > self.maxsize
+        if evicted:
             self._table.popitem(last=False)
-            col = _obs_current()
-            if col is not None:
+        col = _obs_current()
+        if col is not None:
+            if evicted:
                 col.emit("cache.evict", {"cache": self.name})
+            col.gauge(f"cache.occupancy.{self.name}", len(self._table))
 
     def __len__(self) -> int:
         return len(self._table)
@@ -146,16 +150,27 @@ def unit_cache_scope(disk_dir: str | Path | None = None
         _active, _disk_dir = saved_active, saved_disk
 
 
-def _emit_hit(name: str, tier: str) -> None:
+def _emit_hit(name: str, tier: str, t_start: float | None = None) -> None:
     col = _obs_current()
     if col is not None:
         col.emit("cache.hit", {"cache": name, "tier": tier})
+        if t_start is not None:
+            # Hit service time: digesting the term plus the lookup
+            # (and, for a disk hit, reading and reparsing the entry).
+            col.observe(f"cache.hit.{name}",
+                        time.perf_counter() - t_start)
 
 
-def _emit_miss(name: str) -> None:
+def _emit_miss(name: str, t_start: float | None = None) -> None:
     col = _obs_current()
     if col is not None:
         col.emit("cache.miss", {"cache": name})
+        if t_start is not None:
+            # Miss service time: the overhead of *concluding* the miss
+            # (key + lookup), not the recomputation that follows — the
+            # stage spans already own that.
+            col.observe(f"cache.miss.{name}",
+                        time.perf_counter() - t_start)
 
 
 # ---------------------------------------------------------------------------
@@ -214,19 +229,20 @@ def cached_compile(expr: Expr, compute: Callable[[], Expr]) -> Expr:
     """
     if not unit_caches_active():
         return compute()
+    t_start = time.perf_counter()
     key = _terms.try_term_key(expr)
     if key is None:
         return compute()
     found = COMPILE_CACHE.get(key)
     if found is not _MISS:
-        _emit_hit("compile", "memory")
+        _emit_hit("compile", "memory", t_start)
         return found  # type: ignore[return-value]
     loaded = _disk_read("compile", key)
     if loaded is not None:
-        _emit_hit("compile", "disk")
+        _emit_hit("compile", "disk", t_start)
         COMPILE_CACHE.put(key, loaded)
         return loaded
-    _emit_miss("compile")
+    _emit_miss("compile", t_start)
     out = compute()
     COMPILE_CACHE.put(key, out)
     _disk_write("compile", key, out)
@@ -314,19 +330,20 @@ def cached_link(compound, first: Expr, second: Expr,
     """
     if not unit_caches_active():
         return compute()
+    t_start = time.perf_counter()
     key = link_key(compound, first, second)
     if key is None:
         return compute()
     found = LINK_CACHE.get(key)
     if found is not _MISS:
-        _emit_hit("link", "memory")
+        _emit_hit("link", "memory", t_start)
         return found  # type: ignore[return-value]
     loaded = _disk_read_unit(key)
     if loaded is not None:
-        _emit_hit("link", "disk")
+        _emit_hit("link", "disk", t_start)
         LINK_CACHE.put(key, loaded)
         return loaded
-    _emit_miss("link")
+    _emit_miss("link", t_start)
     out = compute()
     LINK_CACHE.put(key, out)
     _disk_write("link", key, out)
@@ -346,14 +363,15 @@ def cached_optimize(unit: Expr, rounds: int,
     """
     if not unit_caches_active():
         return compute()
+    t_start = time.perf_counter()
     key = _terms.try_term_key(unit)
     if key is None:
         return compute()
     found = LINK_CACHE.get(("opt", key, rounds))
     if found is not _MISS:
-        _emit_hit("link", "memory")
+        _emit_hit("link", "memory", t_start)
         return found  # type: ignore[return-value]
-    _emit_miss("link")
+    _emit_miss("link", t_start)
     out = compute()
     LINK_CACHE.put(("opt", key, rounds), out)
     return out
@@ -372,13 +390,14 @@ def checked_ok(expr: Expr, strict_valuable: bool) -> bool:
     """
     if not unit_caches_active():
         return False
+    t_start = time.perf_counter()
     key = _terms.try_term_key(expr)
     if key is None:
         return False
     if CHECK_CACHE.get((key, strict_valuable)) is not _MISS:
-        _emit_hit("check", "memory")
+        _emit_hit("check", "memory", t_start)
         return True
-    _emit_miss("check")
+    _emit_miss("check", t_start)
     return False
 
 
@@ -406,12 +425,13 @@ def cached_parse(source: str, compute: Callable[[], Expr]) -> Expr:
         return compute()
     import hashlib
 
+    t_start = time.perf_counter()
     key = hashlib.sha256(source.encode("utf-8")).hexdigest()
     found = PARSE_CACHE.get(key)
     if found is not _MISS:
-        _emit_hit("dynlink", "memory")
+        _emit_hit("dynlink", "memory", t_start)
         return found  # type: ignore[return-value]
-    _emit_miss("dynlink")
+    _emit_miss("dynlink", t_start)
     out = compute()
     PARSE_CACHE.put(key, out)
     return out

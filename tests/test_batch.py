@@ -74,6 +74,28 @@ class TestRunItem:
         assert record["status"] == "error"
         assert record["error"]["type"] == "FileNotFoundError"
 
+    def test_ok_record_carries_stage_timings(self, tmp_path):
+        path = tmp_path / "p.scm"
+        path.write_text(GOOD)
+        record = run_item(path, _budget())
+        timings = record["timings"]
+        assert set(timings) == {"parse", "check", "archive", "eval",
+                                "total"}
+        assert all(t >= 0.0 for t in timings.values())
+        assert timings["total"] >= max(
+            t for name, t in timings.items() if name != "total") - 1e-6
+
+    def test_failed_record_keeps_completed_stage_timings(self, tmp_path):
+        path = tmp_path / "p.scm"
+        path.write_text(ILL_FORMED)
+        record = run_item(path, _budget())
+        timings = record["timings"]
+        # The check stage raised, so nothing after it has a timing —
+        # but "total" is always present.
+        assert "total" in timings
+        assert "parse" in timings
+        assert "eval" not in timings
+
 
 class TestRunBatch:
     def test_failures_do_not_stop_siblings(self, mixed_dir):
@@ -105,6 +127,17 @@ class TestRunBatch:
         exceeded = [e for e in col.events if e.kind == "limit.exceeded"]
         assert len(exceeded) == 1
         assert exceeded[0].fields["resource"] == "eval_steps"
+
+    def test_registry_collects_stage_histograms(self, mixed_dir):
+        registry = obs.MetricsRegistry()
+        paths = sorted(mixed_dir.glob("*.scm"))
+        run_batch(paths, _budget, registry=registry)
+        snap = registry.snapshot()
+        hists = snap["histograms"]
+        assert hists["stage.item"]["count"] == len(paths)
+        # Every item parses; only the well-formed ones reach eval.
+        assert hists["stage.parse"]["count"] == len(paths)
+        assert snap["flushes"] == len(paths)
 
     def test_write_records_roundtrip(self, mixed_dir, tmp_path):
         records, _ = run_batch(sorted(mixed_dir.glob("*.scm")), _budget)

@@ -24,6 +24,7 @@ from repro.lang.parser import parse_program
 from repro.obs import (
     Collector,
     FAMILIES,
+    JsonlSink,
     KINDS,
     TraceEvent,
     family_of,
@@ -249,6 +250,72 @@ class TestJsonl:
         write_metrics(col, path)
         assert json.loads(path.read_text())["counters"] \
             == {"reduce.step": 1}
+
+
+class TestJsonlSink:
+    def test_concurrent_writers_produce_intact_lines(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        path = tmp_path / "trace.jsonl"
+        workers, per_worker = 8, 200
+
+        def hammer(worker: int) -> None:
+            for i in range(per_worker):
+                sink.write(TraceEvent(
+                    "reduce.step", worker * per_worker + i, 0.0,
+                    {"worker": worker, "i": i}))
+
+        with JsonlSink(path) as sink:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                list(pool.map(hammer, range(workers)))
+        # Every line parses; nothing interleaved or torn.
+        events = read_jsonl(path)
+        assert len(events) == workers * per_worker
+        seen = {(e.fields["worker"], e.fields["i"]) for e in events}
+        assert len(seen) == workers * per_worker
+
+    def test_close_is_idempotent_and_write_after_close_raises(
+            self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.write(TraceEvent("reduce.step", 0, 0.0, {}))
+        sink.close()
+        sink.close()  # no-op, no error
+        with pytest.raises(ValueError, match="closed"):
+            sink.write(TraceEvent("reduce.step", 1, 0.0, {}))
+        assert len(read_jsonl(tmp_path / "t.jsonl")) == 1
+
+    def test_append_mode_preserves_existing_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write(TraceEvent("reduce.step", 0, 0.0, {}))
+        with JsonlSink(path, append=True) as sink:
+            sink.write_many([TraceEvent("reduce.step", 1, 0.0, {})])
+        assert [e.seq for e in read_jsonl(path)] == [0, 1]
+
+
+class TestDropCounters:
+    def test_drops_are_counted_per_kind(self):
+        col = Collector(max_events=2)
+        col.emit("reduce.step")
+        col.emit("reduce.step")
+        for _ in range(3):
+            col.emit("reduce.step")
+        col.emit("check.unit")
+        assert col.dropped == 4
+        assert col.dropped_kinds == {"reduce.step": 3, "check.unit": 1}
+        snap = col.metrics()
+        assert snap["dropped"] == 4
+        assert snap["dropped_by_kind"] == {"reduce.step": 3,
+                                           "check.unit": 1}
+
+    def test_metrics_only_collector_does_not_count_drops(self):
+        col = Collector(record_events=False)
+        for _ in range(10):
+            col.emit("reduce.step")
+        assert col.events == []
+        assert col.dropped == 0
+        assert col.dropped_kinds == {}
+        assert col.counters["reduce.step"] == 10
 
 
 class TestSpans:

@@ -13,19 +13,30 @@ from __future__ import annotations
 import re
 from pathlib import Path
 
-from repro.obs.events import FAMILIES, KINDS, SPAN_KEYS, family_of
+from repro.obs.events import FAMILIES, GAUGES, KINDS, SPAN_KEYS, family_of
 
 SRC = Path(__file__).resolve().parents[1] / "src"
 
 #: Registered kinds that never appear as an emit/span literal in src/
-#: (e.g. kinds built from computed strings).  Empty today — add entries
-#: with a comment saying where the kind is actually produced.
-WHITELIST: frozenset[str] = frozenset()
+#: (e.g. kinds built from computed strings).  Add entries with a
+#: comment saying where the kind is actually produced.
+WHITELIST: frozenset[str] = frozenset({
+    # Built via the TraceEvent constructor in repro.cli._run_observed
+    # (the truncation trailer appended when writing a --trace file),
+    # not through emit()/span().
+    "metric.dropped",
+})
 
 # A literal kind string as the first argument of an emit(...) or
 # span(...) call — matches module-level helpers (_obs_span, obs.emit),
 # Collector methods (col.emit, col.span), but not build_spans(events).
 _CALL = re.compile(r"""(?:emit|span)\(\s*["']([a-z_]+\.[a-z_]+)["']""")
+
+# A gauge name literal (plain or f-string prefix) as the first argument
+# of a gauge(...) call.  Computed instance suffixes ("cache.occupancy."
+# + self.name, f"budget.headroom.{resource}") leave the registered
+# family.property prefix in the literal part, which is what we lint.
+_GAUGE_CALL = re.compile(r"""\bgauge\(\s*f?["']([a-z_][a-z_.]*)""")
 
 
 def _emitted_kinds() -> dict[str, set[str]]:
@@ -35,6 +46,20 @@ def _emitted_kinds() -> dict[str, set[str]]:
         for kind in _CALL.findall(path.read_text(encoding="utf-8")):
             found.setdefault(kind, set()).add(
                 str(path.relative_to(SRC)))
+    return found
+
+
+def _gauge_literals() -> dict[str, set[str]]:
+    """gauge-name literal prefix -> files where it is set."""
+    found: dict[str, set[str]] = {}
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name == "collector.py" or path.name == "metrics.py":
+            # The gauge() definitions themselves (generic `name`
+            # plumbing), not instrumentation sites.
+            continue
+        for name in _GAUGE_CALL.findall(path.read_text(encoding="utf-8")):
+            found.setdefault(name.rstrip("."),
+                             set()).add(str(path.relative_to(SRC)))
     return found
 
 
@@ -70,3 +95,31 @@ class TestRegistryLint:
             assert family_of(kind) in FAMILIES, kind
             action = kind.split(".", 1)[1]
             assert action and action not in SPAN_KEYS, kind
+
+
+class TestGaugeLint:
+    def test_every_set_gauge_is_registered(self):
+        # Call-site literals may carry an instance suffix; they pass if
+        # any registered family.property is a (dotted) prefix.
+        unregistered = {
+            name: files for name, files in _gauge_literals().items()
+            if not any(name == fam or name.startswith(fam + ".")
+                       for fam in GAUGES)}
+        assert not unregistered, (
+            f"gauges set but missing from obs.events.GAUGES: "
+            f"{unregistered}")
+
+    def test_every_registered_gauge_is_set(self):
+        literals = set(_gauge_literals())
+        stale = sorted(
+            fam for fam in GAUGES
+            if not any(name == fam or name.startswith(fam + ".")
+                       for name in literals))
+        assert not stale, (
+            f"gauge families registered in obs.events.GAUGES but never "
+            f"set in src/: {stale}")
+
+    def test_registered_gauges_are_well_formed(self):
+        for name in GAUGES:
+            parts = name.split(".")
+            assert len(parts) == 2 and all(parts), name
