@@ -14,10 +14,12 @@
 # span trees or drop events, if the demo records no cache hits, if the
 # quick bench
 # smoke finds the caches inert, if a warm sharing-064 pass fails to
-# serve its links from the link store (docs/PERFORMANCE.md, "Link
-# caching"), or if the batch-isolation smoke (one good, one looping,
-# one ill-typed program) does not yield exactly the expected records
-# and limit.exceeded trace event (docs/ROBUSTNESS.md).
+# serve its whole flattened subtree from the flatten memo
+# (docs/PERFORMANCE.md, "Link caching"), if a second pycode demo run
+# against the same cache dir misses the codegen store, or if the
+# batch-isolation smoke (one good, one looping, one ill-typed
+# program) does not yield exactly the expected records and
+# limit.exceeded trace event (docs/ROBUSTNESS.md).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -110,26 +112,63 @@ from repro.bench import sharing_program, _pipeline
 from repro.limits import python_recursion_headroom
 from repro.units.cache import unit_cache_scope
 
-# One scope, two passes: the first primes the link store, the second
-# must link the 64-copy sharing program from cache hits.
+# One scope, two passes: the first primes the stores, the second must
+# link the 64-copy sharing program without recomputing anything — one
+# flatten-memo hit at the root (the whole flattened subtree), zero
+# misses anywhere in the link family.
 with python_recursion_headroom(40000):
     with unit_cache_scope():
         cold = _pipeline(sharing_program(64))
         with obs.collecting() as col:
             warm = _pipeline(sharing_program(64))
-link_hits = sum(1 for e in col.events if e.kind == "cache.hit"
-                and e.fields.get("cache") == "link")
-link_misses = sum(1 for e in col.events if e.kind == "cache.miss"
-                  and e.fields.get("cache") == "link")
-assert link_hits >= 60, \
-    f"warm sharing-064 pass made only {link_hits} link-cache hits"
-assert link_misses == 0, \
-    f"warm sharing-064 pass still missed the link store {link_misses}x"
+
+def count(kind, cache):
+    return sum(1 for e in col.events if e.kind == kind
+               and e.fields.get("cache") == cache)
+
+flatten_hits = count("cache.hit", "flatten")
+assert flatten_hits >= 1, \
+    "warm sharing-064 pass never hit the flatten memo"
+for cache in ("flatten", "link"):
+    misses = count("cache.miss", cache)
+    assert misses == 0, \
+        f"warm sharing-064 pass missed the {cache} store {misses}x"
 assert warm["link"] < cold["link"], \
     f"warm link ({warm['link']:.3f}s) not faster than cold " \
     f"({cold['link']:.3f}s)"
-print(f"link cache ok: {link_hits} hits, 0 misses; "
+print(f"link cache ok: {flatten_hits} flatten hit(s), 0 misses; "
       f"link {cold['link']:.3f}s cold -> {warm['link']:.3f}s warm")
+EOF
+
+echo "==> smoke: pycode backend (codegen cache across invocations)"
+pycode_cache_dir="$(mktemp -d)"
+pycode_trace="$(mktemp)"
+trap 'rm -f "$trace_file" "$metrics_file" "$bench_out" "$bench_snap" \
+    "$pycode_trace"; rm -rf "$pycode_cache_dir"' EXIT
+# Two demo runs against one cache dir: the first populates
+# v1-tk1/pycode/, the second must serve the code object from it.
+python -m repro --cache-dir "$pycode_cache_dir" \
+    demo --backend pycode examples/phonebook.scm
+python -m repro --cache-dir "$pycode_cache_dir" --trace "$pycode_trace" \
+    demo --backend pycode examples/phonebook.scm
+
+python - "$pycode_trace" "$pycode_cache_dir" <<'EOF'
+import pathlib
+import sys
+from repro.obs import read_jsonl
+
+events = read_jsonl(sys.argv[1])
+hits = [e for e in events if e.kind == "cache.hit"
+        and e.fields.get("cache") == "pycode"]
+misses = [e for e in events if e.kind == "cache.miss"
+          and e.fields.get("cache") == "pycode"]
+assert hits, "second pycode demo run never hit the codegen cache"
+assert not misses, \
+    f"second pycode demo run missed the codegen cache {len(misses)}x"
+entries = list(pathlib.Path(sys.argv[2]).rglob("pycode/*.py"))
+assert entries, "codegen disk tier wrote no entries"
+print(f"pycode cache ok: {len(hits)} hit(s), 0 misses, "
+      f"{len(entries)} disk entr{'y' if len(entries) == 1 else 'ies'}")
 EOF
 
 echo "==> smoke: batch isolation (good + looping + ill-typed)"
@@ -137,7 +176,8 @@ batch_dir="$(mktemp -d)"
 batch_records="$(mktemp)"
 batch_trace="$(mktemp)"
 trap 'rm -f "$trace_file" "$metrics_file" "$bench_out" "$bench_snap" \
-    "$batch_records" "$batch_trace"; rm -rf "$batch_dir"' EXIT
+    "$pycode_trace" "$batch_records" "$batch_trace"; \
+    rm -rf "$pycode_cache_dir" "$batch_dir"' EXIT
 cat > "$batch_dir/a_good.scm" <<'EOF'
 (invoke (unit (import) (export greet)
   (define greet (lambda (who) (string-append "hello, " who)))

@@ -91,7 +91,8 @@ def error_payload(err: BaseException) -> dict[str, object]:
 
 def run_item(path: str | Path, budget: _limits.Budget | None, *,
              lenient: bool = False, retries: int = 0,
-             sleep: Callable[[float], None] | None = None
+             sleep: Callable[[float], None] | None = None,
+             backend: str = "interp",
              ) -> dict[str, object]:
     """Run one program under its own budget; return its record.
 
@@ -99,6 +100,12 @@ def run_item(path: str | Path, budget: _limits.Budget | None, *,
     check, optional archive round-trip, evaluate — so every governed
     subsystem charges this item's allowance and nothing leaks to the
     next item.
+
+    ``backend`` selects the evaluator for the eval stage: the
+    environment interpreter (default), the small-step ``machine``, or
+    the ``pycode`` Python-closure backend.  All three produce the same
+    record fields; budget exhaustion charges the backend's own step
+    resource.
     """
     record: dict[str, object] = {
         "schema": RECORD_SCHEMA,
@@ -125,12 +132,11 @@ def run_item(path: str | Path, budget: _limits.Budget | None, *,
                 timings["archive"] = time.perf_counter() - t
                 t = time.perf_counter()
                 with obs.span("stage.eval"):
-                    interp = Interpreter()
-                    value = interp.eval(expr)
+                    value, output = _eval_stage(expr, backend)
                 timings["eval"] = time.perf_counter() - t
                 record["status"] = "ok"
                 record["value"] = to_write_string(value)
-                record["output"] = interp.port.getvalue()
+                record["output"] = output
     except RECORDED_ERRORS as err:
         record["status"] = "error"
         record["error"] = error_payload(err)
@@ -139,6 +145,22 @@ def run_item(path: str | Path, budget: _limits.Budget | None, *,
     record["timings"] = {name: round(seconds, 6)
                          for name, seconds in timings.items()}
     return record
+
+
+def _eval_stage(expr, backend: str) -> tuple[object, str]:
+    """Evaluate a checked program with the selected backend."""
+    if backend == "pycode":
+        from repro import backend as _backend
+
+        return _backend.compile_program(expr).run()
+    if backend == "machine":
+        from repro.lang.ast import Lit
+        from repro.lang.machine import machine_eval
+
+        final, output = machine_eval(expr)
+        return (final.value if isinstance(final, Lit) else final), output
+    interp = Interpreter()
+    return interp.eval(expr), interp.port.getvalue()
 
 
 def _archive_roundtrip(expr, name: str, retries: int, **kwargs) -> None:
@@ -169,6 +191,7 @@ def run_batch(paths: Iterable[str | Path],
               sleep: Callable[[float], None] | None = None,
               on_record: Callable[[dict[str, object]], None] | None = None,
               registry: "obs.MetricsRegistry | None" = None,
+              backend: str = "interp",
               ) -> tuple[list[dict[str, object]], int]:
     """Run every program, each under a fresh budget.
 
@@ -189,7 +212,8 @@ def run_batch(paths: Iterable[str | Path],
         scope = registry.scope() if registry is not None else nullcontext()
         with scope:
             record = run_item(path, make_budget(), lenient=lenient,
-                              retries=retries, sleep=sleep)
+                              retries=retries, sleep=sleep,
+                              backend=backend)
         records.append(record)
         if on_record is not None:
             on_record(record)

@@ -232,6 +232,50 @@ def _time_case(name: str, build: Callable[[], Expr],
     }
 
 
+def _backend_compare(build: Callable[[], Expr],
+                     repeats: int) -> dict[str, float]:
+    """Interp vs the pycode backend, on the same linked program.
+
+    Codegen is timed twice inside one fresh cache scope — the cold
+    call generates and compiles, the warm call is a content-addressed
+    hit on the program's digest — and eval is best-of-``repeats`` for
+    both evaluators, so the column isolates pure evaluation speed from
+    compilation cost.
+    """
+    from repro import backend as _backend
+
+    times: dict[str, float] = {}
+    with unit_cache_scope():
+        program = build()
+        check_program(program, strict_valuable=False)
+        linked, _stats = link_and_optimize(program)
+
+        t = time.perf_counter()
+        prog = _backend.compile_program(linked)
+        times["pycode_codegen_s"] = time.perf_counter() - t
+        t = time.perf_counter()
+        _backend.compile_program(linked)
+        times["pycode_codegen_warm_s"] = time.perf_counter() - t
+
+        # One untimed run each: the backend's first Runtime pays the
+        # process-wide prelude compilation, the interpreter its lazy
+        # imports — one-time costs, not eval speed.
+        Interpreter().eval(linked)
+        prog.run()
+        interp_best = pycode_best = float("inf")
+        for _ in range(max(repeats, 1)):
+            t = time.perf_counter()
+            Interpreter().eval(linked)
+            interp_best = min(interp_best, time.perf_counter() - t)
+            t = time.perf_counter()
+            prog.run()
+            pycode_best = min(pycode_best, time.perf_counter() - t)
+    times["interp_eval_s"] = interp_best
+    times["pycode_eval_s"] = pycode_best
+    times["eval_speedup"] = interp_best / pycode_best if pycode_best else 0.0
+    return {k: round(v, 6) for k, v in times.items()}
+
+
 def _cache_counters(build: Callable[[], Expr]):
     """One primed, traced pipeline pass; returns (collector, counters).
 
@@ -249,16 +293,24 @@ def _cache_counters(build: Callable[[], Expr]):
 
 
 def run_bench(quick: bool = False, out: str = "BENCH_results.json",
-              snapshot: str | None = None) -> int:
-    """The ``repro bench`` driver.  Returns a process exit status."""
+              snapshot: str | None = None,
+              backend: str = "pycode") -> int:
+    """The ``repro bench`` driver.  Returns a process exit status.
+
+    With ``backend="pycode"`` (the default) every case also carries a
+    ``backends`` comparison column: interpreter vs Python-closure
+    backend eval on the same linked program, plus cold/warm codegen
+    cost.  ``backend="interp"`` skips the column.
+    """
     # The 256-unit chains legitimately recurse deeper than CPython's
     # default stack allowance; take scoped headroom instead of mutating
     # the process-wide limit for whoever runs after us.
     with python_recursion_headroom(40000):
-        return _run_bench(quick, out, snapshot)
+        return _run_bench(quick, out, snapshot, backend)
 
 
-def _run_bench(quick: bool, out: str, snapshot: str | None) -> int:
+def _run_bench(quick: bool, out: str, snapshot: str | None,
+               backend: str = "pycode") -> int:
     if quick:
         cases: list[tuple[str, Callable[[], Expr]]] = [
             ("chain-032", lambda: chain_program(32)),
@@ -290,6 +342,14 @@ def _run_bench(quick: bool, out: str, snapshot: str | None) -> int:
             f"{stage} {warm_p[stage]['p50'] * 1e3:.2f}/"
             f"{warm_p[stage]['p99'] * 1e3:.2f}"
             for stage in ("check", "link", "compile", "eval")))
+        if backend == "pycode":
+            r["backends"] = _backend_compare(build, repeats)
+            b = r["backends"]
+            print(f"  eval: interp {b['interp_eval_s'] * 1e3:.2f}ms   "
+                  f"pycode {b['pycode_eval_s'] * 1e3:.2f}ms "
+                  f"({b['eval_speedup']}x)   "
+                  f"codegen {b['pycode_codegen_s'] * 1e3:.2f}ms cold / "
+                  f"{b['pycode_codegen_warm_s'] * 1e3:.2f}ms warm")
 
     collector = _cache_counters(
         cases[0][1] if quick else (lambda: chain_program(64)))

@@ -136,9 +136,26 @@ def cmd_run(args: argparse.Namespace) -> int:
     """Evaluate an untyped unit program."""
     expr = _load_script(args)
     check_program(expr, strict_valuable=not args.lenient)
-    interp = Interpreter()
-    result = interp.eval(expr)
-    output = interp.port.getvalue()
+    backend_name = getattr(args, "backend", "interp")
+    if backend_name == "pycode":
+        # The codegen backend runs the statically linked program (the
+        # codegen cache is keyed on the linked digest); linking
+        # preserves behaviour, so the printed result is unchanged.
+        from repro import backend as _backend
+        from repro.units.linker import link_and_optimize
+
+        linked, _stats = link_and_optimize(expr)
+        result, output = _backend.compile_program(linked).run()
+    elif backend_name == "machine":
+        from repro.lang.ast import Lit
+        from repro.lang.machine import machine_eval
+
+        final, output = machine_eval(expr)
+        result = final.value if isinstance(final, Lit) else final
+    else:
+        interp = Interpreter()
+        result = interp.eval(expr)
+        output = interp.port.getvalue()
     if output:
         sys.stdout.write(output)
         if not output.endswith("\n"):
@@ -425,6 +442,22 @@ def cmd_demo(args: argparse.Namespace) -> int:
             and to_write_string(final.value) == to_write_string(result)):
         print("error: interpreter and machine disagree", file=sys.stderr)
         return 1
+
+    if getattr(args, "backend", "interp") == "pycode":
+        # One more evaluator: compile the linked program to Python
+        # closures and hold it to the interpreter's result.  A second
+        # demo run with the same --cache-dir serves the code object
+        # from the pycode store (the check.sh smoke asserts this).
+        from repro import backend as _backend
+
+        program = _backend.compile_program(linked)
+        py_result, py_output = program.run()
+        print(f"pycode: {to_write_string(py_result)}")
+        if (to_write_string(py_result) != to_write_string(result)
+                or py_output != output):
+            print("error: interpreter and pycode backend disagree",
+                  file=sys.stderr)
+            return 1
     return 0
 
 
@@ -469,7 +502,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
     registry = obs.MetricsRegistry(parent=obs.current())
     records, failures = _batch.run_batch(
         paths, make_budget, lenient=args.lenient, retries=args.retry,
-        fail_fast=args.fail_fast, registry=registry)
+        fail_fast=args.fail_fast, registry=registry,
+        backend=args.backend)
     if args.out:
         written = _batch.write_records(records, args.out)
         print(f"batch: {written} record(s) -> {args.out}",
@@ -510,7 +544,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import run_bench
 
     return run_bench(quick=args.quick, out=args.out,
-                     snapshot=args.snapshot)
+                     snapshot=args.snapshot, backend=args.backend)
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -559,7 +593,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.set_defaults(fn=fn)
         return p
 
-    add("run", cmd_run, "evaluate an untyped unit program")
+    run_p = add("run", cmd_run, "evaluate an untyped unit program")
+    run_p.add_argument("--backend", choices=("interp", "machine", "pycode"),
+                       default="interp",
+                       help="evaluator: the environment interpreter, the "
+                            "small-step machine, or the Python-closure "
+                            "codegen backend (docs/PERFORMANCE.md)")
     add("check", cmd_check, "run the Figure 10 checks")
     add("typecheck", cmd_typecheck, "type-check a typed program")
     add("run-typed", cmd_run_typed, "check and run a typed program")
@@ -615,6 +654,11 @@ def build_parser() -> argparse.ArgumentParser:
                "archive, machine, interpreter) on one program")
     demo.add_argument("--limit", type=int, default=1_000_000,
                       help="maximum machine reduction steps")
+    demo.add_argument("--backend", choices=("interp", "pycode"),
+                      default="interp",
+                      help="with pycode, also run the Python-closure "
+                           "backend and hold it to the interpreter's "
+                           "result")
     batch = sub.add_parser(
         "batch", help="run every program in a directory, each under a "
                       "fresh resource budget (docs/ROBUSTNESS.md)")
@@ -647,6 +691,9 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--metrics-snapshot", metavar="FILE", default=None,
                        help="write the batch's merged metrics1 snapshot "
                             "(stage latency histograms) to FILE")
+    batch.add_argument("--backend", choices=("interp", "machine", "pycode"),
+                       default="interp",
+                       help="evaluator for the eval stage of every item")
     batch.set_defaults(fn=cmd_batch)
     metrics = sub.add_parser(
         "metrics", help="merge, report, and gate metrics1 snapshots "
@@ -691,6 +738,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--snapshot", metavar="FILE", default=None,
                        help="also write a counters snapshot (with "
                             "cache.* activity) usable by 'trace diff'")
+    bench.add_argument("--backend", choices=("interp", "pycode"),
+                       default="pycode",
+                       help="comparison backend for the per-case eval "
+                            "column (default: pycode)")
     bench.set_defaults(fn=cmd_bench)
     repl = sub.add_parser("repl", help="interactive session")
     repl.set_defaults(fn=cmd_repl)

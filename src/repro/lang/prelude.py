@@ -60,15 +60,13 @@ PRELUDE_NAMES = (
 )
 
 
-def install_prelude(interp) -> None:
-    """Evaluate the prelude into an interpreter's global environment.
+def prelude_bindings() -> tuple:
+    """The prelude as ``(name, expr)`` letrec bindings.
 
-    The pseudo-form ``define-into-global`` is handled here (it is not
-    part of the user-visible language): each definition is evaluated as
-    a ``letrec`` over all prelude names so they can be mutually
-    recursive, then the resulting closures are installed globally.
+    Shared by :func:`install_prelude` and the codegen backend
+    (:mod:`repro.backend.runtime`), which compiles the same letrec so
+    both evaluators bootstrap identical library procedures.
     """
-    from repro.lang.ast import App, Letrec, Seq, Var
     from repro.lang.parser import parse_expr
     from repro.lang.sexpr import read_sexpr, Symbol, SList
 
@@ -82,6 +80,20 @@ def install_prelude(interp) -> None:
             and head.name == "define-into-global"
         assert isinstance(name, Symbol)
         bindings.append((name.name, parse_expr(body)))
+    return tuple(bindings)
+
+
+def install_prelude(interp) -> None:
+    """Evaluate the prelude into an interpreter's global environment.
+
+    The pseudo-form ``define-into-global`` is handled here (it is not
+    part of the user-visible language): each definition is evaluated as
+    a ``letrec`` over all prelude names so they can be mutually
+    recursive, then the resulting closures are installed globally.
+    """
+    from repro.lang.ast import App, Letrec, Var
+
+    bindings = prelude_bindings()
     block = Letrec(
         tuple(bindings),
         App(Var("list"), tuple(Var(name) for name, _ in bindings)))

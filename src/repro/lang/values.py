@@ -11,6 +11,7 @@ when the unit is invoked."
 
 from __future__ import annotations
 
+import types
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
@@ -320,4 +321,9 @@ def to_write_string(value: object) -> str:
         return "(" + " ".join(parts) + " . " + to_write_string(cursor) + ")"
     if value is EMPTY:
         return "()"
+    if isinstance(value, types.FunctionType):
+        # A closure from the codegen backend; interpreter closures are
+        # anonymous too (Closure.name defaults to "<anonymous>"), so
+        # the two backends print procedures identically.
+        return "#<procedure:<anonymous>>"
     return repr(value)

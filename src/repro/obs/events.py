@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 #: ``cache`` field of a ``cache.*`` event names the store (``compile``,
 #: ``check``, ``link``, ``dynlink``).
 FAMILIES = ("check", "link", "reduce", "unit", "dynlink", "cache",
-            "limit", "stage", "metric")
+            "limit", "stage", "metric", "pycode")
 
 #: Field names reserved by the span layer (instrumentation sites must
 #: not use these for their own payload keys).
@@ -83,6 +83,10 @@ KINDS: dict[str, str] = {
     "metric.flush": "a collector scope flushed into a MetricsRegistry",
     "metric.snapshot": "a metrics1 snapshot was written to disk",
     "metric.dropped": "events of one kind were truncated (count attached)",
+    # The Python-closure codegen backend (repro.backend)
+    "pycode.codegen": "a program was lowered to Python source and "
+                      "compiled (span; fires on cache hits too)",
+    "pycode.exec": "a compiled program's _main ran against a Runtime",
 }
 
 #: Registered gauge families: last-value instruments recorded via

@@ -105,8 +105,11 @@ COMPILE_CACHE = TermCache("compile", maxsize=1024)
 CHECK_CACHE = TermCache("check", maxsize=4096)
 LINK_CACHE = TermCache("link", maxsize=1024)
 PARSE_CACHE = TermCache("dynlink", maxsize=256)
+PYCODE_CACHE = TermCache("pycode", maxsize=256)
+FLATTEN_CACHE = TermCache("flatten", maxsize=512)
 
-_ALL = (COMPILE_CACHE, CHECK_CACHE, LINK_CACHE, PARSE_CACHE)
+_ALL = (COMPILE_CACHE, CHECK_CACHE, LINK_CACHE, PARSE_CACHE,
+        PYCODE_CACHE, FLATTEN_CACHE)
 
 #: Activation flag — see the module docstring.  Off by default.
 _active = False
@@ -178,10 +181,10 @@ def _emit_miss(name: str, t_start: float | None = None) -> None:
 # ---------------------------------------------------------------------------
 
 
-def _disk_path(kind: str, key: str) -> Path | None:
+def _disk_path(kind: str, key: str, suffix: str = ".scm") -> Path | None:
     if _disk_dir is None:
         return None
-    return _disk_dir / f"v1-{_terms.SCHEMA}" / kind / f"{key}.scm"
+    return _disk_dir / f"v1-{_terms.SCHEMA}" / kind / f"{key}{suffix}"
 
 
 def _disk_read(kind: str, key: str) -> Expr | None:
@@ -435,3 +438,159 @@ def cached_parse(source: str, compute: Callable[[], Expr]) -> Expr:
     out = compute()
     PARSE_CACHE.put(key, out)
     return out
+
+
+# ---------------------------------------------------------------------------
+# The codegen (pycode) cache: memory holds code objects, disk holds
+# the generated Python source
+# ---------------------------------------------------------------------------
+
+
+def _pycode_compile(source: str):
+    return compile(source, "<pycode>", "exec")
+
+
+def _pycode_disk_read(key: str):
+    """Load and compile a disk-tier source entry, or ``None``.
+
+    An entry that fails to ``compile()`` — or compiles but does not
+    define ``_main`` (a truncation at a line boundary parses fine) —
+    is corrupt: unlink it and report a miss.
+    """
+    path = _disk_path("pycode", key, suffix=".py")
+    if path is None:
+        return None
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    try:
+        code = _pycode_compile(source)
+        if "_main" not in code.co_names:
+            raise ValueError("no _main in cached module")
+        return code
+    except (SyntaxError, ValueError):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def _pycode_disk_write(key: str, source: str) -> None:
+    path = _disk_path("pycode", key, suffix=".py")
+    if path is None:
+        return
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    except OSError:
+        pass
+
+
+def cached_pycode(expr: Expr, generate: Callable[[], str]):
+    """Generate + compile a program's Python module through the cache.
+
+    The memory tier stores the ready code object; the disk tier stores
+    the generated source at ``v1-tk1/pycode/<digest>.py`` (codegen is
+    deterministic in the program's shape, so equal digests mean equal
+    source).  Exceptions from ``generate`` or ``compile`` — including
+    budget exhaustion surfacing mid-codegen — propagate before
+    anything is stored, so failed compilations are never cached.
+    """
+    if not unit_caches_active():
+        return _pycode_compile(generate())
+    t_start = time.perf_counter()
+    key = _terms.try_term_key(expr)
+    if key is None:
+        return _pycode_compile(generate())
+    found = PYCODE_CACHE.get(key)
+    if found is not _MISS:
+        _emit_hit("pycode", "memory", t_start)
+        return found
+    loaded = _pycode_disk_read(key)
+    if loaded is not None:
+        _emit_hit("pycode", "disk", t_start)
+        PYCODE_CACHE.put(key, loaded)
+        return loaded
+    _emit_miss("pycode", t_start)
+    source = generate()
+    code = _pycode_compile(source)
+    PYCODE_CACHE.put(key, code)
+    _pycode_disk_write(key, source)
+    return code
+
+
+# ---------------------------------------------------------------------------
+# The flatten memo (memory tier only)
+# ---------------------------------------------------------------------------
+#
+# Warm link time is dominated by re-walking the whole program tree even
+# when every individual merge hits the link store.  The memo caches the
+# *flattened result of an entire compound subtree*, keyed on the
+# subtree's digest plus everything `_flatten` consults about its
+# context: the unit bindings in scope (clause variables resolve through
+# them) and the program's assigned-name set (which gates that
+# resolution).  A hit skips the subtree walk entirely; the linker
+# replays the recorded `link.static`/`reduce.compound` span kinds and
+# stat deltas so trace-event counts and `LinkStats` stay
+# cache-invariant (the differential sweeps compare both).  Failed
+# merges raise out of the compute path before anything is stored.
+
+
+def flatten_key(expr: Expr, units_in_scope: dict,
+                assigned: frozenset) -> tuple | None:
+    """The context-complete memo key for one compound subtree."""
+    if not unit_caches_active():
+        return None
+    key = _terms.try_term_key(expr)
+    if key is None:
+        return None
+    scope_sig = []
+    for name in sorted(units_in_scope):
+        unit_key = _terms.try_term_key(units_in_scope[name])
+        if unit_key is None:
+            return None
+        scope_sig.append((name, unit_key))
+    return (key, tuple(scope_sig), tuple(sorted(assigned)))
+
+
+def flatten_lookup(key: tuple | None):
+    """The stored ``(result, merged, dynamic, replay)`` entry, or
+    ``None`` (emitting the hit/miss event either way)."""
+    if key is None:
+        return None
+    t_start = time.perf_counter()
+    found = FLATTEN_CACHE.get(key)
+    if found is not _MISS:
+        _emit_hit("flatten", "memory", t_start)
+        return found
+    _emit_miss("flatten", t_start)
+    return None
+
+
+def flatten_store(key: tuple | None, entry: tuple) -> None:
+    if key is not None:
+        FLATTEN_CACHE.put(key, entry)
+
+
+def replay_link_events(replay: tuple) -> None:
+    """Re-emit the span/event *kinds* a memoized flatten produced.
+
+    Each marker is ``("m", defns)`` for a static merge (a
+    ``link.static`` span enclosing the ``reduce.compound`` span, as the
+    computed path nests them) or ``("d",)`` for a compound left
+    dynamic (a flat ``link.static`` event) — so event counts per kind
+    are identical with and without the memo.
+    """
+    col = _obs_current()
+    if col is None:
+        return
+    for marker in replay:
+        if marker[0] == "m":
+            with col.span("link.static", {"merged": True, "replay": True}):
+                with col.span("reduce.compound", {"defns": marker[1],
+                                                  "replay": True}):
+                    pass
+        else:
+            col.emit("link.static", {"merged": False, "replay": True})

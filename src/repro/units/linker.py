@@ -18,7 +18,7 @@ optimizer, yielding the static-linker pipeline:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.lang.ast import (
     App,
@@ -33,6 +33,7 @@ from repro.lang.ast import (
     Var,
 )
 from repro.obs import current as _obs_current
+from repro.units import cache as _cache
 from repro.units.ast import CompoundExpr, InvokeExpr, LinkClause, UnitExpr
 from repro.units.optimize import optimize_expr, optimize_unit
 from repro.units.reduce import merge_compound
@@ -44,6 +45,9 @@ class LinkStats:
 
     merged: int = 0
     left_dynamic: int = 0
+    #: Event-replay log for the flatten memo (one marker per compound
+    #: decision, in emission order); ``None`` when the caches are off.
+    log: list | None = field(default=None, repr=False, compare=False)
 
     def __str__(self) -> str:
         return (f"{self.merged} compound(s) statically linked, "
@@ -65,6 +69,8 @@ def flatten(expr: Expr, stats: LinkStats | None = None) -> Expr:
     stats = stats if stats is not None else LinkStats()
     from repro.units.optimize import _assigned_names
 
+    if stats.log is None and _cache.unit_caches_active():
+        stats.log = []
     assigned = _assigned_names(expr)
     return _flatten(expr, stats, {}, assigned)
 
@@ -130,6 +136,30 @@ def _flatten(expr: Expr, stats: LinkStats,
                         tuple((n, go(e, inner)) for n, e in expr.defns),
                         go(expr.init, inner), expr.loc)
     if isinstance(expr, CompoundExpr):
+        # Whole-subtree memo: a compound whose digest and flattening
+        # context are unchanged returns its stored result without
+        # re-walking the subtree; stat deltas and span kinds replay so
+        # the memo stays observationally invisible.
+        memo_key = _cache.flatten_key(expr, units_in_scope, assigned)
+        if memo_key is not None:
+            from repro import limits as _limits
+
+            budget = _limits.current()
+            if budget is not None:
+                budget.check_deadline(expr.loc)
+            hit = _cache.flatten_lookup(memo_key)
+            if hit is not None:
+                result, d_merged, d_dynamic, replay = hit
+                stats.merged += d_merged
+                stats.left_dynamic += d_dynamic
+                if stats.log is not None:
+                    stats.log.extend(replay)
+                _cache.replay_link_events(replay)
+                return result
+        base_merged = stats.merged
+        base_dynamic = stats.left_dynamic
+        log_start = len(stats.log) if stats.log is not None else 0
+
         def resolve(e: Expr) -> Expr:
             flat = go(e)
             if isinstance(flat, Var) and flat.name in units_in_scope:
@@ -147,14 +177,29 @@ def _flatten(expr: Expr, stats: LinkStats,
         if isinstance(first, UnitExpr) and isinstance(second, UnitExpr):
             stats.merged += 1
             if col is None:
-                return merge_compound(rebuilt, first, second)
-            # Span: the reduce.compound merge it triggers nests inside.
-            with col.span("link.static", {"merged": True}):
-                return merge_compound(rebuilt, first, second)
-        stats.left_dynamic += 1
-        if col is not None:
-            col.emit("link.static", {"merged": False})
-        return rebuilt
+                out = merge_compound(rebuilt, first, second)
+            else:
+                # Span: the reduce.compound merge it triggers nests
+                # inside.
+                with col.span("link.static", {"merged": True}):
+                    out = merge_compound(rebuilt, first, second)
+            if stats.log is not None:
+                stats.log.append(
+                    ("m", len(first.defns) + len(second.defns)))
+        else:
+            stats.left_dynamic += 1
+            if col is not None:
+                col.emit("link.static", {"merged": False})
+            if stats.log is not None:
+                stats.log.append(("d",))
+            out = rebuilt
+        if memo_key is not None and stats.log is not None:
+            _cache.flatten_store(memo_key, (
+                out,
+                stats.merged - base_merged,
+                stats.left_dynamic - base_dynamic,
+                tuple(stats.log[log_start:])))
+        return out
     if isinstance(expr, InvokeExpr):
         return InvokeExpr(
             go(expr.expr),

@@ -1,0 +1,246 @@
+"""Backends must agree: a three-way corpus differential sweep.
+
+Every corpus program is evaluated by the big-step environment
+interpreter, the small-step rewriting machine (unless the case opts
+out with ``skip-machine``), and the ``pycode`` Python-closure codegen
+backend — under three cache configurations:
+
+* **off** — the term-performance layer disabled (``--no-term-cache``):
+  no memoization, no content caches, so the codegen cache is inert and
+  every pass regenerates its Python source;
+* **cold** — the default configuration with a fresh cache scope, what
+  a first CLI invocation pays;
+* **warm** — the same scope after a priming pass, so the codegen cache
+  serves the code object content-addressed on the program's digest.
+
+In all three, the interpreter and the codegen backend must agree byte
+for byte on value and displayed output, the machine on the written
+value, and all must match the corpus golden.  The error half of the
+sweep holds failing programs to the same taxonomy: interpreter and
+pycode raise the *same exception type with the same message*, and
+budget exhaustion surfaces as ``BudgetExceeded`` naming the backend's
+own step resource (``eval_steps`` for the interpreter and pycode —
+the codegen backend charges one step per application — and
+``machine_steps`` for the machine).
+"""
+
+import itertools
+from contextlib import nullcontext
+
+import pytest
+
+from repro import backend
+from repro import limits as _limits
+from repro.lang import subst as lang_subst
+from repro.lang import terms
+from repro.lang.ast import Lit
+from repro.lang.errors import RunTimeError, UnitLinkError
+from repro.lang.interp import Interpreter
+from repro.lang.machine import machine_eval
+from repro.lang.parser import parse_program
+from repro.lang.values import to_write_string
+from repro.units.cache import unit_cache_scope
+from repro.units.check import check_program
+from repro.units.linker import link_and_optimize
+
+from tests.test_corpus import CASES, _matches
+
+MODES = ("off", "cold", "warm")
+
+
+def _pass(case):
+    """One parse/check/eval pass on every backend; the observation."""
+    expr = parse_program(case.source)
+    check_program(expr, strict_valuable=not case.lenient)
+    out = {}
+
+    interp = Interpreter()
+    out["value"] = to_write_string(interp.eval(expr))
+    out["output"] = interp.port.getvalue()
+
+    value, output = backend.compile_program(expr).run()
+    out["pycode_value"] = to_write_string(value)
+    out["pycode_output"] = output
+
+    if not case.skip_compile:
+        # The CLI's pycode path runs the statically linked program (the
+        # codegen cache is keyed on the linked digest); hold it to the
+        # same observation.
+        linked, _stats = link_and_optimize(expr)
+        lvalue, loutput = backend.compile_program(linked).run()
+        out["pycode_linked_value"] = to_write_string(lvalue)
+        out["pycode_linked_output"] = loutput
+
+    if not case.skip_machine:
+        final, moutput = machine_eval(expr)
+        assert isinstance(final, Lit)
+        out["machine_value"] = to_write_string(final.value)
+        out["machine_output"] = moutput
+    return out
+
+
+def _observe(case, mode):
+    lang_subst._counter = itertools.count()
+    cached = mode != "off"
+    with terms.caching(cached):
+        scope = unit_cache_scope() if cached else nullcontext()
+        with scope:
+            if mode == "warm":
+                _pass(case)
+            return _pass(case)
+
+
+class TestBackendsAgreeOnTheCorpus:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+    def test_corpus_case(self, case, mode):
+        out = _observe(case, mode)
+        assert out["pycode_value"] == out["value"]
+        assert out["pycode_output"] == out["output"]
+        if "pycode_linked_value" in out:
+            assert out["pycode_linked_value"] == out["value"]
+            assert out["pycode_linked_output"] == out["output"]
+        if "machine_value" in out:
+            assert out["machine_value"] == out["value"]
+            assert out["machine_output"] == out["output"]
+        assert _matches_str(out["value"], case)
+
+    @pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+    def test_modes_agree(self, case):
+        off, cold, warm = (_observe(case, m) for m in MODES)
+        assert cold == off
+        assert warm == off
+
+
+def _matches_str(value_str: str, case) -> bool:
+    from repro.lang.sexpr import read_sexpr, write_sexpr
+
+    return value_str == write_sexpr(read_sexpr(case.expect_value))
+
+
+# ---------------------------------------------------------------------------
+# Error taxonomy
+# ---------------------------------------------------------------------------
+
+#: Failing programs and the exception class they must die with.  The
+#: messages are not pinned here — the property is that interp and
+#: pycode produce the *same* (type, message) pair, whatever it is.
+ERROR_PROGRAMS = (
+    ("apply-non-procedure", "(1 2)", RunTimeError),
+    ("arity-mismatch", "((lambda (x) x) 1 2)", RunTimeError),
+    ("prim-arity-mismatch", "(car 1 2)", RunTimeError),
+    ("prim-domain", "(car 5)", RunTimeError),
+    ("division-by-zero", "(/ 1 0)", RunTimeError),
+    ("user-error", '(error "boom")', RunTimeError),
+    ("letrec-premature-read",
+     "(letrec ((x (lambda () y)) (y (x))) y)", RunTimeError),
+    ("unbound-global", "(invoke (unit (import) (export) nope))",
+     RunTimeError),
+    ("missing-import", "(invoke (unit (import x) (export) x))",
+     UnitLinkError),
+)
+
+
+def _failure(run, expr):
+    try:
+        run(expr)
+    except (RunTimeError, UnitLinkError) as err:
+        return type(err), str(err)
+    raise AssertionError("program unexpectedly succeeded")
+
+
+def _interp_failure(expr):
+    return _failure(lambda e: Interpreter().eval(e), expr)
+
+
+def _pycode_failure(expr):
+    return _failure(lambda e: backend.compile_program(e).run(), expr)
+
+
+class TestErrorTaxonomyAgrees:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize(
+        "name,source,exc", ERROR_PROGRAMS, ids=[e[0] for e in ERROR_PROGRAMS])
+    def test_same_type_and_message(self, name, source, exc, mode):
+        expr = parse_program(source)
+        check_program(expr, strict_valuable=False)
+        cached = mode != "off"
+        with terms.caching(cached):
+            scope = unit_cache_scope() if cached else nullcontext()
+            with scope:
+                if mode == "warm":
+                    _interp_failure(expr)
+                    _pycode_failure(expr)
+                got_interp = _interp_failure(expr)
+                got_pycode = _pycode_failure(expr)
+        assert got_interp[0] is exc
+        assert got_pycode == got_interp
+
+    def test_failed_codegen_is_never_cached(self):
+        """A program that dies at run time still caches (its codegen
+        succeeded); but a BudgetExceeded raised *during* codegen leaves
+        no entry behind (see tests/test_unit_cache.py for the disk
+        half)."""
+        from repro.units.cache import PYCODE_CACHE
+
+        expr = parse_program("(car 5)")
+        with unit_cache_scope():
+            _pycode_failure(expr)
+            assert len(PYCODE_CACHE) == 1  # run-time failure: cacheable
+
+
+SPIN = "(invoke (unit (import) (export) (define spin (lambda () (spin))) (spin)))"
+
+
+class TestBudgetExhaustionTaxonomy:
+    """An ungoverned infinite tail loop is uninteresting; a governed one
+    must die as ``BudgetExceeded`` naming the backend's own step
+    resource, on every backend, cached or not."""
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_interp_and_pycode_charge_eval_steps(self, mode):
+        expr = parse_program(SPIN)
+        check_program(expr, strict_valuable=False)
+        cached = mode != "off"
+        outcomes = {}
+        with terms.caching(cached):
+            scope = unit_cache_scope() if cached else nullcontext()
+            with scope:
+                for name, run in (
+                        ("interp", lambda e: Interpreter().eval(e)),
+                        ("pycode",
+                         lambda e: backend.compile_program(e).run())):
+                    with _limits.budget_scope(
+                            _limits.Budget(eval_steps=20_000)):
+                        with pytest.raises(_limits.BudgetExceeded) as err:
+                            run(expr)
+                    outcomes[name] = (err.value.resource, err.value.limit)
+        assert outcomes["interp"] == ("eval_steps", 20_000)
+        assert outcomes["pycode"] == ("eval_steps", 20_000)
+
+    def test_machine_charges_machine_steps(self):
+        expr = parse_program(SPIN)
+        with _limits.budget_scope(_limits.Budget(machine_steps=20_000)):
+            with pytest.raises(_limits.BudgetExceeded) as err:
+                machine_eval(expr)
+        assert err.value.resource == "machine_steps"
+
+    def test_exhausted_codegen_leaves_no_cache_entry(self):
+        """Deadline death inside ``compile_program`` must not populate
+        the codegen cache — a rerun with a fresh budget gets a miss and
+        a complete compilation, not a half-written entry."""
+        from repro.units.cache import PYCODE_CACHE
+
+        expr = parse_program(SPIN)
+        check_program(expr, strict_valuable=False)
+        with unit_cache_scope():
+            with _limits.budget_scope(_limits.Budget(deadline_s=0.0)):
+                with pytest.raises(_limits.BudgetExceeded):
+                    backend.compile_program(expr)
+            assert len(PYCODE_CACHE) == 0
+            # A healthy budget afterwards compiles and runs fine.
+            with _limits.budget_scope(_limits.Budget(eval_steps=10_000)):
+                with pytest.raises(_limits.BudgetExceeded) as err:
+                    backend.compile_program(expr).run()
+            assert err.value.resource == "eval_steps"
+            assert len(PYCODE_CACHE) == 1

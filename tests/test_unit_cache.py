@@ -314,6 +314,87 @@ class TestLinkDiskCache:
         assert entry.read_text(encoding="utf-8") != "(+ 1 2)"
 
 
+PROGRAM_SRC = ("(invoke (unit (import) (export)"
+               " (define f (lambda (x) (* x x))) (f 7)))")
+
+
+class TestPycodeCache:
+    """The codegen cache: generated Python under ``v1-tk1/pycode/``.
+
+    Same contract as every other store — strictly scoped, corrupt
+    entries are misses that get unlinked, the layout is schema
+    versioned — plus one of its own: an entry must hold a compilable
+    module that defines ``_main``, or it is treated as corrupt."""
+
+    def _run(self):
+        from repro import backend
+
+        expr = parse_program(PROGRAM_SRC)
+        return backend.compile_program(expr).run()
+
+    def _pycode_events(self, col, kind):
+        return [e for e in _cache_events(col, kind)
+                if e.fields.get("cache") == "pycode"]
+
+    def test_round_trip_across_scopes(self, tmp_path):
+        with unit_cache_scope(disk_dir=tmp_path):
+            value, output = self._run()
+        entries = list(tmp_path.rglob("*.py"))
+        assert entries, "pycode disk tier wrote nothing"
+        with unit_cache_scope(disk_dir=tmp_path), obs.collecting() as col:
+            revalue, reoutput = self._run()
+        hits = self._pycode_events(col, "cache.hit")
+        assert [e.fields["tier"] for e in hits] == ["disk"]
+        assert not self._pycode_events(col, "cache.miss")
+        assert (revalue, reoutput) == (value, output)
+
+    def test_memory_tier_hits_within_scope(self):
+        with unit_cache_scope(), obs.collecting() as col:
+            first = self._run()
+            second = self._run()
+        assert second == first
+        hits = self._pycode_events(col, "cache.hit")
+        assert [e.fields["tier"] for e in hits] == ["memory"]
+        assert len(self._pycode_events(col, "cache.miss")) == 1
+
+    def test_corrupt_entry_is_a_miss_and_unlinked(self, tmp_path):
+        with unit_cache_scope(disk_dir=tmp_path):
+            value, _ = self._run()
+        entry = next(tmp_path.rglob("*.py"))
+        entry.write_text("def broken(", encoding="utf-8")
+        with unit_cache_scope(disk_dir=tmp_path), obs.collecting() as col:
+            revalue, _ = self._run()
+        assert [e.fields["cache"] for e in
+                _cache_events(col, "cache.miss")] == ["pycode"]
+        assert not _cache_events(col, "cache.hit")
+        assert revalue == value
+        # The corrupt entry was unlinked and replaced by the miss's
+        # write: what is on disk now compiles.
+        compile(entry.read_text(encoding="utf-8"), str(entry), "exec")
+
+    def test_truncated_entry_without_main_is_also_corrupt(self, tmp_path):
+        """A parseable module that lost its ``_main`` (a torn write
+        that still happens to be valid Python) must be discarded, not
+        loaded."""
+        with unit_cache_scope(disk_dir=tmp_path):
+            value, _ = self._run()
+        entry = next(tmp_path.rglob("*.py"))
+        entry.write_text("x = 1\n", encoding="utf-8")
+        with unit_cache_scope(disk_dir=tmp_path), obs.collecting() as col:
+            revalue, _ = self._run()
+        assert [e.fields["cache"] for e in
+                _cache_events(col, "cache.miss")] == ["pycode"]
+        assert revalue == value
+        assert entry.read_text(encoding="utf-8") != "x = 1\n"
+
+    def test_versioned_layout(self, tmp_path):
+        with unit_cache_scope(disk_dir=tmp_path):
+            self._run()
+        entry = next(tmp_path.rglob("*.py"))
+        assert entry.parent.name == "pycode"
+        assert entry.parent.parent.name == f"v1-{terms.SCHEMA}"
+
+
 class TestParseCache:
     def test_repeated_retrieval_parses_once(self):
         archive = UnitArchive()
