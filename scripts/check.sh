@@ -19,7 +19,13 @@
 # against the same cache dir misses the codegen store, or if the
 # batch-isolation smoke (one good, one looping, one ill-typed
 # program) does not yield exactly the expected records and
-# limit.exceeded trace event (docs/ROBUSTNESS.md).
+# limit.exceeded trace event (docs/ROBUSTNESS.md), if the link-server
+# smoke (a real daemon, 8 concurrent mixed requests including one
+# chaos-injected failure and one over-budget item) degrades any
+# healthy request or drops events, if the server fails to drain
+# cleanly on SIGTERM, if `metrics report` rejects a live-server
+# metrics envelope, or if the chaos sweep's differential assertions
+# fail (docs/SERVING.md).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -215,5 +221,86 @@ assert kinds.count("limit.exceeded") == 1, \
     f"expected one limit.exceeded event, got {kinds.count('limit.exceeded')}"
 print(f"batch ok: 1 ok, 2 failure records, limit.exceeded traced")
 EOF
+
+echo "==> smoke: link server (8 concurrent mixed requests, SIGTERM drain)"
+serve_dir="$(mktemp -d)"
+trap 'rm -f "$trace_file" "$metrics_file" "$bench_out" "$bench_snap" \
+    "$pycode_trace" "$batch_records" "$batch_trace"; \
+    rm -rf "$pycode_cache_dir" "$batch_dir" "$serve_dir"' EXIT
+python -m repro serve --port-file "$serve_dir/port" --allow-chaos \
+    --workers 4 --deadline 30 > "$serve_dir/log" 2>&1 &
+serve_pid=$!
+
+python - "$serve_dir/port" "$serve_dir/metrics.json" <<'EOF'
+import json
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.serve.client import ServeClient, read_port_file
+
+port = read_port_file(sys.argv[1], timeout_s=30)
+GOOD = ("(invoke (unit (import) (export g)"
+        " (define g (lambda (n) (* n 7))) (g 6)))")
+LOOP = "(letrec ((spin (lambda (n) (spin (+ n 1))))) (spin 0))"
+
+# Eight concurrent requests: six healthy across ops/backends, one
+# with an injected poison fault, one that exhausts its step budget.
+requests = [
+    {"op": "run", "source": GOOD},
+    {"op": "run", "source": GOOD, "backend": "interp"},
+    {"op": "run", "source": GOOD, "backend": "machine"},
+    {"op": "run", "source": GOOD, "archive": True},
+    {"op": "check", "source": GOOD},
+    {"op": "link", "source": GOOD},
+    {"op": "run", "source": GOOD, "archive": True, "chaos": ["poison"]},
+    {"op": "run", "source": LOOP, "eval_steps": 5000},
+]
+
+def send(fields):
+    fields = dict(fields)
+    op = fields.pop("op")
+    with ServeClient("127.0.0.1", port) as client:
+        return client.request(op, **fields)
+
+with ThreadPoolExecutor(max_workers=len(requests)) as pool:
+    responses = list(pool.map(send, requests))
+
+# Every healthy request succeeded despite the chaotic neighbours.
+for fields, resp in zip(requests[:6], responses[:6]):
+    assert resp["status"] == "ok", (fields, resp)
+    if fields["op"] == "run":
+        assert resp["value"] == "42", (fields, resp)
+poisoned, exhausted = responses[6], responses[7]
+assert poisoned["status"] == "error", poisoned
+assert poisoned["error"]["type"] == "ArchiveError", poisoned
+assert exhausted["status"] == "error", exhausted
+assert exhausted["error"]["type"] == "BudgetExceeded", exhausted
+assert exhausted["error"]["code"] == 3, exhausted
+
+with ServeClient("127.0.0.1", port) as client:
+    envelope = client.request("metrics")
+snap = envelope["metrics"]
+assert snap["counters"]["serve.requests"] == len(requests), \
+    snap["counters"]
+assert snap["dropped"] == 0, "server dropped trace events"
+json.dump(envelope, open(sys.argv[2], "w"))
+print(f"serve ok: 6 healthy + 1 chaos + 1 over-budget, "
+      f"{snap['counters']['serve.requests']} served, 0 dropped")
+EOF
+
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+grep -q "^drained$" "$serve_dir/log" || {
+    echo "server did not drain cleanly on SIGTERM:"
+    cat "$serve_dir/log"
+    exit 1
+}
+echo "serve drain ok: SIGTERM -> drained"
+
+echo "==> smoke: metrics report on the live-server envelope"
+python -m repro metrics report "$serve_dir/metrics.json"
+
+echo "==> smoke: chaos sweep (repro serve --chaos)"
+python -m repro serve --chaos
 
 echo "==> all checks passed"

@@ -92,6 +92,7 @@ def error_payload(err: BaseException) -> dict[str, object]:
 def run_item(path: str | Path, budget: _limits.Budget | None, *,
              lenient: bool = False, retries: int = 0,
              sleep: Callable[[float], None] | None = None,
+             rng: Callable[[], float] | None = None,
              backend: str = "interp",
              ) -> dict[str, object]:
     """Run one program under its own budget; return its record.
@@ -111,7 +112,11 @@ def run_item(path: str | Path, budget: _limits.Budget | None, *,
         "schema": RECORD_SCHEMA,
         "file": str(path),
     }
-    kwargs = {} if sleep is None else {"sleep": sleep}
+    kwargs: dict[str, object] = {}
+    if sleep is not None:
+        kwargs["sleep"] = sleep
+    if rng is not None:
+        kwargs["rng"] = rng
     timings: dict[str, float] = {}
     t_item = time.perf_counter()
     try:
@@ -189,6 +194,7 @@ def run_batch(paths: Iterable[str | Path],
               lenient: bool = False, retries: int = 0,
               fail_fast: bool = False,
               sleep: Callable[[float], None] | None = None,
+              rng: Callable[[], float] | None = None,
               on_record: Callable[[dict[str, object]], None] | None = None,
               registry: "obs.MetricsRegistry | None" = None,
               backend: str = "interp",
@@ -212,7 +218,7 @@ def run_batch(paths: Iterable[str | Path],
         scope = registry.scope() if registry is not None else nullcontext()
         with scope:
             record = run_item(path, make_budget(), lenient=lenient,
-                              retries=retries, sleep=sleep,
+                              retries=retries, sleep=sleep, rng=rng,
                               backend=backend)
         records.append(record)
         if on_record is not None:

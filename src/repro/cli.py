@@ -541,10 +541,98 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     """Benchmark the pipeline cached vs uncached; write the results."""
+    if getattr(args, "serve", False):
+        from repro.serve.loadgen import run_serve_bench
+
+        run_serve_bench(quick=args.quick, out=args.out)
+        return 0
     from repro.bench import run_bench
 
     return run_bench(quick=args.quick, out=args.out,
                      snapshot=args.snapshot, backend=args.backend)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the link-server daemon (or the chaos sweep)."""
+    import os
+
+    if args.chaos:
+        from repro.serve.chaos import run_chaos_sweep
+
+        run_chaos_sweep()
+        return 0
+    from repro.serve.server import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_limit=args.queue_limit,
+        default_deadline_s=args.deadline,
+        max_deadline_s=args.max_deadline,
+        cache_dir=args.cache_dir or os.environ.get("REPRO_CACHE_DIR"),
+        ttl_s=args.ttl, allow_chaos=args.allow_chaos,
+        port_file=args.port_file)
+    return run_server(config)
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """Send one request to a running link server; print the response."""
+    import json
+
+    from repro.serve.client import (ServeClient, ServeError,
+                                    exit_code_for, read_port_file)
+
+    port = args.port
+    if port is None:
+        if not args.port_file:
+            print("client: need --port or --port-file", file=sys.stderr)
+            return 2
+        try:
+            port = read_port_file(args.port_file)
+        except ServeError as err:
+            # Transport failures are retryable (exit 2), not a bug.
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+    fields: dict[str, object] = {}
+    if args.op in ("check", "link", "run"):
+        if args.file:
+            source = Path(args.file).read_text()
+            fields["origin"] = args.file
+        else:
+            source = sys.stdin.read()
+            fields["origin"] = "<stdin>"
+        fields["source"] = source
+        fields["backend"] = args.backend
+        if args.lenient:
+            fields["lenient"] = True
+        if args.archive:
+            fields["archive"] = True
+        if args.retries:
+            fields["retries"] = args.retries
+        if args.eval_steps is not None:
+            fields["eval_steps"] = args.eval_steps
+        if args.chaos:
+            fields["chaos"] = args.chaos.split(",")
+        if args.chaos_slow is not None:
+            fields["chaos_slow_s"] = args.chaos_slow
+    if args.deadline is not None:
+        fields["deadline_s"] = args.deadline
+    if args.op == "invalidate":
+        if not args.digest:
+            print("client: invalidate needs --digest", file=sys.stderr)
+            return 2
+        fields["digest"] = args.digest
+    try:
+        with ServeClient(args.host, port,
+                         timeout_s=args.timeout) as client:
+            response = client.request(args.op, **fields)
+    except ServeError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    text = json.dumps(response, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+    return exit_code_for(response)
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -742,7 +830,83 @@ def build_parser() -> argparse.ArgumentParser:
                        default="pycode",
                        help="comparison backend for the per-case eval "
                             "column (default: pycode)")
+    bench.add_argument("--serve", action="store_true",
+                       help="load-test an in-process link server instead: "
+                            "cold/warm request latency (p50/p99) and "
+                            "concurrent throughput into the results file "
+                            "under 'serve' (docs/SERVING.md)")
     bench.set_defaults(fn=cmd_bench)
+    serve = sub.add_parser(
+        "serve", help="run the link-server daemon: compile/check/link/run "
+                      "requests over newline-delimited JSON "
+                      "(docs/SERVING.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="port (default 0: ephemeral, announced on "
+                            "stdout)")
+    serve.add_argument("--port-file", metavar="FILE", default=None,
+                       help="also write the bound port to FILE (for "
+                            "scripts)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="worker threads executing requests")
+    serve.add_argument("--queue-limit", type=int, default=16,
+                       help="requests allowed to wait beyond the workers; "
+                            "past that, fast 'overloaded' responses")
+    serve.add_argument("--deadline", type=float, default=10.0,
+                       help="default per-request wall-clock deadline "
+                            "(seconds)")
+    serve.add_argument("--max-deadline", type=float, default=60.0,
+                       help="ceiling on request-supplied deadlines")
+    serve.add_argument("--ttl", type=float, default=None,
+                       help="expire shared-store entries older than this "
+                            "many seconds")
+    serve.add_argument("--allow-chaos", action="store_true",
+                       help="honor request-carried fault injection "
+                            "(tests/CI only)")
+    serve.add_argument("--chaos", action="store_true",
+                       help="run the fault-injection sweep instead of "
+                            "serving: every fault races healthy requests "
+                            "on an in-process server, with differential "
+                            "and store-isolation asserts")
+    serve.set_defaults(fn=cmd_serve)
+    client = sub.add_parser(
+        "client", help="send one request to a running link server")
+    client.add_argument("op", choices=("ping", "metrics", "stats",
+                                       "flush", "invalidate", "check",
+                                       "link", "run"),
+                        help="request op")
+    client.add_argument("file", nargs="?", default=None,
+                        help="program file (check/link/run; stdin when "
+                             "omitted)")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=None)
+    client.add_argument("--port-file", metavar="FILE", default=None,
+                        help="read the port a 'repro serve --port-file' "
+                             "daemon announced")
+    client.add_argument("--backend",
+                        choices=("interp", "machine", "pycode"),
+                        default="pycode")
+    client.add_argument("--lenient", action="store_true")
+    client.add_argument("--archive", action="store_true",
+                        help="round-trip the program's unit through the "
+                             "dynlink archive before evaluating")
+    client.add_argument("--retries", type=int, default=0,
+                        help="archive retry attempts")
+    client.add_argument("--deadline", type=float, default=None,
+                        help="per-request wall-clock deadline (seconds)")
+    client.add_argument("--eval-steps", type=int, default=None,
+                        help="per-request eval step cap")
+    client.add_argument("--chaos", default=None,
+                        help="comma-separated fault names to inject "
+                             "(server must allow chaos)")
+    client.add_argument("--chaos-slow", type=float, default=None,
+                        help="slow-load stall seconds")
+    client.add_argument("--timeout", type=float, default=60.0,
+                        help="socket timeout (seconds)")
+    client.add_argument("--out", metavar="FILE", default=None,
+                        help="also write the response JSON to FILE")
+    client.set_defaults(fn=cmd_client)
     repl = sub.add_parser("repl", help="interactive session")
     repl.set_defaults(fn=cmd_repl)
     figures = sub.add_parser("figures", help="run figure reproductions")

@@ -28,9 +28,11 @@ from pathlib import Path
 
 from repro.lang.errors import ArchiveError
 from repro.lang.parser import parse_program
+from repro.limits import BudgetExceeded
 from repro.lang.pretty import show
 from repro.obs import current as _obs_current
 from repro.obs import span as _obs_span
+from repro.serve import chaos as _chaos
 from repro.types.subtype import sig_subtype
 from repro.types.tyenv import TyEnv
 from repro.types.types import Sig
@@ -166,6 +168,11 @@ class UnitArchive:
         try:
             expr = parse_typed_program(entry.source,
                                        origin=f"<archive:{name}>")
+        except BudgetExceeded:
+            # Exhaustion mid-retrieval keeps its taxonomy (exit 3):
+            # wrapping it as an ArchiveError would make a resource
+            # failure retryable and mislabel it for callers.
+            raise
         except Exception as err:
             raise _fail(name, "parse",
                         f"archive entry '{name}' failed to parse: {err}",
@@ -177,6 +184,8 @@ class UnitArchive:
         check_env = env if env is not None else base_tyenv()
         try:
             actual = check_typed_unit(expr, check_env, strict_valuable)
+        except BudgetExceeded:
+            raise
         except Exception as err:
             raise _fail(name, "check",
                         f"archive entry '{name}' failed to type-check in "
@@ -214,6 +223,8 @@ class UnitArchive:
             expr = _cache.cached_parse(
                 origin + "\x00" + entry.source,
                 lambda: parse_program(entry.source, origin=origin))
+        except BudgetExceeded:
+            raise
         except Exception as err:
             raise _fail(name, "parse",
                         f"archive entry '{name}' failed to parse: {err}",
@@ -224,6 +235,8 @@ class UnitArchive:
                         loc=getattr(expr, "loc", None))
         try:
             check_unit(expr, strict_valuable)
+        except BudgetExceeded:
+            raise
         except Exception as err:
             raise _fail(name, "check",
                         f"archive entry '{name}' failed checking: {err}",
@@ -242,10 +255,18 @@ class UnitArchive:
         return expr
 
     def _lookup(self, name: str) -> ArchiveEntry:
+        if _chaos._armed:
+            _chaos.slow_load(f"archive:{name}")
         entry = self._entries.get(name)
         if entry is None:
             raise _fail(name, "lookup",
                         f"no archive entry named '{name}'")
+        if _chaos._armed:
+            source = _chaos.poison(f"archive:{name}", entry.source)
+            if source is not entry.source:
+                entry = ArchiveEntry(name=entry.name, source=source,
+                                     typed=entry.typed,
+                                     declared_sig=entry.declared_sig)
         return entry
 
     # -- persistence ----------------------------------------------------------

@@ -17,6 +17,7 @@ value.
 
 from __future__ import annotations
 
+import random
 import time
 from typing import Callable, TypeVar
 
@@ -137,7 +138,8 @@ _T = TypeVar("_T")
 
 def load_with_retry(fn: Callable[[], _T], retries: int = 0,
                     backoff_s: float = 0.05,
-                    sleep: Callable[[float], None] = time.sleep) -> _T:
+                    sleep: Callable[[float], None] = time.sleep,
+                    rng: Callable[[], float] = random.random) -> _T:
     """Run an archive-load action, retrying transient failures.
 
     ``fn`` is any zero-argument load action (typically a closure over
@@ -150,8 +152,20 @@ def load_with_retry(fn: Callable[[], _T], retries: int = 0,
     retrying cannot help a typed rejection and must not help a
     resource exhaustion escape its budget.
 
-    ``sleep`` is injectable so tests (and the batch driver's dry runs)
-    can retry without waiting.
+    Each backoff carries ±25% jitter (drawn from ``rng``), so N
+    loaders that failed together — concurrent server requests behind
+    one slow source — retry spread out instead of as a thundering
+    herd.  Under an ambient :class:`~repro.limits.Budget` wall-clock
+    deadline, a backoff never sleeps past the time remaining: the
+    delay is capped at the budget's
+    :meth:`~repro.limits.Budget.deadline_remaining`, and when nothing
+    remains the deadline check raises *before* a pointless sleep, so
+    retries can no longer overshoot the deadline by up to a whole
+    backoff.
+
+    ``sleep`` and ``rng`` are injectable so tests (and the batch
+    driver's dry runs) can retry without waiting and assert jitter
+    bounds deterministically.
     """
     attempt = 0
     while True:
@@ -165,5 +179,13 @@ def load_with_retry(fn: Callable[[], _T], retries: int = 0,
         except ArchiveError:
             if attempt >= retries:
                 raise
-            sleep(backoff_s * (2 ** attempt))
+            delay = backoff_s * (2 ** attempt)
+            delay *= 1.0 + 0.25 * (2.0 * rng() - 1.0)
+            if budget is not None:
+                remaining = budget.deadline_remaining()
+                if remaining is not None:
+                    if remaining <= 0.0:
+                        budget.check_deadline()
+                    delay = min(delay, remaining)
+            sleep(delay)
             attempt += 1

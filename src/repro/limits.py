@@ -242,6 +242,15 @@ class Budget:
             used = round(self.deadline_s + (time.monotonic() - at), 6)
             self._exhaust("deadline", self.deadline_s, used, loc)
 
+    def deadline_remaining(self) -> float | None:
+        """Wall-clock seconds left, or ``None`` when no deadline is
+        armed.  Never negative: an expired deadline reads as ``0.0``
+        (the next :meth:`check_deadline` raises)."""
+        at = self._deadline_at
+        if at is None:
+            return None
+        return max(0.0, at - time.monotonic())
+
     # -- introspection --------------------------------------------------
 
     def spent(self) -> dict[str, int]:

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 #: ``cache`` field of a ``cache.*`` event names the store (``compile``,
 #: ``check``, ``link``, ``dynlink``).
 FAMILIES = ("check", "link", "reduce", "unit", "dynlink", "cache",
-            "limit", "stage", "metric", "pycode")
+            "limit", "stage", "metric", "pycode", "serve")
 
 #: Field names reserved by the span layer (instrumentation sites must
 #: not use these for their own payload keys).
@@ -87,6 +87,10 @@ KINDS: dict[str, str] = {
     "pycode.codegen": "a program was lowered to Python source and "
                       "compiled (span; fires on cache hits too)",
     "pycode.exec": "a compiled program's _main ran against a Runtime",
+    # The link server (repro.serve)
+    "serve.request": "one server request executed in a worker thread "
+                     "(span; status/op attached)",
+    "serve.chaos": "a fault-injection hook fired (fault/site attached)",
 }
 
 #: Registered gauge families: last-value instruments recorded via
@@ -100,6 +104,8 @@ GAUGES: dict[str, str] = {
     "cache.occupancy": "entries resident in a named unit cache",
     "budget.headroom": "fraction of a budget resource still unspent "
                        "when its scope closed",
+    "serve.inflight": "requests currently executing in the link "
+                      "server's worker pool",
 }
 
 

@@ -558,14 +558,20 @@ class PeriodicSnapshots:
 def load_snapshot(path: str | Path) -> dict[str, object]:
     """Read a metrics snapshot file, rejecting unknown schemas.
 
-    Accepts ``metrics1`` files and the schema-less collector metrics
+    Accepts ``metrics1`` files, the schema-less collector metrics
     shape older snapshots used (anything that is one JSON object with
-    a ``counters`` key).
+    a ``counters`` key), and the link server's response envelope — a
+    ``repro client metrics`` capture, whose snapshot rides under a
+    ``"metrics"`` key — so serve-mode percentiles feed the same
+    ``report``/``diff`` gates as file snapshots.
     """
     try:
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
     except json.JSONDecodeError as err:
         raise ValueError(f"{path}: not JSON: {err}") from err
+    if isinstance(payload, dict) and "counters" not in payload \
+            and isinstance(payload.get("metrics"), dict):
+        payload = payload["metrics"]
     if not isinstance(payload, dict) or "counters" not in payload:
         raise ValueError(f"{path}: not a metrics snapshot "
                          f"(no 'counters' object)")

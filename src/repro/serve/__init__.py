@@ -1,0 +1,20 @@
+"""The ``repro serve`` link server.
+
+A persistent process over the content-addressed stores: an asyncio
+daemon (:mod:`repro.serve.server`) accepts compile/check/link/run
+requests over a newline-delimited-JSON socket protocol
+(:mod:`repro.serve.protocol`), executes each in a worker thread under
+its own budget and telemetry scope (:mod:`repro.serve.handlers`), and
+shares one long-lived, concurrency-safe
+:class:`repro.units.cache.CacheStore` across requests.
+:mod:`repro.serve.chaos` is the fault-injection layer the robustness
+story is proven against; :mod:`repro.serve.client` is the scripting
+client; :mod:`repro.serve.loadgen` is the ``repro bench --serve`` load
+generator.  See ``docs/SERVING.md``.
+
+This package ``__init__`` stays import-light on purpose: the unit-core
+modules (``units/cache.py``, ``dynlink/archive.py``,
+``units/reduce.py``) import :mod:`repro.serve.chaos` for their guarded
+fault hooks, so pulling the asyncio server machinery in here would
+put an event loop import on every CLI invocation's path.
+"""

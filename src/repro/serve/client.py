@@ -1,0 +1,110 @@
+"""A synchronous client for the ``serve1`` protocol.
+
+:class:`ServeClient` is deliberately tiny — a socket, a buffered
+line reader, JSON in and out — so scripts, tests, and the load
+generator can talk to a server without touching asyncio.  One client
+holds one connection and keeps one request in flight; for concurrency,
+open one client per thread (connections are cheap, and the server
+pipelines across connections anyway).
+
+``repro client`` is the command-line face: one request per
+invocation, response JSON on stdout, and an exit code following the
+response status (0 for ``ok``, 3 for a budget-exhaustion error, 1
+for any other error, 2 for ``overloaded``/``shutting-down`` — the
+retryable statuses get their own code so scripts can distinguish
+"try later" from "your program is wrong").
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+
+
+class ServeError(RuntimeError):
+    """The transport failed (connection refused, dropped, bad frame)."""
+
+
+class ServeClient:
+    """One connection, one request in flight at a time."""
+
+    def __init__(self, host: str, port: int, *,
+                 timeout_s: float | None = 60.0):
+        try:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=timeout_s)
+        except OSError as err:
+            raise ServeError(
+                f"cannot connect to {host}:{port}: {err}") from err
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    def request(self, op: str, **fields: object) -> dict[str, object]:
+        """Send one request; block for its response."""
+        self._next_id += 1
+        payload: dict[str, object] = {"id": self._next_id, "op": op}
+        payload.update(fields)
+        line = json.dumps(payload, separators=(",", ":")) + "\n"
+        try:
+            self._file.write(line.encode("utf-8"))
+            self._file.flush()
+            raw = self._file.readline()
+        except OSError as err:
+            raise ServeError(f"connection lost: {err}") from err
+        if not raw:
+            raise ServeError("server closed the connection")
+        try:
+            response = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as err:
+            raise ServeError(f"bad response frame: {err}") from err
+        if not isinstance(response, dict):
+            raise ServeError("response is not a JSON object")
+        return response
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_port_file(path: str | Path, *,
+                   timeout_s: float = 10.0) -> int:
+    """Poll a ``--port-file`` until the server has written its port."""
+    import time
+
+    deadline = time.monotonic() + timeout_s
+    path = Path(path)
+    while True:
+        try:
+            text = path.read_text().strip()
+            if text:
+                return int(text)
+        except (OSError, ValueError):
+            pass
+        if time.monotonic() > deadline:
+            raise ServeError(f"no port in {path} after {timeout_s}s")
+        time.sleep(0.02)
+
+
+def exit_code_for(response: dict[str, object]) -> int:
+    """Map a response to the CLI exit taxonomy."""
+    status = response.get("status")
+    if status == "ok":
+        return 0
+    if status in ("overloaded", "shutting-down"):
+        return 2
+    error = response.get("error")
+    if isinstance(error, dict):
+        code = error.get("code")
+        if isinstance(code, int):
+            return code
+    return 1

@@ -1,0 +1,165 @@
+"""The ``repro bench --serve`` load generator.
+
+Measures the link server the way a client feels it: end-to-end
+request latency over the socket, cold (store flushed before every
+request) versus warm (the shared store primed), plus sustained
+concurrent throughput.  Results merge into ``BENCH_results.json``
+under a ``"serve"`` key so the serving numbers live next to the
+pipeline benches they explain.
+
+Latency percentiles are computed exactly (sorted samples), not from
+histogram buckets — the sample counts are small enough that bucket
+quantization would dominate the p99.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeConfig, ServerThread
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    xs = sorted(samples)
+    index = min(len(xs) - 1, max(0, round(q * (len(xs) - 1))))
+    return xs[index]
+
+
+def _summary(samples: list[float]) -> dict[str, float]:
+    return {
+        "count": len(samples),
+        "p50_ms": round(_percentile(samples, 0.50) * 1e3, 3),
+        "p99_ms": round(_percentile(samples, 0.99) * 1e3, 3),
+    }
+
+
+def _timed_request(client: ServeClient,
+                   fields: dict[str, object]) -> float:
+    t = time.perf_counter()
+    response = client.request(**fields)
+    elapsed = time.perf_counter() - t
+    if response.get("status") != "ok":
+        raise RuntimeError(f"bench request failed: {response}")
+    return elapsed
+
+
+def run_serve_bench(quick: bool = False,
+                    out: str | Path = "BENCH_results.json"
+                    ) -> dict[str, object]:
+    """Drive an in-process server; return (and merge) the results.
+
+    Cases are the bench corpus's sharing/chain programs.  ``cold``
+    sends ``flush`` before each timed ``run`` request, so every
+    request re-parses, re-checks, re-links, and re-generates code;
+    ``warm`` repeats the identical request against the primed store.
+    ``throughput`` hammers the warm server from 8 concurrent
+    connections and reports requests/second plus the latency
+    distribution under that contention.
+    """
+    from repro.bench import chain_program, sharing_program
+    from repro.lang.pretty import show
+    from repro.limits import python_recursion_headroom
+
+    cold_repeats = 2 if quick else 3
+    warm_repeats = 8 if quick else 20
+    clients = 4 if quick else 8
+    per_client = 5 if quick else 15
+
+    with python_recursion_headroom(40000):
+        cases = {
+            ("serve-sharing-016" if quick else "serve-sharing-032"):
+                show(sharing_program(16 if quick else 32)),
+            ("serve-chain-032" if quick else "serve-chain-064"):
+                show(chain_program(32 if quick else 64)),
+        }
+        config = ServeConfig(workers=4,
+                             queue_limit=clients * per_client,
+                             default_deadline_s=120.0,
+                             max_deadline_s=300.0)
+        results: dict[str, object] = {}
+        with ServerThread(config) as st:
+            for name, source in cases.items():
+                fields = {"op": "run", "source": source,
+                          "backend": "pycode"}
+                with ServeClient(st.host, st.port,
+                                 timeout_s=300.0) as client:
+                    cold = []
+                    for _ in range(cold_repeats):
+                        client.request("flush")
+                        cold.append(_timed_request(client, fields))
+                    warm = [_timed_request(client, fields)
+                            for _ in range(warm_repeats)]
+                case = {
+                    "cold": _summary(cold),
+                    "warm": _summary(warm),
+                    "p50_speedup": round(
+                        _percentile(cold, 0.50)
+                        / max(_percentile(warm, 0.50), 1e-9), 1),
+                }
+                results[name] = case
+
+            # Throughput: concurrent clients over the warm store,
+            # smallest case (contention, not single-request cost).
+            source = next(iter(cases.values()))
+            fields = {"op": "run", "source": source,
+                      "backend": "pycode"}
+            latencies: list[float] = []
+            lock = threading.Lock()
+
+            def worker() -> None:
+                with ServeClient(st.host, st.port,
+                                 timeout_s=300.0) as client:
+                    mine = [_timed_request(client, fields)
+                            for _ in range(per_client)]
+                with lock:
+                    latencies.extend(mine)
+
+            threads = [threading.Thread(target=worker)
+                       for _ in range(clients)]
+            t_wall = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - t_wall
+            total = clients * per_client
+            throughput = dict(_summary(latencies))
+            throughput.update({
+                "clients": clients,
+                "requests": total,
+                "wall_s": round(wall, 3),
+                "rps": round(total / wall, 1),
+            })
+
+    payload = {
+        "schema": "serve-bench1",
+        "quick": quick,
+        "workers": config.workers,
+        "cases": results,
+        "throughput": throughput,
+    }
+    out = Path(out)
+    merged: dict[str, object] = {}
+    if out.exists():
+        try:
+            merged = json.loads(out.read_text(encoding="utf-8"))
+        except ValueError:
+            merged = {}
+    if not isinstance(merged, dict):
+        merged = {}
+    merged["serve"] = payload
+    out.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    for name, case in results.items():
+        print(f"{name}: cold p50 {case['cold']['p50_ms']}ms -> warm "
+              f"p50 {case['warm']['p50_ms']}ms "
+              f"({case['p50_speedup']}x); "
+              f"p99 warm {case['warm']['p99_ms']}ms")
+    print(f"throughput: {throughput['rps']} req/s over "
+          f"{throughput['clients']} clients "
+          f"(p50 {throughput['p50_ms']}ms, p99 {throughput['p99_ms']}ms)")
+    return payload

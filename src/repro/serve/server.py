@@ -1,0 +1,329 @@
+"""The asyncio link-server daemon.
+
+Architecture: one event loop owns the sockets and all admission
+state; pipeline requests execute in a bounded worker-thread pool
+(:func:`repro.serve.handlers.execute_request` re-enters every scope
+inside the thread).  The loop therefore never blocks on unit-language
+work, and all mutation of admission counters happens on the loop —
+no locks beyond the cache store's own.
+
+Robustness properties (chaos-tested; see ``docs/SERVING.md``):
+
+* **Admission control** — at most ``workers`` requests execute while
+  ``queue_limit`` more wait; anything beyond that is shed immediately
+  with an ``overloaded`` response (bounded queue, bounded latency;
+  counted as ``serve.overloaded``).
+* **Per-request isolation** — each request runs under its own budget,
+  collector scope, and (optional) chaos plan; the only shared state
+  is the lock-protected :class:`~repro.units.cache.CacheStore`.
+* **Graceful drain** — SIGTERM/SIGINT stop the listener, in-flight
+  requests finish, queued-but-unread lines and new requests are
+  answered ``shutting-down`` (counted as ``serve.rejected``), then
+  the process exits.
+
+Connections are pipelined: a client may send many request lines
+without waiting; responses carry the request ``id`` and may complete
+out of order (a per-connection write lock keeps the frames intact).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro import obs
+from repro.serve import protocol as _protocol
+from repro.serve.handlers import execute_request
+from repro.units.cache import CacheStore
+
+
+@dataclass
+class ServeConfig:
+    """Everything a server instance needs to know at startup."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port is announced
+    workers: int = 4
+    queue_limit: int = 16
+    default_deadline_s: float = 10.0
+    max_deadline_s: float | None = 60.0
+    cache_dir: str | None = None
+    ttl_s: float | None = None
+    allow_chaos: bool = False
+    port_file: str | None = None
+
+    @property
+    def admission_limit(self) -> int:
+        return self.workers + self.queue_limit
+
+
+class LinkServer:
+    """One daemon: listener + worker pool + shared cache store."""
+
+    def __init__(self, config: ServeConfig, *,
+                 registry: "obs.MetricsRegistry | None" = None,
+                 store: CacheStore | None = None):
+        self.config = config
+        self.registry = registry if registry is not None \
+            else obs.MetricsRegistry()
+        self.store = store if store is not None else CacheStore(
+            config.cache_dir, thread_safe=True, ttl_s=config.ttl_s)
+        self.port: int | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._inflight: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._active = 0
+        self._draining = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> "LinkServer":
+        self._shutdown = asyncio.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-serve")
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.port_file:
+            Path(self.config.port_file).write_text(f"{self.port}\n")
+        return self
+
+    def request_shutdown(self) -> None:
+        """Begin draining (idempotent; signal handlers land here)."""
+        self._draining = True
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until SIGTERM/SIGINT (or :meth:`request_shutdown`),
+        then drain."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                # Not the main thread (tests) or platform without
+                # signal support; request_shutdown still works.
+                pass
+        await self._shutdown.wait()
+        await self.drain()
+
+    async def drain(self) -> None:
+        """Stop accepting, let in-flight requests finish, shut the
+        pool down."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight),
+                                 return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        # Hang up on idle connections so their handler tasks finish
+        # before the loop tears down (every response already went out).
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except OSError:
+                pass
+        await asyncio.sleep(0)
+
+    # -- the connection loop --------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        self._writers.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.create_task(
+                    self._handle_line(line, writer, write_lock))
+                for bag in (tasks, self._inflight):
+                    bag.add(task)
+                task.add_done_callback(tasks.discard)
+                task.add_done_callback(self._inflight.discard)
+        finally:
+            self._writers.discard(writer)
+            # The loop may be tearing down (drain closed this
+            # connection); finish cleanup without re-raising the
+            # cancellation into asyncio's stream callback.
+            try:
+                if tasks:
+                    await asyncio.gather(*list(tasks),
+                                         return_exceptions=True)
+                writer.close()
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+    async def _handle_line(self, line: bytes,
+                           writer: asyncio.StreamWriter,
+                           write_lock: asyncio.Lock) -> None:
+        request_id: object = None
+        try:
+            obj = json.loads(line.decode("utf-8"))
+            if isinstance(obj, dict):
+                request_id = obj.get("id")
+            req = _protocol.validate_request(obj)
+        except (ValueError, UnicodeDecodeError) as err:
+            response = _protocol.bad_request_response(request_id,
+                                                      str(err))
+            await self._send(writer, write_lock, response)
+            return
+        response = await self._route(req)
+        await self._send(writer, write_lock, response)
+
+    async def _route(self, req: dict[str, object]) -> dict[str, object]:
+        request_id = req.get("id")
+        if self._draining:
+            self.registry.count("serve.rejected")
+            return _protocol.shutting_down_response(request_id)
+        if req["op"] in _protocol.CONTROL_OPS:
+            return self._control(req)
+        # Admission: shed instead of queueing unboundedly.
+        if self._active >= self.config.admission_limit:
+            self.registry.count("serve.overloaded")
+            return _protocol.overloaded_response(request_id)
+        self._active += 1
+        self.registry.count("serve.requests")
+        self.registry.gauge("serve.inflight", self._active)
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(
+                self._pool, execute_request, req, self.store,
+                self.registry, self.config)
+        except Exception as err:  # a server bug, not a request failure
+            self.registry.count("serve.internal_error")
+            return _protocol.error_response(request_id, err)
+        finally:
+            self._active -= 1
+            self.registry.gauge("serve.inflight", self._active)
+
+    def _control(self, req: dict[str, object]) -> dict[str, object]:
+        """Cheap ops the loop answers inline (no budget, no worker)."""
+        request_id = req.get("id")
+        op = req["op"]
+        if op == "ping":
+            return _protocol.ok_response(request_id, value="pong")
+        if op == "metrics":
+            return _protocol.ok_response(
+                request_id, metrics=self.registry.snapshot())
+        if op == "stats":
+            return _protocol.ok_response(
+                request_id, occupancy=self.store.occupancy(),
+                inflight=self._active)
+        if op == "flush":
+            self.store.clear()
+            return _protocol.ok_response(request_id, value="flushed")
+        # op == "invalidate"
+        removed = self.store.invalidate(req["digest"])
+        return _protocol.ok_response(request_id, removed=removed)
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    write_lock: asyncio.Lock,
+                    response: dict[str, object]) -> None:
+        data = json.dumps(response, separators=(",", ":")) + "\n"
+        async with write_lock:
+            try:
+                writer.write(data.encode("utf-8"))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; its request still completed
+
+
+def run_server(config: ServeConfig) -> int:
+    """Blocking entry point for ``repro serve``."""
+
+    async def main() -> None:
+        server = LinkServer(config)
+        await server.start()
+        print(f"serving on {config.host}:{server.port}", flush=True)
+        await server.serve_until_shutdown()
+        print("drained", flush=True)
+
+    asyncio.run(main())
+    return 0
+
+
+class ServerThread:
+    """An in-process server for tests, the chaos sweep, and the load
+    generator: the event loop runs in a daemon thread, the caller gets
+    ``host``/``port`` once the listener is bound.
+
+    Use as a context manager; exit requests shutdown and joins through
+    the full drain, so in-flight work finishes before the block ends.
+    """
+
+    def __init__(self, config: ServeConfig, *,
+                 registry: "obs.MetricsRegistry | None" = None,
+                 store: CacheStore | None = None):
+        self._config = config
+        self._registry = registry
+        self._store = store
+        self._ready = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._error: BaseException | None = None
+        self.server: LinkServer | None = None
+        self.port: int | None = None
+
+    @property
+    def host(self) -> str:
+        return self._config.host
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve-loop")
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server thread never became ready")
+        if self._error is not None:
+            raise RuntimeError("server failed to start") from self._error
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as err:
+            self._error = err
+            self._ready.set()
+
+    async def _main(self) -> None:
+        server = LinkServer(self._config, registry=self._registry,
+                            store=self._store)
+        await server.start()
+        self.server = server
+        self.port = server.port
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await server._shutdown.wait()
+        await server.drain()
+
+    def stop(self) -> None:
+        if self._loop is not None and self.server is not None:
+            self._loop.call_soon_threadsafe(self.server.request_shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+            if self._thread.is_alive():
+                raise RuntimeError("server thread failed to drain")
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -4,7 +4,8 @@ Units are syntax, and structurally identical syntax compiles, checks,
 and links identically — so the Figure 12 compiler, the Figure 10
 checker, the Figure 11 compound merge, and the dynamic-linking archive
 can reuse results keyed by the stable
-:func:`repro.lang.terms.term_key` digest.  Four stores live here:
+:func:`repro.lang.terms.term_key` digest.  Six stores live in a
+:class:`CacheStore`:
 
 * the **compile cache** — ``term_key(unit-form) -> compiled core
   expression`` (compiled code is closed over its generated names, so a
@@ -27,15 +28,41 @@ can reuse results keyed by the stable
   re-walked;
 * the **parse cache** — ``sha256(source) -> unit syntax`` for archive
   retrievals, so repeatedly loading the same serialized unit parses
-  once.
+  once;
+* the **codegen (pycode) cache** and the **flatten memo** — see their
+  sections below.
 
-Scoping: the caches are **inactive by default** and enabled per scope
-with :func:`unit_cache_scope` — the CLI wraps each invocation in a
-fresh scope (one invocation behaves like one process), benches and
-tests open their own.  This keeps library semantics and trace-event
-counts bit-for-bit stable for any caller that did not opt in.
-``--no-term-cache`` (the :mod:`repro.lang.terms` switch) also disables
-them.
+Scoping: the caches are **inactive by default** and enabled per scope.
+:func:`unit_cache_scope` creates a *fresh* :class:`CacheStore` for the
+dynamic extent of the block — the CLI wraps each invocation in one
+(one invocation behaves like one process), benches and tests open
+their own.  :func:`cache_store_scope` instead installs an *existing*
+store, which is how ``repro serve`` shares one long-lived,
+concurrency-safe store across requests: the daemon constructs a
+``CacheStore(thread_safe=True, ttl_s=...)`` once and every worker
+thread enters ``cache_store_scope(store)`` for its request.  Scoping
+is :mod:`contextvars`-based, so concurrent requests each see exactly
+the store their scope installed and a library caller can never observe
+another caller's cache state.  ``--no-term-cache`` (the
+:mod:`repro.lang.terms` switch) also disables them.
+
+Concurrency: a ``thread_safe`` store guards each in-memory LRU with a
+lock and the disk tiers with striped per-digest locks.  No lock is
+ever held across a ``compute()`` callback, so two racing misses on the
+same key may both compute (a benign stampede — the values are
+structurally identical and last-put wins); what the locks rule out is
+*torn state*: a reader never observes a half-updated LRU, a
+half-written disk entry (writes go to a unique temp file and
+``os.replace`` into place), or a concurrent unlink-on-corrupt.
+
+Eviction and invalidation: every store is size-bounded (LRU); a
+``ttl_s`` additionally expires entries by age at lookup time (expiry
+emits ``cache.evict`` with ``reason: "ttl"``).
+:meth:`CacheStore.invalidate` removes every entry derived from a given
+``tk1`` digest — memory entries whose key embeds the digest, link-tier
+merges recorded as depending on it, and the digest's disk files — so a
+serving process can drop one unit's results without flushing the
+world.
 
 Every lookup emits exactly one ``cache.hit`` or ``cache.miss`` event
 (guarded, so nothing is built when observability is off) carrying the
@@ -49,17 +76,28 @@ strands old entries instead of misreading them.
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from collections import OrderedDict
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
+from contextvars import ContextVar
 from pathlib import Path
 from typing import Callable, Iterator
 
 from repro.lang import terms as _terms
 from repro.lang.ast import Expr
 from repro.obs import current as _obs_current
+from repro.serve import chaos as _chaos
 
 _MISS = object()
+
+#: Default LRU capacities per store (scaled by ``CacheStore(scale=)``).
+_SIZES = {"compile": 1024, "check": 4096, "link": 1024,
+          "dynlink": 256, "pycode": 256, "flatten": 512}
+
+#: How many stripes the per-digest disk locks are spread over.
+_DIGEST_STRIPES = 64
 
 
 class TermCache:
@@ -67,90 +105,475 @@ class TermCache:
 
     Pure storage: event emission happens in the ``cached_*`` helpers
     below (one event per *logical* lookup, even when a memory miss
-    falls through to the disk tier), except eviction, which only this
-    class can see.
+    falls through to the disk tier), except eviction — size-bound LRU
+    drops and TTL expiries — which only this class can see.
+
+    With a ``lock`` the table is safe for concurrent get/put (the
+    serve store's configuration); with a ``ttl_s`` entries expire by
+    age at lookup time, so a long-lived store sheds stale results even
+    for keys hot enough to survive the LRU.
     """
 
-    def __init__(self, name: str, maxsize: int):
+    def __init__(self, name: str, maxsize: int, *,
+                 lock: "threading.Lock | None" = None,
+                 ttl_s: float | None = None,
+                 clock: Callable[[], float] = time.monotonic):
         self.name = name
         self.maxsize = maxsize
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._lock = lock
         self._table: "OrderedDict[object, object]" = OrderedDict()
+        self._stamps: dict[object, float] | None = \
+            {} if ttl_s is not None else None
 
     def get(self, key: object) -> object:
-        found = self._table.get(key, _MISS)
-        if found is not _MISS:
-            self._table.move_to_end(key)
+        if self._lock is None:
+            found, expired = self._get(key)
+        else:
+            with self._lock:
+                found, expired = self._get(key)
+        if expired:
+            col = _obs_current()
+            if col is not None:
+                col.emit("cache.evict", {"cache": self.name,
+                                         "reason": "ttl"})
+                col.gauge(f"cache.occupancy.{self.name}", len(self._table))
         return found
 
-    def put(self, key: object, value: object) -> None:
-        self._table[key] = value
+    def _get(self, key: object) -> tuple[object, bool]:
+        found = self._table.get(key, _MISS)
+        if found is _MISS:
+            return _MISS, False
+        if self._stamps is not None:
+            stamp = self._stamps.get(key, 0.0)
+            if self._clock() - stamp > self.ttl_s:
+                del self._table[key]
+                self._stamps.pop(key, None)
+                return _MISS, True
         self._table.move_to_end(key)
-        evicted = len(self._table) > self.maxsize
-        if evicted:
-            self._table.popitem(last=False)
+        return found, False
+
+    def put(self, key: object, value: object) -> None:
+        if self._lock is None:
+            evicted = self._put(key, value)
+        else:
+            with self._lock:
+                evicted = self._put(key, value)
         col = _obs_current()
         if col is not None:
             if evicted:
                 col.emit("cache.evict", {"cache": self.name})
             col.gauge(f"cache.occupancy.{self.name}", len(self._table))
 
+    def _put(self, key: object, value: object) -> bool:
+        self._table[key] = value
+        self._table.move_to_end(key)
+        if self._stamps is not None:
+            self._stamps[key] = self._clock()
+        if len(self._table) > self.maxsize:
+            old, _ = self._table.popitem(last=False)
+            if self._stamps is not None:
+                self._stamps.pop(old, None)
+            return True
+        return False
+
+    def delete(self, key: object) -> int:
+        """Drop one entry; returns how many entries were removed."""
+        if self._lock is None:
+            return self._delete(key)
+        with self._lock:
+            return self._delete(key)
+
+    def _delete(self, key: object) -> int:
+        if key in self._table:
+            del self._table[key]
+            if self._stamps is not None:
+                self._stamps.pop(key, None)
+            return 1
+        return 0
+
+    def matching(self, digest: str) -> list[object]:
+        """Keys that embed ``digest`` (directly or inside a tuple)."""
+        if self._lock is None:
+            keys = list(self._table)
+        else:
+            with self._lock:
+                keys = list(self._table)
+        return [key for key in keys if _key_contains(key, digest)]
+
     def __len__(self) -> int:
         return len(self._table)
 
     def clear(self) -> None:
+        if self._lock is None:
+            self._clear()
+        else:
+            with self._lock:
+                self._clear()
+
+    def _clear(self) -> None:
         self._table.clear()
+        if self._stamps is not None:
+            self._stamps.clear()
 
 
-COMPILE_CACHE = TermCache("compile", maxsize=1024)
-CHECK_CACHE = TermCache("check", maxsize=4096)
-LINK_CACHE = TermCache("link", maxsize=1024)
-PARSE_CACHE = TermCache("dynlink", maxsize=256)
-PYCODE_CACHE = TermCache("pycode", maxsize=256)
-FLATTEN_CACHE = TermCache("flatten", maxsize=512)
+def _key_contains(key: object, digest: str) -> bool:
+    if key == digest:
+        return True
+    if isinstance(key, tuple):
+        return any(_key_contains(part, digest) for part in key)
+    return False
 
-_ALL = (COMPILE_CACHE, CHECK_CACHE, LINK_CACHE, PARSE_CACHE,
-        PYCODE_CACHE, FLATTEN_CACHE)
 
-#: Activation flag — see the module docstring.  Off by default.
-_active = False
+class CacheStore:
+    """One complete set of content-addressed stores plus disk tiers.
 
-#: Directory of the on-disk compiled-unit tier, or ``None``.
-_disk_dir: Path | None = None
+    The unit of cache *scoping*: :func:`unit_cache_scope` creates a
+    private one per invocation; ``repro serve`` creates one
+    ``thread_safe`` instance at startup and shares it across every
+    request via :func:`cache_store_scope`.
+
+    ``thread_safe`` arms a lock per in-memory LRU and
+    :data:`_DIGEST_STRIPES` striped locks for disk-tier reads, writes,
+    and unlink-on-corrupt.  ``ttl_s`` expires memory entries by age;
+    ``scale`` multiplies the default LRU capacities.  ``clock`` is
+    injectable so TTL tests need not sleep.
+    """
+
+    def __init__(self, disk_dir: str | Path | None = None, *,
+                 thread_safe: bool = False, ttl_s: float | None = None,
+                 scale: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic):
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.thread_safe = thread_safe
+        self.ttl_s = ttl_s
+
+        def make(name: str) -> TermCache:
+            return TermCache(
+                name, max(1, int(_SIZES[name] * scale)),
+                lock=threading.Lock() if thread_safe else None,
+                ttl_s=ttl_s, clock=clock)
+
+        self.compile = make("compile")
+        self.check = make("check")
+        self.link = make("link")
+        self.parse = make("dynlink")
+        self.pycode = make("pycode")
+        self.flatten = make("flatten")
+        self.caches = (self.compile, self.check, self.link, self.parse,
+                       self.pycode, self.flatten)
+        self._stripes = (tuple(threading.Lock()
+                               for _ in range(_DIGEST_STRIPES))
+                         if thread_safe else None)
+        #: link-merge key -> the two constituent ``tk1`` digests, so
+        #: :meth:`invalidate` can find merges whose opaque key does not
+        #: itself embed the digest.
+        self._link_deps: dict[object, tuple[str, str]] = {}
+        self._deps_lock = threading.Lock() if thread_safe else None
+
+    # -- maintenance ----------------------------------------------------
+
+    def clear(self) -> None:
+        """Empty every in-memory store (the disk tier is untouched)."""
+        for cache in self.caches:
+            cache.clear()
+        if self._deps_lock is None:
+            self._link_deps.clear()
+        else:
+            with self._deps_lock:
+                self._link_deps.clear()
+
+    def occupancy(self) -> dict[str, int]:
+        """Entries resident per store, for stats endpoints."""
+        return {cache.name: len(cache) for cache in self.caches}
+
+    def invalidate(self, digest: str) -> int:
+        """Drop every entry derived from one ``tk1`` digest.
+
+        Covers memory entries whose key embeds the digest (compile,
+        check, pycode, flatten, and the link tier's ``("opt", ...)``
+        optimizer entries), link-tier merges recorded as *depending*
+        on the digest, and the digest's own disk files.  Returns how
+        many entries were removed.
+        """
+        removed = 0
+        for cache in self.caches:
+            for key in cache.matching(digest):
+                removed += cache.delete(key)
+        deps_lock = self._deps_lock or nullcontext()
+        with deps_lock:
+            stale = [key for key, (k1, k2) in self._link_deps.items()
+                     if digest in (k1, k2)]
+            for key in stale:
+                self._link_deps.pop(key, None)
+        for key in stale:
+            removed += self.link.delete(key)
+        if self.disk_dir is not None:
+            for kind, suffix in (("compile", ".scm"), ("link", ".scm"),
+                                 ("pycode", ".py")):
+                path = self._disk_path(kind, digest, suffix)
+                with self._digest_lock(kind, digest):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def record_link_deps(self, key: object, first: Expr,
+                         second: Expr) -> None:
+        """Remember a merge's constituent digests for invalidation.
+
+        ``term_key`` is memoized on hash-consed nodes, so re-digesting
+        here is a field read, not a re-hash.
+        """
+        k1 = _terms.try_term_key(first)
+        k2 = _terms.try_term_key(second)
+        if k1 is None or k2 is None:
+            return
+        deps_lock = self._deps_lock or nullcontext()
+        with deps_lock:
+            self._link_deps[key] = (k1, k2)
+            if len(self._link_deps) > 2 * self.link.maxsize:
+                # Prune deps whose merge the LRU already evicted.
+                live = self._link_deps
+                self._link_deps = {k: v for k, v in live.items()
+                                   if k in self.link._table}
+
+    # -- the disk tiers -------------------------------------------------
+
+    def _digest_lock(self, kind: str, key: object):
+        if self._stripes is None:
+            return nullcontext()
+        return self._stripes[hash((kind, key)) % _DIGEST_STRIPES]
+
+    def _disk_path(self, kind: str, key: str,
+                   suffix: str = ".scm") -> Path | None:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / f"v1-{_terms.SCHEMA}" / kind \
+            / f"{key}{suffix}"
+
+    def disk_read_expr(self, kind: str, key: str) -> Expr | None:
+        """Read + reparse a disk entry; corrupt entries are unlinked
+        (under the digest lock) and reported as a miss."""
+        path = self._disk_path(kind, key)
+        if path is None:
+            return None
+        from repro.lang.parser import parse_program
+
+        with self._digest_lock(kind, key):
+            try:
+                if _chaos._armed:
+                    _chaos.cache_io(f"{kind}.read")
+                text = path.read_text(encoding="utf-8")
+            except OSError:
+                return None
+            try:
+                return parse_program(text, origin=str(path))
+            except Exception:
+                # A corrupt or stale entry is a miss, not an error;
+                # drop it so the recomputed result can take its slot.
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                return None
+
+    def disk_read_unit(self, key: str) -> Expr | None:
+        """Read a link-tier entry; anything but a single unit is
+        corrupt."""
+        from repro.units.ast import UnitExpr
+
+        loaded = self.disk_read_expr("link", key)
+        if loaded is None or isinstance(loaded, UnitExpr):
+            return loaded
+        path = self._disk_path("link", key)
+        with self._digest_lock("link", key):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return None
+
+    def disk_write_text(self, kind: str, key: str, text: str,
+                        suffix: str = ".scm") -> None:
+        """Atomically publish one disk entry (temp file + replace).
+
+        Concurrent writers of the same digest write identical content
+        (the keys are content addresses), so last-replace-wins is
+        correct; a reader racing the replace sees either the old
+        complete entry or the new complete entry, never a torn one.
+        """
+        path = self._disk_path(kind, key, suffix)
+        if path is None:
+            return
+        tmp: Path | None = None
+        with self._digest_lock(kind, key):
+            try:
+                if _chaos._armed:
+                    _chaos.cache_io(f"{kind}.write")
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_name(
+                    f"{path.name}.{os.getpid()}."
+                    f"{threading.get_ident()}.tmp")
+                tmp.write_text(text, encoding="utf-8")
+                os.replace(tmp, path)
+            except OSError:
+                # A read-only or failing cache dir degrades to
+                # memory-only; never leave a temp file behind.
+                if tmp is not None:
+                    try:
+                        tmp.unlink()
+                    except OSError:
+                        pass
+
+    def disk_read_pycode(self, key: str):
+        """Load and compile a pycode disk entry, or ``None``.
+
+        An entry that fails to ``compile()`` — or compiles but does
+        not define ``_main`` (a truncation at a line boundary parses
+        fine) — is corrupt: unlink it (under the digest lock) and
+        report a miss.
+        """
+        path = self._disk_path("pycode", key, suffix=".py")
+        if path is None:
+            return None
+        with self._digest_lock("pycode", key):
+            try:
+                if _chaos._armed:
+                    _chaos.cache_io("pycode.read")
+                source = path.read_text(encoding="utf-8")
+            except OSError:
+                return None
+            try:
+                code = _pycode_compile(source)
+                if "_main" not in code.co_names:
+                    raise ValueError("no _main in cached module")
+                return code
+            except (SyntaxError, ValueError):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                return None
+
+
+# ---------------------------------------------------------------------------
+# Scoping
+# ---------------------------------------------------------------------------
+
+_STORE: ContextVar[CacheStore | None] = ContextVar(
+    "repro_unit_cache_store", default=None)
+
+#: Count of entered cache scopes process-wide; ``current_store()``
+#: reads this plain global before touching the contextvar, so the
+#: common case — no scope anywhere — costs one integer test.
+_scopes_open = 0
+
+
+def current_store() -> CacheStore | None:
+    """The store in scope (whether or not the term layer is enabled)."""
+    if not _scopes_open:
+        return None
+    return _STORE.get()
+
+
+def _active_store() -> CacheStore | None:
+    """The store in scope, or ``None`` when caching is off entirely."""
+    if not _scopes_open or not _terms._enabled:
+        return None
+    return _STORE.get()
 
 
 def unit_caches_active() -> bool:
     """Are the content-addressed caches consulted right now?"""
-    return _active and _terms._enabled
+    return _active_store() is not None
 
 
 def clear_unit_caches() -> None:
-    """Empty every in-memory store (the disk tier is untouched)."""
-    for cache in _ALL:
-        cache.clear()
+    """Empty the scoped store's memory tiers (disk is untouched)."""
+    store = current_store()
+    if store is not None:
+        store.clear()
+
+
+@contextmanager
+def cache_store_scope(store: CacheStore) -> Iterator[CacheStore]:
+    """Make ``store`` the consulted store for the dynamic extent.
+
+    This is the sharing primitive: a long-lived process (``repro
+    serve``) constructs one concurrency-safe store and each worker
+    thread wraps its request in this scope.  Scoping is contextvar-
+    based, so it must be (re-)entered inside the worker — executor
+    threads do not inherit the submitting context.  Scopes nest; on
+    exit the previous store (possibly none) is restored exactly.
+    """
+    global _scopes_open
+    token = _STORE.set(store)
+    _scopes_open += 1
+    try:
+        yield store
+    finally:
+        _scopes_open -= 1
+        _STORE.reset(token)
 
 
 @contextmanager
 def unit_cache_scope(disk_dir: str | Path | None = None
-                     ) -> Iterator[None]:
-    """Activate fresh caches for the dynamic extent of the block.
+                     ) -> Iterator[CacheStore]:
+    """Activate a fresh private store for the dynamic extent.
 
     Entering installs empty stores (and optionally a disk directory);
     exiting restores whatever was active before, so scopes nest and a
     library caller can never observe another caller's cache state.
     """
-    global _active, _disk_dir
-    saved_tables = [cache._table for cache in _ALL]
-    saved_active, saved_disk = _active, _disk_dir
-    for cache in _ALL:
-        cache._table = OrderedDict()
-    _active = True
-    _disk_dir = Path(disk_dir) if disk_dir is not None else None
-    try:
-        yield
-    finally:
-        for cache, table in zip(_ALL, saved_tables):
-            cache._table = table
-        _active, _disk_dir = saved_active, saved_disk
+    with cache_store_scope(CacheStore(disk_dir)) as store:
+        yield store
+
+
+class _ScopedCacheView:
+    """Back-compat module-global view of one named cache.
+
+    ``cache.LINK_CACHE`` and friends predate :class:`CacheStore`;
+    existing callers (tests, diagnostics) only size and clear them, so
+    the view resolves against the *currently scoped* store on every
+    use and reads as empty when no scope is open.
+    """
+
+    def __init__(self, attr: str):
+        self._attr = attr
+
+    def _cache(self) -> TermCache | None:
+        store = current_store()
+        return getattr(store, self._attr) if store is not None else None
+
+    def __len__(self) -> int:
+        cache = self._cache()
+        return len(cache) if cache is not None else 0
+
+    def clear(self) -> None:
+        cache = self._cache()
+        if cache is not None:
+            cache.clear()
+
+    def get(self, key: object) -> object:
+        cache = self._cache()
+        return cache.get(key) if cache is not None else _MISS
+
+    def put(self, key: object, value: object) -> None:
+        cache = self._cache()
+        if cache is not None:
+            cache.put(key, value)
+
+
+COMPILE_CACHE = _ScopedCacheView("compile")
+CHECK_CACHE = _ScopedCacheView("check")
+LINK_CACHE = _ScopedCacheView("link")
+PARSE_CACHE = _ScopedCacheView("parse")
+PYCODE_CACHE = _ScopedCacheView("pycode")
+FLATTEN_CACHE = _ScopedCacheView("flatten")
 
 
 def _emit_hit(name: str, tier: str, t_start: float | None = None) -> None:
@@ -181,47 +604,6 @@ def _emit_miss(name: str, t_start: float | None = None) -> None:
 # ---------------------------------------------------------------------------
 
 
-def _disk_path(kind: str, key: str, suffix: str = ".scm") -> Path | None:
-    if _disk_dir is None:
-        return None
-    return _disk_dir / f"v1-{_terms.SCHEMA}" / kind / f"{key}{suffix}"
-
-
-def _disk_read(kind: str, key: str) -> Expr | None:
-    path = _disk_path(kind, key)
-    if path is None:
-        return None
-    from repro.lang.parser import parse_program
-
-    try:
-        text = path.read_text(encoding="utf-8")
-    except OSError:
-        return None
-    try:
-        return parse_program(text, origin=str(path))
-    except Exception:
-        # A corrupt or stale entry is a miss, not an error; drop it so
-        # the recomputed result can take its slot.
-        try:
-            path.unlink()
-        except OSError:
-            pass
-        return None
-
-
-def _disk_write(kind: str, key: str, expr: Expr) -> None:
-    path = _disk_path(kind, key)
-    if path is None:
-        return
-    from repro.lang.pretty import show
-
-    try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(show(expr) + "\n", encoding="utf-8")
-    except OSError:
-        pass  # a read-only cache dir degrades to memory-only
-
-
 def cached_compile(expr: Expr, compute: Callable[[], Expr]) -> Expr:
     """Compile through the content-addressed cache.
 
@@ -230,25 +612,28 @@ def cached_compile(expr: Expr, compute: Callable[[], Expr]) -> Expr:
     footnote-8 code sharing, for free).  Keying digests only the
     *input* unit — never the (much larger) compiled output.
     """
-    if not unit_caches_active():
+    store = _active_store()
+    if store is None:
         return compute()
     t_start = time.perf_counter()
     key = _terms.try_term_key(expr)
     if key is None:
         return compute()
-    found = COMPILE_CACHE.get(key)
+    found = store.compile.get(key)
     if found is not _MISS:
         _emit_hit("compile", "memory", t_start)
         return found  # type: ignore[return-value]
-    loaded = _disk_read("compile", key)
+    loaded = store.disk_read_expr("compile", key)
     if loaded is not None:
         _emit_hit("compile", "disk", t_start)
-        COMPILE_CACHE.put(key, loaded)
+        store.compile.put(key, loaded)
         return loaded
     _emit_miss("compile", t_start)
     out = compute()
-    COMPILE_CACHE.put(key, out)
-    _disk_write("compile", key, out)
+    store.compile.put(key, out)
+    from repro.lang.pretty import show
+
+    store.disk_write_text("compile", key, show(out) + "\n")
     return out
 
 
@@ -304,22 +689,6 @@ def link_key(compound, first: Expr, second: Expr) -> str | None:
     return h.hexdigest()
 
 
-def _disk_read_unit(key: str) -> Expr | None:
-    """Read a link-tier entry; anything but a single unit is corrupt."""
-    from repro.units.ast import UnitExpr
-
-    loaded = _disk_read("link", key)
-    if loaded is None or isinstance(loaded, UnitExpr):
-        return loaded
-    path = _disk_path("link", key)
-    if path is not None:
-        try:
-            path.unlink()
-        except OSError:
-            pass
-    return None
-
-
 def cached_link(compound, first: Expr, second: Expr,
                 compute: Callable[[], Expr]) -> Expr:
     """Merge a compound's constituents through the link cache.
@@ -331,25 +700,30 @@ def cached_link(compound, first: Expr, second: Expr,
     caller before the lookup, so budget-governed runs poll the clock
     on the fast path too.
     """
-    if not unit_caches_active():
+    store = _active_store()
+    if store is None:
         return compute()
     t_start = time.perf_counter()
     key = link_key(compound, first, second)
     if key is None:
         return compute()
-    found = LINK_CACHE.get(key)
+    found = store.link.get(key)
     if found is not _MISS:
         _emit_hit("link", "memory", t_start)
         return found  # type: ignore[return-value]
-    loaded = _disk_read_unit(key)
+    loaded = store.disk_read_unit(key)
     if loaded is not None:
         _emit_hit("link", "disk", t_start)
-        LINK_CACHE.put(key, loaded)
+        store.link.put(key, loaded)
+        store.record_link_deps(key, first, second)
         return loaded
     _emit_miss("link", t_start)
     out = compute()
-    LINK_CACHE.put(key, out)
-    _disk_write("link", key, out)
+    store.link.put(key, out)
+    store.record_link_deps(key, first, second)
+    from repro.lang.pretty import show
+
+    store.disk_write_text("link", key, show(out) + "\n")
     return out
 
 
@@ -364,19 +738,20 @@ def cached_optimize(unit: Expr, rounds: int,
     (including budget exhaustion mid-substitution) propagate before
     anything is stored.
     """
-    if not unit_caches_active():
+    store = _active_store()
+    if store is None:
         return compute()
     t_start = time.perf_counter()
     key = _terms.try_term_key(unit)
     if key is None:
         return compute()
-    found = LINK_CACHE.get(("opt", key, rounds))
+    found = store.link.get(("opt", key, rounds))
     if found is not _MISS:
         _emit_hit("link", "memory", t_start)
         return found  # type: ignore[return-value]
     _emit_miss("link", t_start)
     out = compute()
-    LINK_CACHE.put(("opt", key, rounds), out)
+    store.link.put(("opt", key, rounds), out)
     return out
 
 
@@ -391,13 +766,14 @@ def checked_ok(expr: Expr, strict_valuable: bool) -> bool:
     Emits the hit/miss event; a ``True`` return means the caller may
     skip re-checking.  Inactive caches answer ``False`` silently.
     """
-    if not unit_caches_active():
+    store = _active_store()
+    if store is None:
         return False
     t_start = time.perf_counter()
     key = _terms.try_term_key(expr)
     if key is None:
         return False
-    if CHECK_CACHE.get((key, strict_valuable)) is not _MISS:
+    if store.check.get((key, strict_valuable)) is not _MISS:
         _emit_hit("check", "memory", t_start)
         return True
     _emit_miss("check", t_start)
@@ -406,11 +782,12 @@ def checked_ok(expr: Expr, strict_valuable: bool) -> bool:
 
 def record_checked(expr: Expr, strict_valuable: bool) -> None:
     """Record that ``expr`` passed checking (no event: not a lookup)."""
-    if not unit_caches_active():
+    store = _active_store()
+    if store is None:
         return
     key = _terms.try_term_key(expr)
     if key is not None:
-        CHECK_CACHE.put((key, strict_valuable), True)
+        store.check.put((key, strict_valuable), True)
 
 
 # ---------------------------------------------------------------------------
@@ -424,19 +801,20 @@ def cached_parse(source: str, compute: Callable[[], Expr]) -> Expr:
     Keyed by the full text handed in — callers prepend any context
     (like the parse origin) that the cached syntax must agree with.
     """
-    if not unit_caches_active():
+    store = _active_store()
+    if store is None:
         return compute()
     import hashlib
 
     t_start = time.perf_counter()
     key = hashlib.sha256(source.encode("utf-8")).hexdigest()
-    found = PARSE_CACHE.get(key)
+    found = store.parse.get(key)
     if found is not _MISS:
         _emit_hit("dynlink", "memory", t_start)
         return found  # type: ignore[return-value]
     _emit_miss("dynlink", t_start)
     out = compute()
-    PARSE_CACHE.put(key, out)
+    store.parse.put(key, out)
     return out
 
 
@@ -450,44 +828,6 @@ def _pycode_compile(source: str):
     return compile(source, "<pycode>", "exec")
 
 
-def _pycode_disk_read(key: str):
-    """Load and compile a disk-tier source entry, or ``None``.
-
-    An entry that fails to ``compile()`` — or compiles but does not
-    define ``_main`` (a truncation at a line boundary parses fine) —
-    is corrupt: unlink it and report a miss.
-    """
-    path = _disk_path("pycode", key, suffix=".py")
-    if path is None:
-        return None
-    try:
-        source = path.read_text(encoding="utf-8")
-    except OSError:
-        return None
-    try:
-        code = _pycode_compile(source)
-        if "_main" not in code.co_names:
-            raise ValueError("no _main in cached module")
-        return code
-    except (SyntaxError, ValueError):
-        try:
-            path.unlink()
-        except OSError:
-            pass
-        return None
-
-
-def _pycode_disk_write(key: str, source: str) -> None:
-    path = _disk_path("pycode", key, suffix=".py")
-    if path is None:
-        return
-    try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(source, encoding="utf-8")
-    except OSError:
-        pass
-
-
 def cached_pycode(expr: Expr, generate: Callable[[], str]):
     """Generate + compile a program's Python module through the cache.
 
@@ -498,26 +838,27 @@ def cached_pycode(expr: Expr, generate: Callable[[], str]):
     budget exhaustion surfacing mid-codegen — propagate before
     anything is stored, so failed compilations are never cached.
     """
-    if not unit_caches_active():
+    store = _active_store()
+    if store is None:
         return _pycode_compile(generate())
     t_start = time.perf_counter()
     key = _terms.try_term_key(expr)
     if key is None:
         return _pycode_compile(generate())
-    found = PYCODE_CACHE.get(key)
+    found = store.pycode.get(key)
     if found is not _MISS:
         _emit_hit("pycode", "memory", t_start)
         return found
-    loaded = _pycode_disk_read(key)
+    loaded = store.disk_read_pycode(key)
     if loaded is not None:
         _emit_hit("pycode", "disk", t_start)
-        PYCODE_CACHE.put(key, loaded)
+        store.pycode.put(key, loaded)
         return loaded
     _emit_miss("pycode", t_start)
     source = generate()
     code = _pycode_compile(source)
-    PYCODE_CACHE.put(key, code)
-    _pycode_disk_write(key, source)
+    store.pycode.put(key, code)
+    store.disk_write_text("pycode", key, source, suffix=".py")
     return code
 
 
@@ -560,8 +901,11 @@ def flatten_lookup(key: tuple | None):
     ``None`` (emitting the hit/miss event either way)."""
     if key is None:
         return None
+    store = _active_store()
+    if store is None:
+        return None
     t_start = time.perf_counter()
-    found = FLATTEN_CACHE.get(key)
+    found = store.flatten.get(key)
     if found is not _MISS:
         _emit_hit("flatten", "memory", t_start)
         return found
@@ -570,8 +914,9 @@ def flatten_lookup(key: tuple | None):
 
 
 def flatten_store(key: tuple | None, entry: tuple) -> None:
-    if key is not None:
-        FLATTEN_CACHE.put(key, entry)
+    store = _active_store()
+    if key is not None and store is not None:
+        store.flatten.put(key, entry)
 
 
 def replay_link_events(replay: tuple) -> None:

@@ -26,6 +26,7 @@ from repro.lang.ast import Expr, Letrec, Seq, Var, seq_of
 from repro.lang.errors import UnitLinkError
 from repro.lang.subst import fresh_like, free_vars, substitute
 from repro.obs import current as _obs_current
+from repro.serve import chaos as _chaos
 from repro.units import cache as _cache
 from repro.units.ast import CompoundExpr, InvokeExpr, UnitExpr
 
@@ -107,6 +108,10 @@ def merge_compound(compound: CompoundExpr, first: UnitExpr,
         # budget-governed run observes its deadline even when the merge
         # itself would be a cache hit.
         budget.check_deadline(getattr(compound, "loc", None))
+    if _chaos._armed:
+        # Mid-link exhaustion fires before the cache lookup, so an
+        # injected failure can never be stored.
+        _chaos.exhaust("reduce.merge_compound")
     col = _obs_current()
     if col is None:
         return _cache.cached_link(

@@ -304,10 +304,12 @@ class TestRetryHelper:
                 raise ArchiveError("transient")
             return "ok"
 
+        # rng pinned to the midpoint: zero jitter, exact exponential.
         assert load_with_retry(flaky, retries=3, backoff_s=0.01,
-                               sleep=naps.append) == "ok"
+                               sleep=naps.append,
+                               rng=lambda: 0.5) == "ok"
         assert len(attempts) == 3
-        assert naps == [0.01, 0.02]  # exponential
+        assert [round(nap, 6) for nap in naps] == [0.01, 0.02]
 
     def test_exhausted_retries_reraise(self):
         from repro.dynlink.loader import load_with_retry

@@ -1,0 +1,118 @@
+"""Deadline-aware, jittered retry backoff (`load_with_retry`).
+
+The thundering-herd fix: N loaders failing together against one slow
+source must not all retry in lockstep, and none of them may sleep past
+its budget's wall-clock deadline.  Everything here is deterministic —
+``sleep`` and ``rng`` are injected — so the jitter *bounds* are
+asserted exactly, not sampled.
+"""
+
+import pytest
+
+from repro.dynlink.loader import load_with_retry
+from repro.lang.errors import ArchiveError
+from repro.limits import Budget, BudgetExceeded, budget_scope
+
+
+def _flaky(fail_times):
+    calls = []
+
+    def fn():
+        calls.append(1)
+        if len(calls) <= fail_times:
+            raise ArchiveError("transient")
+        return "ok"
+
+    return fn
+
+
+def _naps_with(rng):
+    naps = []
+    assert load_with_retry(_flaky(3), retries=3, backoff_s=0.1,
+                           sleep=naps.append, rng=rng) == "ok"
+    return [round(nap, 9) for nap in naps]
+
+
+class TestJitterBounds:
+    def test_low_rng_is_minus_25_percent(self):
+        # rng()=0.0 -> each backoff at 0.75x its exponential base.
+        assert _naps_with(lambda: 0.0) == [0.075, 0.15, 0.3]
+
+    def test_high_rng_is_plus_25_percent(self):
+        assert _naps_with(lambda: 1.0) == [0.125, 0.25, 0.5]
+
+    def test_midpoint_rng_is_exact_exponential(self):
+        assert _naps_with(lambda: 0.5) == [0.1, 0.2, 0.4]
+
+    def test_distinct_draws_spread_the_herd(self):
+        draws = iter([0.1, 0.9, 0.5])
+        naps = _naps_with(lambda: next(draws))
+        assert len(set(naps)) == len(naps)
+        for nap, base in zip(naps, (0.1, 0.2, 0.4)):
+            assert 0.75 * base <= nap <= 1.25 * base
+
+
+class TestDeadlineInteraction:
+    def test_backoff_never_sleeps_past_the_deadline(self):
+        naps = []
+        budget = Budget(deadline_s=60.0)
+        budget.arm()
+        # Fake the clock: pretend only 0.02s remain on the deadline.
+        budget._deadline_at = __import__("time").monotonic() + 0.02
+        with budget_scope(budget):
+            load_with_retry(_flaky(1), retries=1, backoff_s=10.0,
+                            sleep=naps.append, rng=lambda: 1.0)
+        assert len(naps) == 1
+        assert naps[0] <= 0.02
+
+    def test_expired_deadline_raises_instead_of_sleeping(self):
+        naps = []
+        budget = Budget(deadline_s=0.0)
+        budget.arm()
+        with budget_scope(budget):
+            with pytest.raises(BudgetExceeded) as exc:
+                load_with_retry(_flaky(5), retries=5, backoff_s=10.0,
+                                sleep=naps.append)
+        # The exhaustion keeps its taxonomy (never an ArchiveError)
+        # and no time was wasted sleeping first.
+        assert exc.value.resource == "deadline"
+        assert naps == []
+
+    def test_no_budget_means_no_cap(self):
+        naps = []
+        load_with_retry(_flaky(1), retries=1, backoff_s=0.25,
+                        sleep=naps.append, rng=lambda: 0.5)
+        assert naps == [0.25]
+
+
+class TestBatchIntegration:
+    def test_run_item_threads_rng_through(self, tmp_path):
+        # `repro batch --retry` rides the same helper: a batch item
+        # whose archive round-trip fails transiently retries with the
+        # injected rng, visibly jittered.
+        from repro.batch import run_item
+        from repro.dynlink import archive as archive_mod
+
+        program = tmp_path / "greet.scm"
+        program.write_text(
+            "(invoke (unit (import) (export g)"
+            " (define g (lambda (n) (* n 7))) (g 6)))\n")
+        fails = [2]
+        naps = []
+        original = archive_mod.UnitArchive._retrieve_untyped
+
+        def flaky(self, *a, **k):
+            if fails[0]:
+                fails[0] -= 1
+                raise ArchiveError("transient")
+            return original(self, *a, **k)
+
+        archive_mod.UnitArchive._retrieve_untyped = flaky
+        try:
+            record = run_item(program, None, retries=3,
+                              sleep=naps.append, rng=lambda: 1.0)
+        finally:
+            archive_mod.UnitArchive._retrieve_untyped = original
+        assert record["status"] == "ok"
+        assert record["value"] == "42"
+        assert [round(nap, 6) for nap in naps] == [0.0625, 0.125]
