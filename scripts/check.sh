@@ -24,8 +24,10 @@
 # chaos-injected failure and one over-budget item) degrades any
 # healthy request or drops events, if the server fails to drain
 # cleanly on SIGTERM, if `metrics report` rejects a live-server
-# metrics envelope, or if the chaos sweep's differential assertions
-# fail (docs/SERVING.md).
+# metrics envelope, if the multi-process smoke (a 2-process daemon,
+# mixed healthy/poison batch, one worker SIGKILLed mid-run) loses a
+# request, fails to respawn the killed worker, or fails to drain, or
+# if the chaos sweep's differential assertions fail (docs/SERVING.md).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -299,6 +301,87 @@ echo "serve drain ok: SIGTERM -> drained"
 
 echo "==> smoke: metrics report on the live-server envelope"
 python -m repro metrics report "$serve_dir/metrics.json"
+
+echo "==> smoke: multi-process pool (2 workers, SIGKILL one mid-batch)"
+procs_dir="$(mktemp -d)"
+trap 'rm -f "$trace_file" "$metrics_file" "$bench_out" "$bench_snap" \
+    "$pycode_trace" "$batch_records" "$batch_trace"; \
+    rm -rf "$pycode_cache_dir" "$batch_dir" "$serve_dir" "$procs_dir"' EXIT
+python -m repro serve --processes 2 --port-file "$procs_dir/port" \
+    --allow-chaos --deadline 60 > "$procs_dir/log" 2>&1 &
+procs_pid=$!
+
+python - "$procs_dir/port" <<'EOF'
+import os
+import signal
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.serve.client import ServeClient, read_port_file
+
+port = read_port_file(sys.argv[1], timeout_s=60)
+GOOD = ("(invoke (unit (import) (export g)"
+        " (define g (lambda (n) (* n 7))) (g 6)))")
+
+with ServeClient("127.0.0.1", port, timeout_s=120.0) as client:
+    workers = client.request("stats")["workers"]
+assert workers["mode"] == "processes", workers
+pids = workers["pids"]
+assert len(pids) == 2, workers
+
+# Ten requests — nine healthy, one poisoned — while a thread SIGKILLs
+# one worker ~0.15s into the batch (a real external kill, not the
+# chaos hook): the batch must still complete with the right answers.
+requests = [{"op": "run", "source": GOOD} for _ in range(9)]
+requests.append({"op": "run", "source": GOOD, "archive": True,
+                 "chaos": ["poison"]})
+
+def send(fields):
+    fields = dict(fields)
+    op = fields.pop("op")
+    with ServeClient("127.0.0.1", port, timeout_s=120.0) as client:
+        return client.request(op, **fields)
+
+killer = threading.Timer(0.15, os.kill, (pids[0], signal.SIGKILL))
+killer.start()
+with ThreadPoolExecutor(max_workers=4) as pool:
+    responses = list(pool.map(send, requests))
+killer.join()
+
+ok = [r for r in responses if r["status"] == "ok"]
+poisoned = [r for r in responses if r["status"] == "error"
+            and r["error"]["type"] == "ArchiveError"]
+crashed = [r for r in responses if r["status"] == "error"
+           and r["error"]["type"] == "WorkerCrashed"]
+assert len(poisoned) == 1, responses
+assert len(ok) + len(crashed) == 9, responses
+assert all(r["value"] == "42" for r in ok), responses
+
+with ServeClient("127.0.0.1", port, timeout_s=120.0) as client:
+    stats = client.request("stats")
+    envelope = client.request("metrics")
+after = stats["workers"]
+assert after["deaths"] >= 1, after
+assert after["respawns"] >= 1, after
+assert pids[0] not in after["pids"], after
+assert len(after["pids"]) == 2, after
+assert envelope["metrics"]["dropped"] == 0
+print(f"process pool ok: {len(ok)} healthy + 1 poison"
+      f"{' + %d requeue-failed' % len(crashed) if crashed else ''}, "
+      f"worker {pids[0]} killed -> {after['respawns']} respawn(s), "
+      f"0 dropped")
+EOF
+
+kill -TERM "$procs_pid"
+wait "$procs_pid"
+grep -q "^drained$" "$procs_dir/log" || {
+    echo "process-mode server did not drain cleanly on SIGTERM:"
+    cat "$procs_dir/log"
+    exit 1
+}
+echo "process pool drain ok: SIGTERM -> drained"
 
 echo "==> smoke: chaos sweep (repro serve --chaos)"
 python -m repro serve --chaos

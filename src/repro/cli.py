@@ -544,7 +544,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if getattr(args, "serve", False):
         from repro.serve.loadgen import run_serve_bench
 
-        run_serve_bench(quick=args.quick, out=args.out)
+        run_serve_bench(quick=args.quick, out=args.out,
+                        processes=args.processes)
         return 0
     from repro.bench import run_bench
 
@@ -565,7 +566,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     config = ServeConfig(
         host=args.host, port=args.port, workers=args.workers,
-        queue_limit=args.queue_limit,
+        queue_limit=args.queue_limit, processes=args.processes,
         default_deadline_s=args.deadline,
         max_deadline_s=args.max_deadline,
         cache_dir=args.cache_dir or os.environ.get("REPRO_CACHE_DIR"),
@@ -835,6 +836,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "cold/warm request latency (p50/p99) and "
                             "concurrent throughput into the results file "
                             "under 'serve' (docs/SERVING.md)")
+    bench.add_argument("--processes", type=int, default=0,
+                       help="with --serve: bench a server running N "
+                            "worker processes; the row merges under "
+                            "'serve-processes' next to the thread row")
     bench.set_defaults(fn=cmd_bench)
     serve = sub.add_parser(
         "serve", help="run the link-server daemon: compile/check/link/run "
@@ -850,6 +855,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "scripts)")
     serve.add_argument("--workers", type=int, default=4,
                        help="worker threads executing requests")
+    serve.add_argument("--processes", type=int, default=0,
+                       help="execute requests in N spawned worker "
+                            "processes instead of threads (scales past "
+                            "the GIL on multi-core hosts; warm state "
+                            "shared via the disk cache tier; "
+                            "docs/SERVING.md)")
     serve.add_argument("--queue-limit", type=int, default=16,
                        help="requests allowed to wait beyond the workers; "
                             "past that, fast 'overloaded' responses")

@@ -462,6 +462,39 @@ class MetricsRegistry:
                 dropped=self.dropped, dropped_kinds=self.dropped_kinds,
                 flushes=self.flushes)
 
+    def drain(self) -> dict[str, object]:
+        """Snapshot *and reset*, atomically: the cross-process
+        fragment primitive.
+
+        A serve worker process keeps one long-lived registry, runs
+        each request under :meth:`scope`, and drains afterwards — the
+        returned ``metrics1`` fragment carries exactly that request's
+        numbers and rides the response pipe back to the parent, which
+        folds it in with :meth:`merge_snapshot`.  Because merging is
+        associative and order-independent (property-tested across a
+        real process boundary), fragments from racing workers combine
+        into one coherent parent snapshot regardless of arrival
+        order, and nothing is ever counted twice.
+        """
+        with self._lock:
+            snap = _snapshot_dict(
+                counters=self.counters, timers=self.timers,
+                timer_calls=self.timer_calls, histograms=self.histograms,
+                gauges=self.gauges, events=self.events, spans=self.spans,
+                dropped=self.dropped, dropped_kinds=self.dropped_kinds,
+                flushes=self.flushes)
+            self.counters = {}
+            self.timers = {}
+            self.timer_calls = {}
+            self.histograms = {}
+            self.gauges = {}
+            self.events = 0
+            self.spans = 0
+            self.dropped = 0
+            self.dropped_kinds = {}
+            self.flushes = 0
+        return snap
+
 
 def _snapshot_dict(*, counters: dict[str, int], timers: dict[str, float],
                    timer_calls: dict[str, int],

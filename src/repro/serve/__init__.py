@@ -6,11 +6,14 @@ requests over a newline-delimited-JSON socket protocol
 (:mod:`repro.serve.protocol`), executes each in a worker thread under
 its own budget and telemetry scope (:mod:`repro.serve.handlers`), and
 shares one long-lived, concurrency-safe
-:class:`repro.units.cache.CacheStore` across requests.
-:mod:`repro.serve.chaos` is the fault-injection layer the robustness
-story is proven against; :mod:`repro.serve.client` is the scripting
-client; :mod:`repro.serve.loadgen` is the ``repro bench --serve`` load
-generator.  See ``docs/SERVING.md``.
+:class:`repro.units.cache.CacheStore` across requests.  With
+``--processes N`` execution moves into a pool of spawned worker
+processes (:mod:`repro.serve.workers`) that share warm state through
+the disk cache tier and report per-request ``metrics1`` fragments the
+parent merges.  :mod:`repro.serve.chaos` is the fault-injection layer
+the robustness story is proven against; :mod:`repro.serve.client` is
+the scripting client; :mod:`repro.serve.loadgen` is the ``repro bench
+--serve`` load generator.  See ``docs/SERVING.md``.
 
 This package ``__init__`` stays import-light on purpose: the unit-core
 modules (``units/cache.py``, ``dynlink/archive.py``,

@@ -21,7 +21,14 @@ Faults (the :data:`FAULTS` vocabulary):
   cannot be poisoned: the mangled source has a different key);
 * ``link-exhaust`` — the compound-merge step raises
   :class:`~repro.limits.BudgetExceeded` before consulting the link
-  store, exercising the never-cache-failures discipline mid-link.
+  store, exercising the never-cache-failures discipline mid-link;
+* ``worker-kill`` — the executing *worker process* dies instantly via
+  ``os._exit`` (no cleanup, no response — indistinguishable from a
+  SIGKILL or OOM kill from the parent's side), exercising the pool's
+  reap/respawn/requeue path in :mod:`repro.serve.workers`.  The hook
+  only fires inside a process that called
+  :func:`mark_worker_process`; in the thread-mode server there is no
+  process to lose, so the fault is inert by design.
 
 Hook protocol: the core modules guard every call with the module-level
 :data:`_armed` counter (``if _chaos._armed: _chaos.cache_io(...)``),
@@ -39,6 +46,7 @@ docstring.
 
 from __future__ import annotations
 
+import os
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -49,7 +57,21 @@ from repro.limits import BudgetExceeded
 from repro.obs import current as _obs_current
 
 #: Every fault name a plan may carry.
-FAULTS = ("cache-io", "slow-load", "poison", "link-exhaust")
+FAULTS = ("cache-io", "slow-load", "poison", "link-exhaust",
+          "worker-kill")
+
+#: True only in a serve worker process (set by
+#: ``repro.serve.workers._worker_main`` at bootstrap).  The
+#: ``worker-kill`` fault consults it so that arming the fault in a
+#: thread-mode server — where "the worker" is the whole daemon —
+#: cannot take the server down.
+_worker_process = False
+
+
+def mark_worker_process() -> None:
+    """Declare this process a serve worker (enables ``worker-kill``)."""
+    global _worker_process
+    _worker_process = True
 
 
 @dataclass(frozen=True)
@@ -147,6 +169,21 @@ def exhaust(site: str) -> None:
         raise BudgetExceeded("deadline", 0.0, 0.0)
 
 
+def worker_kill(site: str) -> None:
+    """Die on the spot — but only inside a marked worker process.
+
+    ``os._exit`` skips every ``finally``, ``atexit`` hook, and pipe
+    flush, which is the point: from the parent's perspective this is
+    exactly a SIGKILL/OOM kill mid-request (EOF on the worker's pipe,
+    no response, no metrics fragment).
+    """
+    plan = current_plan()
+    if plan is not None and "worker-kill" in plan.faults \
+            and _worker_process:
+        _note("worker-kill", site)
+        os._exit(43)
+
+
 # ---------------------------------------------------------------------------
 # The sweep (`repro serve --chaos`)
 # ---------------------------------------------------------------------------
@@ -180,6 +217,14 @@ def run_chaos_sweep(verbose: bool = True) -> dict[str, object]:
       store;
     * at the end, the server's registry reports zero dropped trace
       events.
+
+    The first four faults run against a thread-mode server.
+    ``worker-kill`` gets its own round against a 2-process server
+    (the fault is inert without real worker processes): the killed
+    request must come back as a typed ``WorkerCrashed`` error while
+    racing healthy requests still match their one-shot values, the
+    pool must report the death and the respawn, and a clean re-send
+    must succeed on the replacement worker.
 
     Raises :class:`AssertionError` on any violation; returns a
     summary dict.  Imports are local so this module stays cheap for
@@ -310,8 +355,66 @@ def run_chaos_sweep(verbose: bool = True) -> dict[str, object]:
         snap = registry.snapshot()
         dropped = snap["counters"].get("trace.dropped", 0)
         assert dropped == 0, f"server dropped {dropped} trace events"
+
+        # Fifth fault: worker-kill needs real worker processes (in a
+        # thread-mode server the hook is inert by design), so it gets
+        # its own 2-process round.
+        kill_registry = MetricsRegistry()
+        with tempfile.TemporaryDirectory() as cache_dir:
+            config = ServeConfig(processes=2, cache_dir=cache_dir,
+                                 allow_chaos=True,
+                                 default_deadline_s=60.0)
+            with ServerThread(config, registry=kill_registry) as st:
+
+                def send(fields: dict[str, object]) -> dict[str, object]:
+                    with ServeClient(st.host, st.port,
+                                     timeout_s=120.0) as client:
+                        return client.request(**fields)
+
+                kill_fields = dict(healthy_reqs["greet"],
+                                   chaos=["worker-kill"])
+                jobs = [kill_fields] + list(healthy_reqs.values())
+                with ThreadPoolExecutor(len(jobs)) as pool:
+                    responses = list(pool.map(send, jobs))
+                chaos_resp = responses[0]
+                assert chaos_resp["status"] == "error", \
+                    f"worker-kill: chaos request got {chaos_resp}"
+                got = chaos_resp["error"]["type"]
+                assert got == "WorkerCrashed", \
+                    f"worker-kill: expected WorkerCrashed, got {got}"
+                for name, resp in zip(healthy_reqs, responses[1:]):
+                    assert resp["status"] == "ok", \
+                        f"worker-kill: healthy {name} degraded: {resp}"
+                    got = (resp["value"], resp.get("output", ""))
+                    assert got == expected[name], \
+                        f"worker-kill: healthy {name} diverged from " \
+                        f"one-shot: {got} != {expected[name]}"
+                after = send({k: v for k, v in kill_fields.items()
+                              if k != "chaos"})
+                assert after["status"] == "ok", \
+                    f"worker-kill: post-fault request failed: {after}"
+                got = (after["value"], after.get("output", ""))
+                assert got == expected["greet"], \
+                    "worker-kill: post-fault value diverged"
+        kill_snap = kill_registry.snapshot()
+        deaths = kill_snap["counters"].get("serve.worker_deaths", 0)
+        respawns = kill_snap["counters"].get("serve.worker_respawns", 0)
+        assert deaths >= 1, "worker-kill: no worker death recorded"
+        assert respawns >= 1, "worker-kill: no respawn recorded"
+        dropped = kill_snap["counters"].get("trace.dropped", 0)
+        assert dropped == 0, \
+            f"process server dropped {dropped} trace events"
+        summary["worker-kill"] = {"chaos_status": "error",
+                                  "healthy_ok": len(healthy_reqs),
+                                  "deaths": deaths,
+                                  "respawns": respawns}
+        if verbose:
+            print(f"chaos worker-kill: injected -> WorkerCrashed; "
+                  f"{len(healthy_reqs)} healthy requests unaffected; "
+                  f"{deaths} death(s), {respawns} respawn(s)")
+
         summary["dropped"] = 0
         if verbose:
-            print(f"chaos sweep ok: {len(rounds)} faults, "
+            print(f"chaos sweep ok: {len(FAULTS)} faults, "
                   f"isolation + differential asserts green, 0 dropped")
         return summary

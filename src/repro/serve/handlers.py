@@ -87,6 +87,12 @@ def execute_request(req: dict[str, object], store: _ucache.CacheStore,
                     stack.enter_context(_ucache.cache_store_scope(store))
                     stack.enter_context(chaos_ctx)
                     stack.enter_context(_limits.budget_scope(budget))
+                    # Inert everywhere except a marked worker process
+                    # (repro.serve.workers), where it kills the worker
+                    # mid-request with no response — the pool's
+                    # reap/respawn path is the subject under test.
+                    if _chaos._armed:
+                        _chaos.worker_kill("serve.request")
                     value, output = _dispatch(req, budget, timings)
             except RECORDED_ERRORS as err:
                 sp.annotate(status="error",

@@ -4,8 +4,15 @@ Measures the link server the way a client feels it: end-to-end
 request latency over the socket, cold (store flushed before every
 request) versus warm (the shared store primed), plus sustained
 concurrent throughput.  Results merge into ``BENCH_results.json``
-under a ``"serve"`` key so the serving numbers live next to the
-pipeline benches they explain.
+under a ``"serve"`` key (thread mode) or ``"serve-processes"``
+(``processes=N``) so the serving numbers live next to the pipeline
+benches they explain.
+
+Every row records its worker configuration — ``mode``
+(``threads``/``processes``), ``workers``, ``processes``, and the
+host's ``cpus`` — so throughput numbers are attributable: a
+multi-process row can only beat the GIL ceiling when ``cpus`` gives
+it cores to scale onto.
 
 Latency percentiles are computed exactly (sorted samples), not from
 histogram buckets — the sample counts are small enough that bucket
@@ -15,6 +22,7 @@ quantization would dominate the p99.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from pathlib import Path
@@ -48,8 +56,8 @@ def _timed_request(client: ServeClient,
 
 
 def run_serve_bench(quick: bool = False,
-                    out: str | Path = "BENCH_results.json"
-                    ) -> dict[str, object]:
+                    out: str | Path = "BENCH_results.json",
+                    processes: int = 0) -> dict[str, object]:
     """Drive an in-process server; return (and merge) the results.
 
     Cases are the bench corpus's sharing/chain programs.  ``cold``
@@ -59,6 +67,11 @@ def run_serve_bench(quick: bool = False,
     ``throughput`` hammers the warm server from 8 concurrent
     connections and reports requests/second plus the latency
     distribution under that contention.
+
+    ``processes=N`` benches the multi-process server instead (no disk
+    tier in either mode, so cold means a genuine recompute for both);
+    its row merges under ``"serve-processes"`` so the two modes sit
+    side by side.
     """
     from repro.bench import chain_program, sharing_program
     from repro.lang.pretty import show
@@ -76,7 +89,7 @@ def run_serve_bench(quick: bool = False,
             ("serve-chain-032" if quick else "serve-chain-064"):
                 show(chain_program(32 if quick else 64)),
         }
-        config = ServeConfig(workers=4,
+        config = ServeConfig(workers=4, processes=processes,
                              queue_limit=clients * per_client,
                              default_deadline_s=120.0,
                              max_deadline_s=300.0)
@@ -127,18 +140,24 @@ def run_serve_bench(quick: bool = False,
                 thread.join()
             wall = time.perf_counter() - t_wall
             total = clients * per_client
+            mode = "processes" if processes else "threads"
             throughput = dict(_summary(latencies))
             throughput.update({
                 "clients": clients,
                 "requests": total,
                 "wall_s": round(wall, 3),
                 "rps": round(total / wall, 1),
+                "mode": mode,
+                "workers": config.pool_size,
             })
 
     payload = {
         "schema": "serve-bench1",
         "quick": quick,
-        "workers": config.workers,
+        "mode": mode,
+        "workers": config.pool_size,
+        "processes": processes,
+        "cpus": os.cpu_count(),
         "cases": results,
         "throughput": throughput,
     }
@@ -151,7 +170,7 @@ def run_serve_bench(quick: bool = False,
             merged = {}
     if not isinstance(merged, dict):
         merged = {}
-    merged["serve"] = payload
+    merged["serve-processes" if processes else "serve"] = payload
     out.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n",
                    encoding="utf-8")
     for name, case in results.items():
@@ -161,5 +180,7 @@ def run_serve_bench(quick: bool = False,
               f"p99 warm {case['warm']['p99_ms']}ms")
     print(f"throughput: {throughput['rps']} req/s over "
           f"{throughput['clients']} clients "
+          f"[{mode}, {config.pool_size} workers, "
+          f"{os.cpu_count()} cpu(s)] "
           f"(p50 {throughput['p50_ms']}ms, p99 {throughput['p99_ms']}ms)")
     return payload

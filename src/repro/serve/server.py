@@ -7,6 +7,15 @@ inside the thread).  The loop therefore never blocks on unit-language
 work, and all mutation of admission counters happens on the loop —
 no locks beyond the cache store's own.
 
+With ``processes > 0`` the execution tier moves out-of-process: the
+same dispatch threads exist, but each one just ships the validated
+request to a spawned worker over a pipe and blocks on the reply
+(:class:`repro.serve.workers.WorkerPool`).  The loop-side admission
+logic is identical in both modes; control ops that touch per-worker
+state (``flush`` / ``invalidate`` / ``stats``) broadcast to the pool
+from a dedicated single-thread executor so the loop never blocks on a
+pipe.
+
 Robustness properties (chaos-tested; see ``docs/SERVING.md``):
 
 * **Admission control** — at most ``workers`` requests execute while
@@ -50,6 +59,7 @@ class ServeConfig:
     port: int = 0  # 0 = ephemeral; the bound port is announced
     workers: int = 4
     queue_limit: int = 16
+    processes: int = 0  # 0 = thread mode; N = spawned worker processes
     default_deadline_s: float = 10.0
     max_deadline_s: float | None = 60.0
     cache_dir: str | None = None
@@ -58,8 +68,13 @@ class ServeConfig:
     port_file: str | None = None
 
     @property
+    def pool_size(self) -> int:
+        """Concurrent execution slots (worker processes or threads)."""
+        return self.processes if self.processes else self.workers
+
+    @property
     def admission_limit(self) -> int:
-        return self.workers + self.queue_limit
+        return self.pool_size + self.queue_limit
 
 
 class LinkServer:
@@ -76,6 +91,8 @@ class LinkServer:
         self.port: int | None = None
         self._server: asyncio.base_events.Server | None = None
         self._pool: ThreadPoolExecutor | None = None
+        self._workers = None  # WorkerPool in process mode
+        self._ctl_pool: ThreadPoolExecutor | None = None
         self._shutdown: asyncio.Event | None = None
         self._inflight: set[asyncio.Task] = set()
         self._writers: set[asyncio.StreamWriter] = set()
@@ -86,9 +103,23 @@ class LinkServer:
 
     async def start(self) -> "LinkServer":
         self._shutdown = asyncio.Event()
-        self._pool = ThreadPoolExecutor(
-            max_workers=self.config.workers,
-            thread_name_prefix="repro-serve")
+        if self.config.processes:
+            # Process mode: the thread pool only *dispatches* (each
+            # thread blocks on one worker's pipe), so it is sized to
+            # the worker count; control-op broadcasts get their own
+            # single thread so they never block the loop.
+            from repro.serve.workers import WorkerPool
+
+            self._workers = WorkerPool(self.config, self.registry)
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.config.processes,
+                thread_name_prefix="repro-serve-dispatch")
+            self._ctl_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve-ctl")
+        else:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.config.workers,
+                thread_name_prefix="repro-serve")
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -128,6 +159,11 @@ class LinkServer:
                                  return_exceptions=True)
         if self._pool is not None:
             self._pool.shutdown(wait=True)
+        if self._ctl_pool is not None:
+            self._ctl_pool.shutdown(wait=True)
+        if self._workers is not None:
+            # The dispatch pool drained above, so every worker is idle.
+            self._workers.shutdown()
         # Hang up on idle connections so their handler tasks finish
         # before the loop tears down (every response already went out).
         for writer in list(self._writers):
@@ -193,7 +229,14 @@ class LinkServer:
         if self._draining:
             self.registry.count("serve.rejected")
             return _protocol.shutting_down_response(request_id)
+        loop = asyncio.get_running_loop()
         if req["op"] in _protocol.CONTROL_OPS:
+            if self._workers is not None and \
+                    req["op"] in ("flush", "invalidate", "stats"):
+                # These touch per-worker state; the broadcast blocks
+                # on pipes, so it runs off-loop.
+                return await loop.run_in_executor(
+                    self._ctl_pool, self._pool_control, req)
             return self._control(req)
         # Admission: shed instead of queueing unboundedly.
         if self._active >= self.config.admission_limit:
@@ -202,8 +245,10 @@ class LinkServer:
         self._active += 1
         self.registry.count("serve.requests")
         self.registry.gauge("serve.inflight", self._active)
-        loop = asyncio.get_running_loop()
         try:
+            if self._workers is not None:
+                return await loop.run_in_executor(
+                    self._pool, self._workers.submit, req)
             return await loop.run_in_executor(
                 self._pool, execute_request, req, self.store,
                 self.registry, self.config)
@@ -226,13 +271,45 @@ class LinkServer:
         if op == "stats":
             return _protocol.ok_response(
                 request_id, occupancy=self.store.occupancy(),
-                inflight=self._active)
+                inflight=self._active,
+                workers={"mode": "threads",
+                         "workers": self.config.workers})
         if op == "flush":
             self.store.clear()
             return _protocol.ok_response(request_id, value="flushed")
         # op == "invalidate"
         removed = self.store.invalidate(req["digest"])
         return _protocol.ok_response(request_id, removed=removed)
+
+    def _pool_control(self, req: dict[str, object]) -> dict[str, object]:
+        """Control ops in process mode: broadcast to every worker
+        (runs in the dedicated control thread, never on the loop)."""
+        request_id = req.get("id")
+        op = req["op"]
+        if op == "flush":
+            # The parent's store only fronts control ops in this mode,
+            # but clear it too so occupancy reads stay truthful.
+            self.store.clear()
+            self._workers.broadcast("flush")
+            return _protocol.ok_response(request_id, value="flushed")
+        if op == "invalidate":
+            removed = self.store.invalidate(req["digest"])
+            removed += sum(int(count) for count in
+                           self._workers.broadcast("invalidate",
+                                                   req["digest"]))
+            return _protocol.ok_response(request_id, removed=removed)
+        # op == "stats": per-worker occupancy summed per tier, plus
+        # the pool's death/respawn bookkeeping.
+        per_worker = self._workers.broadcast("stats")
+        occupancy: dict[str, int] = {}
+        for entry in per_worker:
+            for tier, count in entry["occupancy"].items():
+                occupancy[tier] = occupancy.get(tier, 0) + count
+        info = self._workers.info()
+        info["per_worker"] = per_worker
+        return _protocol.ok_response(
+            request_id, occupancy=occupancy, inflight=self._active,
+            workers=info)
 
     async def _send(self, writer: asyncio.StreamWriter,
                     write_lock: asyncio.Lock,
@@ -252,7 +329,11 @@ def run_server(config: ServeConfig) -> int:
     async def main() -> None:
         server = LinkServer(config)
         await server.start()
-        print(f"serving on {config.host}:{server.port}", flush=True)
+        mode = (f"{config.processes} worker processes"
+                if config.processes else
+                f"{config.workers} worker threads")
+        print(f"serving on {config.host}:{server.port} ({mode})",
+              flush=True)
         await server.serve_until_shutdown()
         print("drained", flush=True)
 

@@ -232,7 +232,14 @@ class CacheStore:
     The unit of cache *scoping*: :func:`unit_cache_scope` creates a
     private one per invocation; ``repro serve`` creates one
     ``thread_safe`` instance at startup and shares it across every
-    request via :func:`cache_store_scope`.
+    request via :func:`cache_store_scope`.  In multi-process serve
+    mode each worker process instead bootstraps its own store with
+    :meth:`for_worker`, and sibling workers share warm state *only*
+    through the disk tiers: writes are atomic (per-process temp file +
+    ``os.replace``) and keys are content-addressed ``tk1`` digests, so
+    concurrent writers of the same key race to install identical
+    bytes — last-replace-wins is correct by construction, with no
+    cross-process locking.
 
     ``thread_safe`` arms a lock per in-memory LRU and
     :data:`_DIGEST_STRIPES` striped locks for disk-tier reads, writes,
@@ -271,6 +278,23 @@ class CacheStore:
         #: itself embed the digest.
         self._link_deps: dict[object, tuple[str, str]] = {}
         self._deps_lock = threading.Lock() if thread_safe else None
+
+    @classmethod
+    def for_worker(cls, disk_dir: str | Path | None = None, *,
+                   ttl_s: float | None = None,
+                   scale: float = 1.0) -> "CacheStore":
+        """Bootstrap the per-process store of one serve worker.
+
+        Workers execute one request at a time, so the store is built
+        *without* per-LRU locks (``thread_safe=False`` — uncontended
+        locks would only add overhead).  Pointing every sibling at the
+        same ``disk_dir`` is what makes warm state cross-process: a
+        compile/link/pycode artifact one worker writes is a disk hit
+        for the next, under the atomic-write discipline described in
+        the class docstring.
+        """
+        return cls(disk_dir, thread_safe=False, ttl_s=ttl_s,
+                   scale=scale)
 
     # -- maintenance ----------------------------------------------------
 

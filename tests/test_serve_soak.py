@@ -1,0 +1,168 @@
+"""Soak/stress: a multi-process server under sustained mixed fire.
+
+Hundreds of interleaved requests — healthy programs with per-request
+distinct answers, poisoned archive retrievals, over-budget loops, and
+``worker-kill`` chaos — hammer a worker pool from concurrent client
+threads.  What must hold at the end:
+
+* **zero cross-request contamination** — every healthy request gets
+  *its own* value back (each program computes a distinct number, so a
+  response crossing wires with another request is detected, not
+  averaged away);
+* **exact failure taxonomy** — poison → ``ArchiveError`` (exit 1),
+  over-budget → ``BudgetExceeded`` (exit 3), worker-kill →
+  ``WorkerCrashed`` (exit 1), under full concurrency;
+* **every killed worker respawned** — deaths == respawns == the number
+  of kill requests, and the pool finishes at full strength with no
+  dead pids;
+* **a coherent merged snapshot** — the parent registry, assembled
+  entirely from per-request worker fragments, reports zero dropped
+  events, one ``serve.request`` observation per request that survived
+  to respond (killed requests die before their fragment exists — that
+  is the point of ``os._exit``), and monotone latency percentiles.
+
+The tier-1 variant is smoke-sized (2 processes, dozens of requests);
+the full soak (4 processes, hundreds of requests) is ``-m slow``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve.client import ServeClient, exit_code_for
+from repro.serve.server import ServeConfig, ServerThread
+
+GREET = """
+(invoke (unit (import) (export greet)
+  (define greet (lambda (who) (string-append "hello, " who)))
+  (greet "world")))
+"""
+
+LOOP = "(letrec ((spin (lambda (n) (spin (+ n 1))))) (spin 0))"
+
+
+def _healthy(seed: int) -> tuple[dict, str]:
+    """A request whose correct answer is unique to ``seed`` — the
+    contamination detector: a response delivered to the wrong
+    requester cannot match."""
+    source = ("(invoke (unit (import) (export v)"
+              f" (define v (lambda (n) (+ (* n 100) {seed})))"
+              f" (v {seed})))")
+    return ({"op": "run", "source": source, "backend": "pycode"},
+            str(seed * 100 + seed))
+
+
+def _mixed_plan(total: int, kills: int) -> list[tuple[str, dict, str]]:
+    """``total`` requests as (kind, fields, expected-value) rows;
+    exactly ``kills`` of them carry worker-kill chaos."""
+    plan: list[tuple[str, dict, str]] = []
+    kill_every = max(1, total // kills)
+    for i in range(total):
+        r = i % 10
+        if kills and i % kill_every == kill_every // 2:
+            plan.append(("kill", {"op": "run", "source": GREET,
+                                  "chaos": ["worker-kill"]}, ""))
+            kills -= 1
+        elif r == 3:
+            plan.append(("poison", {"op": "run", "source": GREET,
+                                    "archive": True,
+                                    "chaos": ["poison"]}, ""))
+        elif r == 7:
+            plan.append(("budget", {"op": "run", "source": LOOP,
+                                    "eval_steps": 400}, ""))
+        else:
+            fields, expect = _healthy(i % 17)
+            plan.append(("ok", fields, expect))
+    return plan
+
+
+def _run_soak(processes: int, total: int, clients: int,
+              kills: int) -> None:
+    plan = _mixed_plan(total, kills)
+    kill_count = sum(1 for kind, _, _ in plan if kind == "kill")
+    assert kill_count == kills
+    registry = MetricsRegistry()
+    config = ServeConfig(processes=processes, queue_limit=total,
+                         allow_chaos=True, default_deadline_s=120.0,
+                         max_deadline_s=300.0)
+    with ServerThread(config, registry=registry) as st:
+
+        def drive(chunk):
+            results = []
+            with ServeClient(st.host, st.port,
+                             timeout_s=600.0) as client:
+                for kind, fields, expect in chunk:
+                    fields = dict(fields)
+                    op = fields.pop("op")
+                    results.append(
+                        (kind, expect, client.request(op, **fields)))
+            return results
+
+        chunks = [plan[k::clients] for k in range(clients)]
+        with ThreadPoolExecutor(clients) as pool:
+            outcomes = [row for rows in pool.map(drive, chunks)
+                        for row in rows]
+        with ServeClient(st.host, st.port, timeout_s=120.0) as client:
+            stats = client.request("stats")
+
+    assert len(outcomes) == total
+    for kind, expect, response in outcomes:
+        if kind == "ok":
+            assert response["status"] == "ok", (kind, response)
+            assert response["value"] == expect, \
+                f"cross-request contamination: wanted {expect}, " \
+                f"got {response['value']}"
+        elif kind == "poison":
+            assert response["error"]["type"] == "ArchiveError", response
+            assert exit_code_for(response) == 1
+        elif kind == "budget":
+            assert response["error"]["type"] == "BudgetExceeded", \
+                response
+            assert exit_code_for(response) == 3
+        else:  # kind == "kill"
+            assert response["error"]["type"] == "WorkerCrashed", \
+                response
+            assert exit_code_for(response) == 1
+
+    # Every kill was a real death, every death was respawned, and the
+    # pool ends at full strength.
+    workers = stats["workers"]
+    assert workers["deaths"] == kills, workers
+    assert workers["respawns"] == kills, workers
+    assert len(workers["pids"]) == processes, workers
+
+    # The merged snapshot: built purely from cross-process fragments,
+    # yet coherent — nothing dropped, every surviving request counted
+    # once, percentiles monotone.
+    snap = registry.snapshot()
+    assert snap["dropped"] == 0
+    assert snap["counters"].get("trace.dropped", 0) == 0
+    assert snap["counters"]["serve.worker_deaths"] == kills
+    assert snap["counters"]["serve.worker_respawns"] == kills
+    assert snap["counters"]["serve.requests"] == total
+    survived = total - kills
+    assert snap["counters"]["serve.request"] == survived
+    hist = snap["histograms"]["serve.request"]
+    assert hist["count"] == survived
+    # Percentiles are serialized rounded (min/max are exact), so the
+    # monotonicity check allows rounding epsilon.
+    ladder = (hist["min"], hist["p50"], hist["p90"], hist["p99"],
+              hist["max"])
+    for lo, hi in zip(ladder, ladder[1:]):
+        assert lo <= hi * (1 + 1e-3), ladder
+
+
+class TestSoakSmoke:
+    def test_mixed_fire_two_processes(self):
+        """Tier-1 sized: 40 mixed requests, 4 clients, 2 kills."""
+        _run_soak(processes=2, total=40, clients=4, kills=2)
+
+
+@pytest.mark.slow
+class TestSoakFull:
+    def test_mixed_fire_four_processes(self):
+        """The full soak: 300 mixed requests, 8 clients, 6 kills."""
+        _run_soak(processes=4, total=300, clients=8, kills=6)
